@@ -1,0 +1,56 @@
+//! Criterion benches of the quantized-KV attention kernel (Fig. 11b's
+//! measured counterpart at CPU scale): FP32 reference vs dequantize-on-load
+//! INT8 and INT4 KV.
+
+use atom_kernels::attention::{attention_quant_kv, attention_reference, QuantizedKvHead};
+use atom_tensor::SeededRng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_attention(c: &mut Criterion) {
+    let mut rng = SeededRng::new(2);
+    let head_dim = 32usize;
+
+    // Report the memory-traffic reduction driving the GPU-side speedup.
+    {
+        let k = rng.normal_matrix(1024, head_dim, 0.0, 1.0);
+        let v = rng.normal_matrix(1024, head_dim, 0.0, 1.0);
+        for bits in [8u8, 4] {
+            let mut kv = QuantizedKvHead::new(head_dim, bits);
+            kv.append(&k, &v);
+            println!(
+                "kv bytes at 1024 tokens: int{bits} = {} (fp32 = {})",
+                kv.packed_bytes(),
+                2 * 1024 * head_dim * 4
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("attention");
+    for kv_len in [128usize, 512, 1024] {
+        let k = rng.normal_matrix(kv_len, head_dim, 0.0, 1.0);
+        let v = rng.normal_matrix(kv_len, head_dim, 0.0, 1.0);
+        let q = rng.normal_matrix(1, head_dim, 0.0, 1.0);
+        let scale = 1.0 / (head_dim as f32).sqrt();
+
+        group.bench_with_input(BenchmarkId::new("fp32_reference", kv_len), &kv_len, |b, _| {
+            b.iter(|| attention_reference(&q, &k, &v, scale))
+        });
+        for bits in [8u8, 4] {
+            let mut kv = QuantizedKvHead::new(head_dim, bits);
+            kv.append(&k, &v);
+            group.bench_with_input(
+                BenchmarkId::new(format!("quant_kv_int{bits}"), kv_len),
+                &kv_len,
+                |b, _| b.iter(|| attention_quant_kv(&q, &kv, scale)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_attention
+}
+criterion_main!(benches);

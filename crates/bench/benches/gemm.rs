@@ -1,0 +1,75 @@
+//! Criterion benches of the real CPU GEMM kernels (Fig. 11a's measured
+//! counterpart at CPU scale): FP32 reference vs the fused group-dequant
+//! INT4/INT8 pipeline and the mixed-precision GEMM.
+
+use atom_kernels::gemm::{fused_group_gemm, mixed_gemm};
+use atom_kernels::{GroupQuantized, QuantSpec};
+use atom_tensor::SeededRng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = SeededRng::new(1);
+    let k = 256usize;
+    let n = 256usize;
+    let w = rng.normal_matrix(n, k, 0.0, 0.5);
+    let qw4 = GroupQuantized::quantize(&w, QuantSpec::new(4, 16));
+    let qw8 = GroupQuantized::quantize(&w, QuantSpec::new(8, 16));
+
+    println!(
+        "weight bytes: fp32 {} / int8+scales {} / int4+scales {}",
+        n * k * 4,
+        qw8.packed_bytes(),
+        qw4.packed_bytes()
+    );
+
+    let mut group = c.benchmark_group("gemm");
+    for batch in [1usize, 16, 64] {
+        let x = rng.normal_matrix(batch, k, 0.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("fp32_reference", batch), &x, |b, x| {
+            b.iter(|| x.matmul_nt(&w))
+        });
+        group.bench_with_input(BenchmarkId::new("fused_int4_group16", batch), &x, |b, x| {
+            b.iter(|| {
+                let qa = GroupQuantized::quantize(x, QuantSpec::new(4, 16));
+                fused_group_gemm(&qa, &qw4).expect("shapes ok")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fused_int8_group16", batch), &x, |b, x| {
+            b.iter(|| {
+                let qa = GroupQuantized::quantize(x, QuantSpec::new(8, 16));
+                fused_group_gemm(&qa, &qw8).expect("shapes ok")
+            })
+        });
+    }
+    group.finish();
+
+    // Mixed-precision GEMM: 240 INT4 channels + 16 INT8 outlier channels.
+    let mut group = c.benchmark_group("mixed_gemm");
+    let w_n = rng.normal_matrix(n, 240, 0.0, 0.5);
+    let w_o = rng.normal_matrix(n, 16, 0.0, 0.5);
+    let qwn = GroupQuantized::quantize(&w_n, QuantSpec::new(4, 16));
+    let qwo = GroupQuantized::quantize(&w_o, QuantSpec::new(8, 16));
+    for batch in [16usize, 64] {
+        let x_n = rng.normal_matrix(batch, 240, 0.0, 1.0);
+        let x_o = rng.normal_matrix(batch, 16, 0.0, 30.0);
+        group.bench_with_input(
+            BenchmarkId::new("int4_plus_int8_outliers", batch),
+            &(x_n, x_o),
+            |b, (x_n, x_o)| {
+                b.iter(|| {
+                    let qa_n = GroupQuantized::quantize(x_n, QuantSpec::new(4, 16));
+                    let qa_o = GroupQuantized::quantize(x_o, QuantSpec::new(8, 16));
+                    mixed_gemm(&qa_n, &qwn, Some((&qa_o, &qwo))).expect("shapes ok")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gemm
+}
+criterion_main!(benches);

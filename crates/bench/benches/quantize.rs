@@ -1,0 +1,67 @@
+//! Criterion benches of the quantization operators themselves: dynamic
+//! per-token group quantization (the runtime epilogue of §4.3), channel
+//! reordering, asymmetric KV quantization, and offline GPTQ.
+
+use atom::calibrate::ReorderPlan;
+use atom::gptq::{gptq_quantize, GptqConfig};
+use atom_kernels::{AsymQuantized, GroupQuantized, QuantSpec};
+use atom_tensor::SeededRng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut rng = SeededRng::new(3);
+    let k = 256usize;
+
+    let mut group = c.benchmark_group("dynamic_quantize");
+    for batch in [16usize, 128] {
+        let x = rng.normal_matrix(batch, k, 0.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("int4_group16", batch), &x, |b, x| {
+            b.iter(|| GroupQuantized::quantize(x, QuantSpec::new(4, 16)))
+        });
+        group.bench_with_input(BenchmarkId::new("int8_per_token", batch), &x, |b, x| {
+            b.iter(|| GroupQuantized::quantize(x, QuantSpec::new(8, usize::MAX)))
+        });
+        group.bench_with_input(BenchmarkId::new("asym_int4_per_row", batch), &x, |b, x| {
+            b.iter(|| AsymQuantized::quantize(x, 4))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("reorder");
+    let plan = ReorderPlan::from_outlier_set(k, &[3, 77, 130, 200, 250, 13, 99, 180]);
+    for batch in [16usize, 128] {
+        let x = rng.normal_matrix(batch, k, 0.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("activation_reorder", batch), &x, |b, x| {
+            b.iter(|| plan.reorder_activation(x))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("gptq_offline");
+    group.sample_size(10);
+    for k in [64usize, 128] {
+        let w = rng.normal_matrix(64, k, 0.0, 1.0);
+        let x = rng.normal_matrix(256, k, 0.0, 1.0);
+        let mut gram = vec![0.0f64; k * k];
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            for i in 0..k {
+                for j in 0..k {
+                    gram[i * k + j] += row[i] as f64 * row[j] as f64;
+                }
+            }
+        }
+        let cfg = GptqConfig::uniform(QuantSpec::new(4, 16));
+        group.bench_with_input(BenchmarkId::new("gptq_64xk", k), &k, |b, _| {
+            b.iter(|| gptq_quantize(&w, Some(&gram), &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_quantize
+}
+criterion_main!(benches);

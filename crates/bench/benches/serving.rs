@@ -1,0 +1,73 @@
+//! Criterion benches of the serving substrate: paged-allocator operations,
+//! scheduler steps, and full end-to-end serving simulations.
+
+use atom_data::WorkloadSpec;
+use atom_gpu_sim::{HardwareProfile, LlamaGpuConfig, SimScheme};
+use atom_serve::{ContinuousBatcher, PagedAllocator, ServingSimulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paged_allocator");
+    group.bench_function("grow_release_cycle", |b| {
+        b.iter(|| {
+            let mut a = PagedAllocator::new(1024, 16);
+            for seq in 0..64 {
+                a.register(seq);
+                a.grow(seq, 200).expect("fits");
+            }
+            for seq in 0..64 {
+                a.release(seq);
+            }
+            a.free_blocks()
+        })
+    });
+    group.finish();
+
+    let trace = WorkloadSpec::default().generate(64, 7);
+
+    let mut group = c.benchmark_group("scheduler");
+    group.bench_function("full_trace_scheduling", |b| {
+        b.iter(|| {
+            let mut batcher = ContinuousBatcher::new(16, PagedAllocator::new(100_000, 16));
+            for &r in &trace {
+                batcher.submit(r);
+            }
+            let mut steps = 0usize;
+            while !batcher.is_idle() {
+                batcher.admit();
+                batcher.complete_prefill();
+                batcher.step_decode();
+                steps += 1;
+                assert!(steps < 1_000_000);
+            }
+            steps
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("end_to_end_sim");
+    group.sample_size(10);
+    for scheme in SimScheme::all() {
+        group.bench_with_input(
+            BenchmarkId::new("trace_64_reqs", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                let sim = ServingSimulator::with_device_memory(
+                    LlamaGpuConfig::llama7b(),
+                    HardwareProfile::rtx4090(),
+                    scheme,
+                    32,
+                );
+                b.iter(|| sim.run(&trace))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_serving
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! §5.4.2: efficiency ablation — (1) fused-GEMM throughput ladder (pure
+//! INT4 → + mixed precision → + group dequantization, vs the INT8
+//! theoretical limit), profiled at the Llama-7B config with batch 4096;
+//! (2) fused reorder+quantize vs matrix-decomposition baseline.
+//!
+//! Paper numbers: 980 → 900 → 770 TOPS; the fused kernel beats the INT8
+//! limit by ~18%; reorder fusion wins 25–35% over decomposition on
+//! layernorm + GEMM at batches 16–256.
+
+use atom_gpu_sim::ablation::{fused_gemm_ladder, reorder_ablation};
+use atom_gpu_sim::HardwareProfile;
+use std::fmt::Write as _;
+
+fn main() {
+    let hw = HardwareProfile::rtx4090();
+
+    let ladder = fused_gemm_ladder(&hw);
+    let rows: Vec<Vec<String>> = ladder
+        .iter()
+        .map(|r| vec![r.label.to_string(), format!("{:.0}", r.tops)])
+        .collect();
+    let table_1 = atom_bench::table(&["fused GEMM configuration", "TOPS"], &rows);
+
+    let reorder = reorder_ablation(&hw, 4096, &[16, 32, 64, 128, 256]);
+    let rows2: Vec<Vec<String>> = reorder
+        .iter()
+        .map(|r| {
+            vec![
+                r.batch.to_string(),
+                format!("{:.1}", r.fused_s * 1e6),
+                format!("{:.1}", r.decomposed_s * 1e6),
+                format!("{:.0}%", r.speedup() * 100.0),
+            ]
+        })
+        .collect();
+    let table_2 = atom_bench::table(
+        &["batch", "fused us", "decomposed us", "Atom advantage"],
+        &rows2,
+    );
+
+    let mut content = String::new();
+    let _ = writeln!(
+        content,
+        "§5.4.2 — kernel efficiency ablation (RTX 4090 model, batch-4096 Llama-7B GEMM)\n\
+         (paper: 980 -> 900 -> 770 TOPS; fused kernel ~18% above the INT8 limit)\n\n{table_1}"
+    );
+    let margin = ladder[2].tops / ladder[3].tops - 1.0;
+    let _ = writeln!(
+        content,
+        "fused Atom GEMM vs INT8 theoretical limit: +{:.0}%\n",
+        margin * 100.0
+    );
+    let _ = writeln!(
+        content,
+        "reorder fusion vs matrix decomposition (layernorm + GEMM, dim 4096)\n\
+         (paper: Atom consistently 25-35% faster at batches 16-256)\n\n{table_2}"
+    );
+    atom_bench::emit("table5_kernel_ablation", &content);
+}

@@ -1,0 +1,139 @@
+//! Benchmark harness regenerating every table and figure of the Atom paper.
+//!
+//! One binary per experiment (run with `cargo run --release -p atom-bench
+//! --bin <name>`):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig02_ppl_vs_size` | Fig. 2 — W4A4 perplexity across model sizes |
+//! | `fig03_runtime_breakdown` | Fig. 3 — dense/attention/other runtime |
+//! | `fig04_roofline` | Fig. 4 — roofline of quantization approaches |
+//! | `fig05_outliers` | Fig. 5 — activation outliers before/after reorder |
+//! | `fig09_vcache` | Fig. 9 — V-cache value distribution |
+//! | `fig10_end_to_end` | Fig. 10 — serving throughput/latency/fixed-memory |
+//! | `fig11_kernels` | Fig. 11 — GEMM and attention kernel sweeps |
+//! | `table1_zeroshot` | Table 1 — zero-shot accuracy |
+//! | `table2_perplexity` | Table 2 — perplexity on three corpora |
+//! | `table3_ablation` | Table 3 — accuracy ablation ladder |
+//! | `table4_generality` | Table 4 — Llama-2-like / MoE / FP4 |
+//! | `table5_kernel_ablation` | §5.4.2 — fused-kernel TOPS and reorder fusion |
+//!
+//! Each binary prints an aligned text table and writes the same content to
+//! `results/<name>.txt`. Criterion benches (`cargo bench -p atom-bench`)
+//! measure the *real CPU kernels* (packed GEMM, quantized-KV attention,
+//! dynamic quantization, serving-simulator steps).
+
+use atom::Calibration;
+use atom_nn::{zoo, DenseLinear, LlamaModel};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Renders an aligned text table.
+///
+/// # Example
+///
+/// ```
+/// let t = atom_bench::table(&["a", "bb"], &[vec!["1".into(), "2".into()]]);
+/// assert!(t.contains("bb"));
+/// ```
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i >= widths.len() {
+                widths.push(cell.len());
+            } else {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            let _ = write!(out, "{cell:>w$}  ");
+        }
+        out.push('\n');
+    };
+    fmt_row(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + widths.len() * 2;
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        fmt_row(&mut out, row);
+    }
+    out
+}
+
+/// Prints a report and writes it to `results/<name>.txt`.
+pub fn emit(name: &str, content: &str) {
+    println!("{content}");
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    std::fs::write(dir.join(format!("{name}.txt")), content).expect("write results file");
+    eprintln!("[written to results/{name}.txt]");
+}
+
+/// The repository's `results/` directory.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Loads a zoo model together with its calibration (Gram matrices
+/// included), using the paper's 128 calibration sentences.
+pub fn calibrated(id: zoo::ZooId) -> (LlamaModel<DenseLinear>, Calibration) {
+    let model = zoo::trained(id);
+    let seqs = zoo::calibration_sequences(128);
+    let calib = Calibration::collect(&model, &seqs, true, 2);
+    (model, calib)
+}
+
+/// Formats a float with 3 decimals, using scientific notation for huge
+/// values (matching the paper's "2.7e4" style for diverged baselines).
+pub fn fmt_ppl(v: f64) -> String {
+    if !v.is_finite() {
+        return "inf".into();
+    }
+    if v >= 1000.0 {
+        format!("{v:.1e}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Formats a probability as a percentage with 2 decimals.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.2}", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = table(
+            &["name", "v"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer".into(), "2.25".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn ppl_formatting() {
+        assert_eq!(fmt_ppl(5.681), "5.68");
+        assert_eq!(fmt_ppl(27000.0), "2.7e4");
+        assert_eq!(fmt_ppl(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(fmt_pct(0.7737), "77.37");
+    }
+}

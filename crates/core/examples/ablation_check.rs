@@ -1,0 +1,19 @@
+//! Quick Table 3 ladder check used during development; the full version
+//! is `atom-bench --bin table3_ablation`.
+use atom::pipeline::ablation_stages;
+use atom::Calibration;
+use atom_data::CorpusStyle;
+use atom_nn::{eval, zoo};
+
+fn main() {
+    let model = zoo::trained(zoo::ZooId::Tiny);
+    let seqs = zoo::calibration_sequences(128);
+    let calib = Calibration::collect(&model, &seqs, true, 2);
+    let toks = zoo::validation_tokens(CorpusStyle::Wiki);
+    let toks = &toks[..toks.len().min(2500)];
+    println!("FP32 ppl = {:.3}", eval::perplexity(&model, toks, 96));
+    for stage in ablation_stages() {
+        let q = stage.scheme.quantize(&model, &calib);
+        println!("{:34} ppl = {:9.3}", stage.label, q.perplexity(toks, 96));
+    }
+}

@@ -1,0 +1,20 @@
+//! Grid search of the clipping factors (paper §5.1) on the 7B* model;
+//! used to pick the defaults in `AtomScheme::w4a4`.
+use atom::pipeline::{AtomScheme, Scheme};
+use atom::Calibration;
+use atom_data::CorpusStyle;
+use atom_nn::zoo;
+
+fn main() {
+    let model = zoo::trained(zoo::ZooId::Tiny);
+    let calib = Calibration::collect(&model, &zoo::calibration_sequences(128), true, 2);
+    let toks = zoo::validation_tokens(CorpusStyle::Wiki);
+    let toks = &toks[..toks.len().min(2500)];
+    for clip_a in [1.0f32, 0.97, 0.95, 0.9] {
+        for clip_w in [1.0f32, 0.97, 0.95, 0.9, 0.85] {
+            let s = Scheme::Atom(AtomScheme { clip_a, clip_w, ..AtomScheme::w4a4() });
+            let ppl = s.quantize(&model, &calib).perplexity(toks, 96);
+            println!("clip_a={clip_a} clip_w={clip_w}  ppl={ppl:.3}");
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Baseline quantization schemes the paper compares against: RTN,
+//! SmoothQuant, an OmniQuant-like clipped RTN, and AWQ-style weight-only
+//! quantization.
+//!
+//! Baselines run through [`FakeQuantLinear`]: weights are quantized offline
+//! and stored dequantized, activations are (optionally) fake-quantized per
+//! token at run time, and the product runs in f32. For per-token/per-channel
+//! symmetric schemes this is numerically equivalent to the integer pipeline
+//! up to f32 summation, which is the standard accuracy-evaluation practice
+//! in the papers being compared.
+
+use crate::calibrate::LinearCalibration;
+use atom_kernels::{group, QuantSpec};
+use atom_nn::{DenseLinear, LinearLayer};
+use atom_tensor::Matrix;
+
+/// Run-time activation handling of a baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActQuant {
+    /// Activations stay FP16 (weight-only quantization).
+    None,
+    /// Symmetric dynamic fake quantization with the given spec (per-token
+    /// when `group == usize::MAX`).
+    Dynamic(QuantSpec),
+}
+
+/// A linear layer with offline-quantized weights and optional run-time
+/// activation fake quantization.
+#[derive(Debug, Clone)]
+pub struct FakeQuantLinear {
+    /// Dequantized weight (`out x in`).
+    weight: Matrix,
+    /// Per-input-channel multiplier applied to activations before
+    /// quantization (SmoothQuant/AWQ folding); the inverse is already folded
+    /// into `weight`.
+    premul: Option<Vec<f32>>,
+    act: ActQuant,
+}
+
+impl FakeQuantLinear {
+    /// Plain RTN: per-output-channel symmetric weights, per-token dynamic
+    /// activations — the "standard quantization recipe" of §5.4.1.
+    pub fn rtn(dense: &DenseLinear, w_bits: u8, a_bits: u8) -> Self {
+        Self::clipped_rtn(dense, w_bits, a_bits, 1.0, 1.0)
+    }
+
+    /// RTN with clipping factors (the OmniQuant-like baseline: learned
+    /// clipping approximated by fixed factors).
+    pub fn clipped_rtn(dense: &DenseLinear, w_bits: u8, a_bits: u8, clip_w: f32, clip_a: f32) -> Self {
+        let wq = group::fake_quantize(
+            dense.weight(),
+            QuantSpec::new(w_bits, usize::MAX).with_clip(clip_w),
+        );
+        FakeQuantLinear {
+            weight: wq,
+            premul: None,
+            act: ActQuant::Dynamic(QuantSpec::new(a_bits, usize::MAX).with_clip(clip_a)),
+        }
+    }
+
+    /// SmoothQuant: per-channel smoothing `s_j = amax_x(j)^α /
+    /// amax_w(j)^(1-α)` migrates activation outliers into the weights, then
+    /// both quantize per-channel/per-token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration stats width disagrees with the layer.
+    pub fn smoothquant(
+        dense: &DenseLinear,
+        calib: &LinearCalibration,
+        alpha: f32,
+        w_bits: u8,
+        a_bits: u8,
+    ) -> Self {
+        Self::smoothquant_clipped(dense, calib, alpha, w_bits, a_bits, 1.0, 1.0)
+    }
+
+    /// SmoothQuant folding combined with clipping factors — the
+    /// OmniQuant-like baseline (learned equivalent transformation and
+    /// learned weight clipping, approximated by a grid-searched smoothing
+    /// alpha plus fixed clip factors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration stats width disagrees with the layer.
+    pub fn smoothquant_clipped(
+        dense: &DenseLinear,
+        calib: &LinearCalibration,
+        alpha: f32,
+        w_bits: u8,
+        a_bits: u8,
+        clip_w: f32,
+        clip_a: f32,
+    ) -> Self {
+        let k = dense.in_features();
+        assert_eq!(calib.stats.channels(), k, "stats width mismatch");
+        let act_amax = calib.stats.abs_maxes();
+        let w = dense.weight();
+        let mut smooth = vec![1.0f32; k];
+        for (j, s) in smooth.iter_mut().enumerate() {
+            let a = act_amax[j].max(1e-5);
+            let mut wmax = 0.0f32;
+            for r in 0..w.rows() {
+                wmax = wmax.max(w[(r, j)].abs());
+            }
+            let wmax = wmax.max(1e-5);
+            *s = (a.powf(alpha) / wmax.powf(1.0 - alpha)).clamp(1e-4, 1e4);
+        }
+        // y = (x / s) @ (W * diag(s))^T.
+        let mut folded = w.clone();
+        folded.scale_cols_in_place(&smooth);
+        let wq = group::fake_quantize(
+            &folded,
+            QuantSpec::new(w_bits, usize::MAX).with_clip(clip_w),
+        );
+        let premul: Vec<f32> = smooth.iter().map(|&s| 1.0 / s).collect();
+        FakeQuantLinear {
+            weight: wq,
+            premul: Some(premul),
+            act: ActQuant::Dynamic(QuantSpec::new(a_bits, usize::MAX).with_clip(clip_a)),
+        }
+    }
+
+    /// Grid-searches alpha for the OmniQuant-like baseline (smoothing +
+    /// clipping) and returns the best layer.
+    pub fn omniquant_like(
+        dense: &DenseLinear,
+        calib: &LinearCalibration,
+        w_bits: u8,
+        a_bits: u8,
+    ) -> Self {
+        let exact = dense.forward(&calib.sample);
+        let mut best_err = f64::INFINITY;
+        let mut best_alpha = 0.5f32;
+        for &alpha in &[0.3f32, 0.4, 0.5, 0.6, 0.7, 0.8] {
+            let cand =
+                Self::smoothquant_clipped(dense, calib, alpha, w_bits, a_bits, 0.9, 0.95);
+            let err = cand.forward(&calib.sample).sub(&exact).frob_norm() as f64;
+            if err < best_err {
+                best_err = err;
+                best_alpha = alpha;
+            }
+        }
+        Self::smoothquant_clipped(dense, calib, best_alpha, w_bits, a_bits, 0.9, 0.95)
+    }
+
+    /// AWQ-style weight-only quantization: per-group low-bit weights with an
+    /// activation-aware scale `s_j = amax_x(j)^α` protecting salient
+    /// channels; activations stay in FP16.
+    pub fn weight_only_awq(
+        dense: &DenseLinear,
+        calib: &LinearCalibration,
+        alpha: f32,
+        w_bits: u8,
+        group_size: usize,
+    ) -> Self {
+        let k = dense.in_features();
+        assert_eq!(calib.stats.channels(), k, "stats width mismatch");
+        let act_amax = calib.stats.abs_maxes();
+        let mean_amax: f32 =
+            (act_amax.iter().map(|&v| v as f64).sum::<f64>() / k as f64).max(1e-6) as f32;
+        let smooth: Vec<f32> = act_amax
+            .iter()
+            .map(|&a| ((a.max(1e-5) / mean_amax).powf(alpha)).clamp(1e-3, 1e3))
+            .collect();
+        let mut folded = dense.weight().clone();
+        folded.scale_cols_in_place(&smooth);
+        let wq = group::fake_quantize(&folded, QuantSpec::new(w_bits, group_size));
+        let premul: Vec<f32> = smooth.iter().map(|&s| 1.0 / s).collect();
+        FakeQuantLinear {
+            weight: wq,
+            premul: Some(premul),
+            act: ActQuant::None,
+        }
+    }
+
+    /// Grid-searches the SmoothQuant migration strength `alpha` on the
+    /// calibration sample, returning the constructed layer and the winning
+    /// alpha (the paper grid-searched alpha per benchmark).
+    pub fn smoothquant_search(
+        dense: &DenseLinear,
+        calib: &LinearCalibration,
+        w_bits: u8,
+        a_bits: u8,
+    ) -> (Self, f32) {
+        let exact = dense.forward(&calib.sample);
+        let mut best = (f64::INFINITY, 0.5f32);
+        for &alpha in &[0.3f32, 0.4, 0.5, 0.6, 0.7, 0.8] {
+            let candidate = Self::smoothquant(dense, calib, alpha, w_bits, a_bits);
+            let err = candidate.forward(&calib.sample).sub(&exact).frob_norm() as f64;
+            if err < best.0 {
+                best = (err, alpha);
+            }
+        }
+        (
+            Self::smoothquant(dense, calib, best.1, w_bits, a_bits),
+            best.1,
+        )
+    }
+
+    /// The stored (dequantized) weight.
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+}
+
+impl LinearLayer for FakeQuantLinear {
+    fn forward(&self, x: &Matrix) -> Matrix {
+        let mut xs = x.clone();
+        if let Some(premul) = &self.premul {
+            xs.scale_cols_in_place(premul);
+        }
+        let xq = match self.act {
+            ActQuant::None => xs,
+            ActQuant::Dynamic(spec) => group::fake_quantize(&xs, spec),
+        };
+        xq.matmul_nt(&self.weight)
+    }
+
+    fn in_features(&self) -> usize {
+        self.weight.cols()
+    }
+
+    fn out_features(&self) -> usize {
+        self.weight.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atom_tensor::stats::ChannelStats;
+    use atom_tensor::SeededRng;
+
+    fn calib_for(x: &Matrix) -> LinearCalibration {
+        let mut stats = ChannelStats::new(x.cols());
+        stats.update(x);
+        LinearCalibration {
+            stats,
+            gram: None,
+            gram_rows: 0,
+            sample: x.clone(),
+        }
+    }
+
+    fn outlier_activations(seed: u64, rows: usize, k: usize) -> Matrix {
+        let mut rng = SeededRng::new(seed);
+        let mut x = rng.normal_matrix(rows, k, 0.0, 1.0);
+        for r in 0..rows {
+            x[(r, 2)] *= 50.0;
+            x[(r, k - 3)] *= 40.0;
+        }
+        x
+    }
+
+    fn rel_err(a: &Matrix, b: &Matrix) -> f64 {
+        (a.sub(b).frob_norm() / b.frob_norm()) as f64
+    }
+
+    #[test]
+    fn rtn_w8a8_is_accurate() {
+        let mut rng = SeededRng::new(1);
+        let dense = DenseLinear::new(rng.normal_matrix(8, 32, 0.0, 1.0));
+        let x = rng.normal_matrix(4, 32, 0.0, 1.0);
+        let q = FakeQuantLinear::rtn(&dense, 8, 8);
+        assert!(rel_err(&q.forward(&x), &dense.forward(&x)) < 0.02);
+    }
+
+    #[test]
+    fn rtn_w4a4_fails_on_outliers() {
+        // The motivating observation: plain W4A4 RTN degrades sharply when
+        // activations carry outlier channels, while W8A8 holds up.
+        let mut rng = SeededRng::new(2);
+        let dense = DenseLinear::new(rng.normal_matrix(8, 32, 0.0, 1.0));
+        let x = outlier_activations(3, 6, 32);
+        let exact = dense.forward(&x);
+        let e44 = rel_err(&FakeQuantLinear::rtn(&dense, 4, 4).forward(&x), &exact);
+        let e88 = rel_err(&FakeQuantLinear::rtn(&dense, 8, 8).forward(&x), &exact);
+        assert!(
+            e44 > 5.0 * e88 && e44 > 0.05,
+            "expected W4A4 ({e44}) to degrade far beyond W8A8 ({e88})"
+        );
+    }
+
+    #[test]
+    fn smoothquant_beats_rtn_at_w8a8_with_outliers() {
+        let mut rng = SeededRng::new(4);
+        let dense = DenseLinear::new(rng.normal_matrix(16, 32, 0.0, 1.0));
+        let x = outlier_activations(5, 8, 32);
+        let calib = calib_for(&x);
+        let rtn = FakeQuantLinear::rtn(&dense, 8, 8);
+        let sq = FakeQuantLinear::smoothquant(&dense, &calib, 0.5, 8, 8);
+        let exact = dense.forward(&x);
+        let e_rtn = rel_err(&rtn.forward(&x), &exact);
+        let e_sq = rel_err(&sq.forward(&x), &exact);
+        assert!(e_sq < e_rtn, "smoothquant {e_sq} should beat rtn {e_rtn}");
+    }
+
+    #[test]
+    fn smoothquant_search_picks_reasonable_alpha() {
+        let mut rng = SeededRng::new(5);
+        let dense = DenseLinear::new(rng.normal_matrix(12, 24, 0.0, 1.0));
+        let x = outlier_activations(6, 12, 24);
+        let calib = calib_for(&x);
+        let (_, alpha) = FakeQuantLinear::smoothquant_search(&dense, &calib, 8, 8);
+        assert!((0.3..=0.8).contains(&alpha));
+    }
+
+    #[test]
+    fn weight_only_is_exact_on_activations() {
+        // W4A16 touches only the weights; with benign weights the output
+        // error is small regardless of activation outliers.
+        let mut rng = SeededRng::new(6);
+        let dense = DenseLinear::new(rng.normal_matrix(12, 32, 0.0, 1.0));
+        let x = outlier_activations(7, 6, 32);
+        let calib = calib_for(&x);
+        let q = FakeQuantLinear::weight_only_awq(&dense, &calib, 0.3, 4, 16);
+        let err = rel_err(&q.forward(&x), &dense.forward(&x));
+        // 4-bit group-16 weights alone cost roughly step/sqrt(12) ≈ 8%
+        // relative error on N(0,1) weights; activation outliers add nothing.
+        assert!(err < 0.12, "weight-only error {err}");
+    }
+
+    #[test]
+    fn clipping_helps_gaussian_weights_at_low_bits() {
+        // The classic result behind Atom's clipping choice: for Gaussian
+        // data at 3-4 bits the MSE-optimal clip point is below the sample
+        // maximum (~2.5-3 sigma vs an amax of ~3.5 sigma over wide rows), so
+        // a sub-unit clipping factor reduces quantization error.
+        let mut rng = SeededRng::new(7);
+        let w = rng.normal_matrix(16, 128, 0.0, 1.0);
+        let dense = DenseLinear::new(w.clone());
+        let plain = FakeQuantLinear::clipped_rtn(&dense, 3, 8, 1.0, 1.0);
+        let clipped = FakeQuantLinear::clipped_rtn(&dense, 3, 8, 0.8, 1.0);
+        let e_plain = plain.weight().mse(&w);
+        let e_clip = clipped.weight().mse(&w);
+        assert!(
+            e_clip < e_plain,
+            "clip {e_clip} should beat plain {e_plain} at 3 bits"
+        );
+    }
+
+    #[test]
+    fn premul_fold_preserves_function_without_quantization() {
+        // With 8-bit everything and alpha = 0.5 the smoothed layer must
+        // stay close to the dense layer on ordinary data.
+        let mut rng = SeededRng::new(8);
+        let dense = DenseLinear::new(rng.normal_matrix(8, 16, 0.0, 1.0));
+        let x = rng.normal_matrix(4, 16, 0.0, 1.0);
+        let calib = calib_for(&x);
+        let sq = FakeQuantLinear::smoothquant(&dense, &calib, 0.5, 8, 8);
+        assert!(rel_err(&sq.forward(&x), &dense.forward(&x)) < 0.03);
+    }
+}

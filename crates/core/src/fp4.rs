@@ -1,0 +1,240 @@
+//! FP4 (E2M1) quantization for the Table 4 data-format generality study.
+//!
+//! The paper shows Atom's recipe carries over to the FP4 format of upcoming
+//! hardware (Blackwell, MX): "Atom (FP)" quantizes normal values to FP4
+//! instead of INT4 and keeps the rest of the pipeline. E2M1 has 8 positive
+//! magnitudes `{0, 0.5, 1, 1.5, 2, 3, 4, 6}`; a per-group FP16 scale maps
+//! each group's maximum onto the top code, mirroring the MX shared-scale
+//! idea.
+
+use atom_nn::LinearLayer as _;
+use atom_tensor::f16::round_f16;
+use atom_tensor::Matrix;
+
+/// The 8 non-negative magnitudes representable by FP4 E2M1.
+pub const FP4_GRID: [f32; 8] = [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0];
+
+/// Snaps one value (already divided by the group scale) to the signed FP4
+/// grid.
+pub fn snap_fp4(v: f32) -> f32 {
+    let mag = v.abs();
+    let mut best = FP4_GRID[0];
+    let mut best_d = f32::INFINITY;
+    for &g in &FP4_GRID {
+        let d = (mag - g).abs();
+        if d < best_d {
+            best_d = d;
+            best = g;
+        }
+    }
+    if v < 0.0 {
+        -best
+    } else {
+        best
+    }
+}
+
+/// Fake-quantizes `x` to FP4 with per-group scales: each group of `group`
+/// elements in a row shares an FP16 scale chosen so the group maximum maps
+/// to 6.0 (the top E2M1 code), shrunk by `clip`.
+///
+/// # Panics
+///
+/// Panics if `group == 0`.
+pub fn fake_quantize_fp4(x: &Matrix, group: usize, clip: f32) -> Matrix {
+    assert!(group > 0, "group must be positive");
+    let (rows, cols) = x.shape();
+    let group = group.min(cols.max(1));
+    let mut out = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        let row = x.row(r);
+        let dst = out.row_mut(r);
+        let mut start = 0;
+        while start < cols {
+            let end = (start + group).min(cols);
+            let amax = row[start..end].iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let mut s = amax * clip / 6.0;
+            if s <= 0.0 {
+                s = 1.0;
+            }
+            let s = round_f16(s).max(f32::MIN_POSITIVE);
+            for c in start..end {
+                dst[c] = snap_fp4(row[c] / s) * s;
+            }
+            start = end;
+        }
+    }
+    out
+}
+
+/// Atom's layout executed in the FP4 data format ("Atom (FP)" in Table 4):
+/// reorder, FP4 normal region with per-group scales, INT8 outlier region —
+/// run through fake quantization (there is no integer FP4 pipeline to be
+/// bit-exact against; new hardware executes this natively).
+///
+/// Weights are quantized offline with RTN on the FP4 grid (GPTQ's
+/// grid-aware rounding for non-uniform grids is out of scope, as in the
+/// paper's FP4 appendix setting).
+#[derive(Debug, Clone)]
+pub struct Fp4AtomLinear {
+    plan: crate::calibrate::ReorderPlan,
+    /// Reordered weight with the normal region snapped to FP4 and the
+    /// outlier region snapped to INT8, stored dequantized.
+    weight: Matrix,
+    group: usize,
+    act_clip: f32,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Fp4AtomLinear {
+    /// Quantizes a dense layer into the FP4 Atom layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan width disagrees with the layer.
+    pub fn quantize(
+        dense: &atom_nn::DenseLinear,
+        plan: crate::calibrate::ReorderPlan,
+        group: usize,
+        weight_clip: f32,
+        act_clip: f32,
+    ) -> Self {
+        let k = dense.in_features();
+        assert_eq!(plan.channels(), k, "reorder plan width mismatch");
+        let w = plan.reorder_weight(dense.weight());
+        let k_normal = plan.n_normal();
+        let w_n = fake_quantize_fp4(&w.slice_cols(0, k_normal), group, weight_clip);
+        let weight = if k_normal < k {
+            let w_o = atom_kernels::group::fake_quantize(
+                &w.slice_cols(k_normal, k),
+                atom_kernels::QuantSpec::new(8, group),
+            );
+            w_n.hstack(&w_o)
+        } else {
+            w_n
+        };
+        Fp4AtomLinear {
+            plan,
+            weight,
+            group,
+            act_clip,
+            in_features: k,
+            out_features: dense.out_features(),
+        }
+    }
+}
+
+impl atom_nn::LinearLayer for Fp4AtomLinear {
+    fn forward(&self, x: &Matrix) -> Matrix {
+        let xp = self.plan.reorder_activation(x);
+        let k_normal = self.plan.n_normal();
+        let x_n = fake_quantize_fp4(&xp.slice_cols(0, k_normal), self.group, self.act_clip);
+        let xq = if k_normal < self.in_features {
+            let x_o = atom_kernels::group::fake_quantize(
+                &xp.slice_cols(k_normal, self.in_features),
+                atom_kernels::QuantSpec::new(8, self.group),
+            );
+            x_n.hstack(&x_o)
+        } else {
+            x_n
+        };
+        xq.matmul_nt(&self.weight)
+    }
+
+    fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atom_tensor::SeededRng;
+
+    #[test]
+    fn snap_hits_grid_points() {
+        for &g in &FP4_GRID {
+            assert_eq!(snap_fp4(g), g);
+            assert_eq!(snap_fp4(-g), -g);
+        }
+        assert_eq!(snap_fp4(0.2), 0.0);
+        assert_eq!(snap_fp4(0.3), 0.5);
+        assert_eq!(snap_fp4(5.1), 6.0); // midpoint 5.0 belongs to 4 or 6; 5.1 -> 6
+        assert_eq!(snap_fp4(-2.6), -3.0);
+        assert_eq!(snap_fp4(100.0), 6.0);
+    }
+
+    #[test]
+    fn group_max_is_representable() {
+        let mut rng = SeededRng::new(1);
+        let x = rng.normal_matrix(4, 32, 0.0, 2.0);
+        let q = fake_quantize_fp4(&x, 8, 1.0);
+        // The max of each group maps near itself (onto code 6 * scale).
+        for r in 0..4 {
+            for g in 0..4 {
+                let (s, e) = (g * 8, (g + 1) * 8);
+                let amax_idx = (s..e)
+                    .max_by(|&a, &b| {
+                        x[(r, a)].abs().partial_cmp(&x[(r, b)].abs()).unwrap()
+                    })
+                    .unwrap();
+                let orig = x[(r, amax_idx)];
+                let quant = q[(r, amax_idx)];
+                assert!(
+                    (orig - quant).abs() / orig.abs().max(1e-6) < 0.01,
+                    "group max should be nearly exact: {orig} vs {quant}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fp4_error_comparable_to_int4() {
+        // Paper Table 4: Atom (FP4) is close to Atom (INT4) — the grids
+        // have similar representation capability.
+        let mut rng = SeededRng::new(2);
+        let x = rng.normal_matrix(16, 64, 0.0, 1.0);
+        let fp4 = fake_quantize_fp4(&x, 16, 1.0).mse(&x);
+        let int4 = atom_kernels::group::fake_quantize(
+            &x,
+            atom_kernels::QuantSpec::new(4, 16),
+        )
+        .mse(&x);
+        let ratio = fp4 / int4;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "FP4 ({fp4}) and INT4 ({int4}) should be comparable"
+        );
+    }
+
+    #[test]
+    fn fp4_atom_linear_close_to_dense_with_outliers() {
+        use atom_nn::{DenseLinear, LinearLayer};
+        let mut rng = SeededRng::new(9);
+        let dense = DenseLinear::new(rng.normal_matrix(12, 32, 0.0, 0.5));
+        let mut x = rng.normal_matrix(6, 32, 0.0, 1.0);
+        for r in 0..6 {
+            x[(r, 7)] *= 50.0;
+        }
+        let plan = crate::calibrate::ReorderPlan::from_outlier_set(32, &[7]);
+        let q = Fp4AtomLinear::quantize(&dense, plan, 16, 1.0, 1.0);
+        let exact = dense.forward(&x);
+        let rel = q.forward(&x).sub(&exact).frob_norm() / exact.frob_norm();
+        assert!(rel < 0.15, "FP4 Atom linear error {rel}");
+    }
+
+    #[test]
+    fn zeros_and_ragged_groups() {
+        let x = Matrix::zeros(2, 10);
+        assert_eq!(fake_quantize_fp4(&x, 4, 1.0), x);
+        let mut rng = SeededRng::new(3);
+        let y = rng.normal_matrix(2, 10, 0.0, 1.0);
+        let q = fake_quantize_fp4(&y, 4, 1.0); // groups 4,4,2
+        assert!(q.mse(&y) < 0.1);
+    }
+}

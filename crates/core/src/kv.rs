@@ -1,0 +1,210 @@
+//! Quantized KV-cache (paper §4.4).
+//!
+//! Keys and values are quantized *asymmetrically* at attention-head
+//! granularity as they are appended, and dequantized on load. Plugging this
+//! [`atom_nn::KvStore`] implementation into the unchanged model forward
+//! reproduces the paper's KV-quantization accuracy ablation (Table 3's
+//! final row), and its byte accounting feeds the serving-memory model.
+
+use atom_kernels::attention::QuantizedKvHead;
+use atom_nn::KvStore;
+use atom_tensor::Matrix;
+
+/// KV cache storing each layer/head block in low-bit asymmetric form.
+#[derive(Debug)]
+pub struct QuantizedKvCache {
+    layers: Vec<Vec<QuantizedKvHead>>,
+    kv_dim: usize,
+    head_dim: usize,
+    bits: u8,
+}
+
+impl QuantizedKvCache {
+    /// Creates an empty cache: `layers` layers of `kv_dim / head_dim` heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim` does not divide `kv_dim` or bits are out of
+    /// range.
+    pub fn new(layers: usize, kv_dim: usize, head_dim: usize, bits: u8) -> Self {
+        assert!(head_dim > 0 && kv_dim.is_multiple_of(head_dim), "head layout invalid");
+        let heads = kv_dim / head_dim;
+        QuantizedKvCache {
+            layers: (0..layers)
+                .map(|_| (0..heads).map(|_| QuantizedKvHead::new(head_dim, bits)).collect())
+                .collect(),
+            kv_dim,
+            head_dim,
+            bits,
+        }
+    }
+
+    /// Bit width of the stored cache.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Total packed bytes across all layers and heads.
+    pub fn packed_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .flat_map(|heads| heads.iter().map(|h| h.packed_bytes()))
+            .sum()
+    }
+
+    /// Direct access to one head block (used by the quantized attention
+    /// kernel benches).
+    pub fn head(&self, layer: usize, head: usize) -> &QuantizedKvHead {
+        &self.layers[layer][head]
+    }
+
+    fn materialize(&self, layer: usize, keys: bool) -> Matrix {
+        let heads = &self.layers[layer];
+        let len = heads[0].len();
+        let mut out = Matrix::zeros(len, self.kv_dim);
+        let mut buf = vec![0.0f32; self.head_dim];
+        for (h, block) in heads.iter().enumerate() {
+            let src = if keys { &block.keys } else { &block.values };
+            for t in 0..len {
+                src.dequantize_row_into(t, &mut buf);
+                out.row_mut(t)[h * self.head_dim..(h + 1) * self.head_dim]
+                    .copy_from_slice(&buf);
+            }
+        }
+        out
+    }
+}
+
+impl KvStore for QuantizedKvCache {
+    fn append(&mut self, layer: usize, k: &Matrix, v: &Matrix) {
+        assert_eq!(k.cols(), self.kv_dim, "k width mismatch");
+        assert_eq!(v.cols(), self.kv_dim, "v width mismatch");
+        for (h, block) in self.layers[layer].iter_mut().enumerate() {
+            let ks = k.slice_cols(h * self.head_dim, (h + 1) * self.head_dim);
+            let vs = v.slice_cols(h * self.head_dim, (h + 1) * self.head_dim);
+            block.append(&ks, &vs);
+        }
+    }
+
+    fn keys(&self, layer: usize) -> Matrix {
+        self.materialize(layer, true)
+    }
+
+    fn values(&self, layer: usize) -> Matrix {
+        self.materialize(layer, false)
+    }
+
+    fn len(&self, layer: usize) -> usize {
+        self.layers[layer][0].len()
+    }
+
+    fn clear(&mut self) {
+        for heads in &mut self.layers {
+            for h in heads.iter_mut() {
+                *h = QuantizedKvHead::new(self.head_dim, self.bits);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atom_nn::{Fp32KvCache, LlamaModel, ModelConfig};
+    use atom_tensor::SeededRng;
+
+    #[test]
+    fn append_and_materialize_roundtrip() {
+        let mut rng = SeededRng::new(1);
+        let mut cache = QuantizedKvCache::new(2, 16, 8, 8);
+        let k = rng.normal_matrix(5, 16, 0.0, 1.0);
+        let v = rng.normal_matrix(5, 16, 0.0, 1.0);
+        cache.append(0, &k, &v);
+        assert_eq!(cache.len(0), 5);
+        assert_eq!(cache.len(1), 0);
+        let km = cache.keys(0);
+        assert_eq!(km.shape(), (5, 16));
+        let rel = km.sub(&k).frob_norm() / k.frob_norm();
+        assert!(rel < 0.02, "INT8 kv roundtrip error {rel}");
+    }
+
+    #[test]
+    fn int4_cache_coarser_than_int8() {
+        let mut rng = SeededRng::new(2);
+        let k = rng.normal_matrix(10, 16, 0.0, 1.0);
+        let v = rng.normal_matrix(10, 16, 0.0, 1.0);
+        let err = |bits| {
+            let mut c = QuantizedKvCache::new(1, 16, 8, bits);
+            c.append(0, &k, &v);
+            (c.values(0).sub(&v).frob_norm() / v.frob_norm()) as f64
+        };
+        assert!(err(4) > err(8));
+        assert!(err(4) < 0.2);
+    }
+
+    #[test]
+    fn model_runs_with_quantized_cache() {
+        let config = ModelConfig {
+            dim: 32,
+            layers: 2,
+            heads: 4,
+            kv_heads: 4,
+            ffn_dim: 64,
+            ..ModelConfig::default()
+        };
+        let model = LlamaModel::random_init(config, 3);
+        let tokens = [1u16, 5, 9, 13, 2];
+
+        let mut fp = Fp32KvCache::new(config.layers, config.kv_dim());
+        let exact = model.forward(&tokens, &mut fp);
+
+        let mut q = QuantizedKvCache::new(config.layers, config.kv_dim(), config.head_dim(), 8);
+        let approx = model.forward(&tokens, &mut q);
+        let rel = approx.sub(&exact).frob_norm() / exact.frob_norm();
+        assert!(rel < 0.05, "INT8 KV cache changed logits too much: {rel}");
+    }
+
+    #[test]
+    fn memory_shrinks_with_bits() {
+        let mut rng = SeededRng::new(4);
+        let k = rng.normal_matrix(64, 32, 0.0, 1.0);
+        let v = rng.normal_matrix(64, 32, 0.0, 1.0);
+        let bytes = |bits| {
+            let mut c = QuantizedKvCache::new(1, 32, 8, bits);
+            c.append(0, &k, &v);
+            c.packed_bytes()
+        };
+        assert!(bytes(4) < bytes(8));
+        assert!(bytes(2) < bytes(4));
+    }
+
+    #[test]
+    fn clear_resets_all_layers() {
+        let mut c = QuantizedKvCache::new(2, 8, 4, 4);
+        c.append(0, &Matrix::full(2, 8, 1.0), &Matrix::full(2, 8, 1.0));
+        c.append(1, &Matrix::full(3, 8, 1.0), &Matrix::full(3, 8, 1.0));
+        c.clear();
+        assert_eq!(c.len(0), 0);
+        assert_eq!(c.len(1), 0);
+    }
+
+    #[test]
+    fn incremental_decode_with_quant_cache_is_stable() {
+        let config = ModelConfig {
+            dim: 32,
+            layers: 1,
+            heads: 4,
+            kv_heads: 4,
+            ffn_dim: 48,
+            ..ModelConfig::default()
+        };
+        let model = LlamaModel::random_init(config, 5);
+        let mut cache = QuantizedKvCache::new(1, config.kv_dim(), config.head_dim(), 8);
+        let mut last = Matrix::zeros(0, 0);
+        for &t in &[3u16, 7, 11, 15] {
+            last = model.forward(&[t], &mut cache);
+        }
+        assert!(last.as_slice().iter().all(|v| v.is_finite()));
+        assert_eq!(cache.len(0), 4);
+    }
+}

@@ -1,0 +1,126 @@
+//! MX (microscaling) data format — the §6 outlook.
+//!
+//! The paper closes by noting that "group quantization with the MX format
+//! is supported by NVIDIA Blackwell GPUs. We expect this hardware feature
+//! can mitigate the group quantization overhead of Atom" (§5.4.2's
+//! 900→770 TOPS fusion cost). This module implements the OCP MX idea that
+//! makes that possible: instead of an arbitrary FP16 scale per group, MX
+//! uses a *power-of-two* shared scale (E8M0) per fixed group of 32
+//! elements, so dequantization is an exponent add the tensor core applies
+//! in-pipe rather than a CUDA-core FMA epilogue.
+//!
+//! [`fake_quantize_mxfp4`] is the MXFP4 codec (FP4 E2M1 payload, E8M0
+//! scale); the `ablation_mx` bench binary models the §6 expectation on a
+//! Blackwell-like profile by removing the group-fusion efficiency penalty.
+
+use crate::fp4::snap_fp4;
+use atom_tensor::Matrix;
+
+/// The MX specification's fixed group size.
+pub const MX_GROUP: usize = 32;
+
+/// Snaps a positive scale to the nearest power of two at or above
+/// `value / 6` such that the group maximum stays representable (E2M1's top
+/// code is 6.0). Returns the exponent-scale as an `f32`.
+///
+/// E8M0 has no mantissa: the scale is exactly `2^e` for an 8-bit biased
+/// exponent, so dequantization is an exponent addition.
+pub fn e8m0_scale_for(amax: f32) -> f32 {
+    if amax <= 0.0 {
+        return 1.0;
+    }
+    // Smallest power of two >= amax / 6 keeps the max inside the grid.
+    let target = amax / 6.0;
+    let e = target.log2().ceil();
+    // E8M0 exponent range mirrors f32's.
+    2.0f32.powi(e.clamp(-126.0, 127.0) as i32)
+}
+
+/// Fake-quantizes `x` to MXFP4: FP4 E2M1 payloads with one shared E8M0
+/// power-of-two scale per group of [`MX_GROUP`] elements (ragged final
+/// group allowed).
+pub fn fake_quantize_mxfp4(x: &Matrix) -> Matrix {
+    let (rows, cols) = x.shape();
+    let mut out = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        let row = x.row(r);
+        let dst = out.row_mut(r);
+        let mut start = 0;
+        while start < cols {
+            let end = (start + MX_GROUP).min(cols);
+            let amax = row[start..end].iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let s = e8m0_scale_for(amax);
+            for c in start..end {
+                dst[c] = snap_fp4(row[c] / s) * s;
+            }
+            start = end;
+        }
+    }
+    out
+}
+
+/// Effective bits per element of MXFP4: a 4-bit payload plus one 8-bit
+/// shared scale per 32 elements = 4.25 bits — identical to Atom's INT4 +
+/// FP16-scale-per-128 accounting, which is why the paper expects MX to be a
+/// drop-in efficiency win.
+pub fn mxfp4_effective_bits() -> f64 {
+    4.0 + 8.0 / MX_GROUP as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atom_tensor::SeededRng;
+
+    #[test]
+    fn scales_are_powers_of_two() {
+        for amax in [0.01f32, 0.5, 1.0, 5.9, 6.0, 6.1, 100.0, 1e4] {
+            let s = e8m0_scale_for(amax);
+            assert!(s > 0.0);
+            let e = s.log2();
+            assert!((e - e.round()).abs() < 1e-6, "scale {s} not a power of two");
+            // The group max must stay representable: amax/s <= 6.
+            assert!(amax / s <= 6.0 + 1e-4, "amax {amax} overflows at scale {s}");
+        }
+        assert_eq!(e8m0_scale_for(0.0), 1.0);
+    }
+
+    #[test]
+    fn mxfp4_roundtrip_quality_near_fp16_scaled_fp4() {
+        // The power-of-two scale restriction costs at most one binade of
+        // headroom (a factor <= 2 on the scale), so MXFP4 error is within
+        // ~2x of the FP16-scaled FP4 path.
+        let mut rng = SeededRng::new(1);
+        let x = rng.normal_matrix(8, 128, 0.0, 1.5);
+        let mx = fake_quantize_mxfp4(&x).mse(&x);
+        let fp = crate::fp4::fake_quantize_fp4(&x, MX_GROUP, 1.0).mse(&x);
+        assert!(mx < fp * 4.0, "mx {mx} vs fp4 {fp}");
+        assert!(mx > 0.0);
+    }
+
+    #[test]
+    fn values_land_on_scaled_grid() {
+        let mut rng = SeededRng::new(2);
+        let x = rng.normal_matrix(2, 64, 0.0, 3.0);
+        let q = fake_quantize_mxfp4(&x);
+        for r in 0..2 {
+            for g in 0..2 {
+                let (s_col, e_col) = (g * 32, (g + 1) * 32);
+                let amax = x.row(r)[s_col..e_col]
+                    .iter()
+                    .fold(0.0f32, |m, &v| m.max(v.abs()));
+                let s = e8m0_scale_for(amax);
+                for c in s_col..e_col {
+                    let code = q[(r, c)] / s;
+                    assert_eq!(snap_fp4(code), code, "off grid at ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn effective_bits_match_paper_accounting() {
+        assert!((mxfp4_effective_bits() - 4.25).abs() < 1e-12);
+    }
+
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the core quantization algorithms.
+
+use atom::calibrate::ReorderPlan;
+use atom::fp4::{fake_quantize_fp4, snap_fp4, FP4_GRID};
+use atom::gptq::{gptq_quantize, rtn_quantize, GptqConfig};
+use atom_kernels::QuantSpec;
+use atom_tensor::SeededRng;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn reorder_plan_is_permutation(channels in 2usize..64, n_out in 0usize..8, seed in 0u64..500) {
+        let n_out = n_out.min(channels);
+        let mut rng = SeededRng::new(seed);
+        let outliers = rng.sample_indices(channels, n_out);
+        let plan = ReorderPlan::from_outlier_set(channels, &outliers);
+        let mut seen = plan.perm().to_vec();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..channels).collect::<Vec<_>>());
+        prop_assert_eq!(plan.n_outliers(), n_out);
+        // The trailing positions carry exactly the outlier set (in order).
+        prop_assert_eq!(&plan.perm()[channels - n_out..], &outliers[..]);
+    }
+
+    #[test]
+    fn reorder_preserves_matmul(seed in 0u64..300, k in 4usize..24, n_out in 0usize..4) {
+        let n_out = n_out.min(k / 2);
+        let mut rng = SeededRng::new(seed);
+        let outliers = rng.sample_indices(k, n_out);
+        let plan = ReorderPlan::from_outlier_set(k, &outliers);
+        let x = rng.normal_matrix(3, k, 0.0, 1.0);
+        let w = rng.normal_matrix(5, k, 0.0, 1.0);
+        let before = x.matmul_nt(&w);
+        let after = plan.reorder_activation(&x).matmul_nt(&plan.reorder_weight(&w));
+        for (a, b) in before.as_slice().iter().zip(after.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn inverse_perm_roundtrips(channels in 2usize..32, seed in 0u64..200) {
+        let mut rng = SeededRng::new(seed);
+        let n_out = rng.below(channels / 2 + 1);
+        let outliers = rng.sample_indices(channels, n_out);
+        let plan = ReorderPlan::from_outlier_set(channels, &outliers);
+        let x = rng.normal_matrix(2, channels, 0.0, 1.0);
+        let round = plan.reorder_activation(&x).permute_cols(&plan.inverse());
+        prop_assert_eq!(round, x);
+    }
+
+    #[test]
+    fn gptq_identity_gram_equals_rtn(seed in 0u64..200, n in 1usize..8, k in 4usize..32) {
+        let mut rng = SeededRng::new(seed);
+        let w = rng.normal_matrix(n, k, 0.0, 1.0);
+        let cfg = GptqConfig::uniform(QuantSpec::new(4, 8));
+        let g = gptq_quantize(&w, None, &cfg).dequantize();
+        let r = rtn_quantize(&w, &cfg).dequantize();
+        for (a, b) in g.as_slice().iter().zip(r.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gptq_quantized_values_on_grid(seed in 0u64..100) {
+        // Every dequantized weight must be an integer multiple of its
+        // group's scale.
+        let mut rng = SeededRng::new(seed);
+        let w = rng.normal_matrix(4, 16, 0.0, 1.0);
+        let x = rng.normal_matrix(64, 16, 0.0, 1.0);
+        let mut gram = vec![0.0f64; 16 * 16];
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            for i in 0..16 {
+                for j in 0..16 {
+                    gram[i * 16 + j] += row[i] as f64 * row[j] as f64;
+                }
+            }
+        }
+        let cfg = GptqConfig::uniform(QuantSpec::new(4, 8));
+        let q = gptq_quantize(&w, Some(&gram), &cfg);
+        let d = q.normal.dequantize();
+        for r in 0..4 {
+            for c in 0..16 {
+                let s = q.normal.scales()[(r, c / 8)];
+                let ratio = d[(r, c)] / s;
+                prop_assert!((ratio - ratio.round()).abs() < 1e-3, "off grid: {ratio}");
+                prop_assert!((-8.0..=7.0).contains(&ratio.round()));
+            }
+        }
+    }
+
+    #[test]
+    fn fp4_snap_is_idempotent_and_nearest(v in -20.0f32..20.0) {
+        let s = snap_fp4(v);
+        prop_assert_eq!(snap_fp4(s), s);
+        // s must be the nearest grid point (ties allowed either way).
+        let best = FP4_GRID
+            .iter()
+            .map(|&g| (v.abs() - g).abs())
+            .fold(f32::INFINITY, f32::min);
+        prop_assert!(((v.abs() - s.abs()).abs() - best).abs() < 1e-6);
+        prop_assert_eq!(s < 0.0, v < 0.0 && s != 0.0);
+    }
+
+    #[test]
+    fn fp4_group_error_bounded(seed in 0u64..200, cols in 4usize..32) {
+        let mut rng = SeededRng::new(seed);
+        let x = rng.normal_matrix(3, cols, 0.0, 2.0);
+        let q = fake_quantize_fp4(&x, 8, 1.0);
+        // FP4 with a per-group max-to-6 scale: the largest grid gap is 2.0
+        // (between codes 4 and 6), so the worst-case error is half that gap
+        // times the scale, i.e. amax * (2/2) / 6 = amax / 6.
+        for r in 0..x.rows() {
+            for c in 0..cols {
+                let group_start = (c / 8) * 8;
+                let group_end = (group_start + 8).min(cols);
+                let amax = x.row(r)[group_start..group_end]
+                    .iter()
+                    .fold(0.0f32, |m, &v| m.max(v.abs()));
+                let err = (x[(r, c)] - q[(r, c)]).abs();
+                prop_assert!(err <= amax / 6.0 + amax * 2e-3 + 1e-6, "err {err} amax {amax}");
+            }
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! Stochastic-grammar corpora standing in for WikiText2, PTB, and C4.
+//!
+//! Each corpus style draws sentences from a probabilistic grammar over a
+//! shared [`lexicon`]: a fixed table of entities with classes and
+//! characteristic actions. The grammars differ in framing (encyclopedic
+//! prose, financial newswire, web mix), which gives the three "datasets"
+//! genuinely different token statistics — like the perplexity spread between
+//! WikiText2, PTB, and C4 in the paper — while the underlying facts stay
+//! consistent so the zero-shot tasks in [`crate::tasks`] are learnable from
+//! any of them.
+
+use atom_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// Shared entity/fact tables used by corpora and zero-shot tasks.
+pub mod lexicon {
+    /// One entity: surface form, class noun, characteristic action phrase,
+    /// and the tool-use purpose for affordance tasks (empty when
+    /// inapplicable).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Entity {
+        /// Surface form, e.g. `"robin"`.
+        pub name: &'static str,
+        /// Class noun, e.g. `"bird"`.
+        pub class: &'static str,
+        /// Characteristic action, e.g. `"sings at dawn"`.
+        pub action: &'static str,
+        /// Purpose for affordance tasks, e.g. `"strike a nail"`.
+        pub purpose: &'static str,
+    }
+
+    /// Animals, instruments, tools, vehicles, places — enough classes that
+    /// wrong options are plausible but learnably wrong.
+    pub const ENTITIES: &[Entity] = &[
+        Entity { name: "robin", class: "bird", action: "sings at dawn", purpose: "" },
+        Entity { name: "falcon", class: "bird", action: "hunts from the sky", purpose: "" },
+        Entity { name: "heron", class: "bird", action: "wades in shallow water", purpose: "" },
+        Entity { name: "salmon", class: "fish", action: "swims upstream", purpose: "" },
+        Entity { name: "trout", class: "fish", action: "hides under stones", purpose: "" },
+        Entity { name: "shark", class: "fish", action: "patrols the reef", purpose: "" },
+        Entity { name: "wolf", class: "mammal", action: "howls at night", purpose: "" },
+        Entity { name: "otter", class: "mammal", action: "floats on its back", purpose: "" },
+        Entity { name: "badger", class: "mammal", action: "digs deep burrows", purpose: "" },
+        Entity { name: "hammer", class: "tool", action: "drives nails into wood", purpose: "strike a nail" },
+        Entity { name: "saw", class: "tool", action: "cuts planks to length", purpose: "cut a plank" },
+        Entity { name: "chisel", class: "tool", action: "shaves thin curls of wood", purpose: "carve a joint" },
+        Entity { name: "wrench", class: "tool", action: "turns stubborn bolts", purpose: "loosen a bolt" },
+        Entity { name: "violin", class: "instrument", action: "plays a high melody", purpose: "play a melody" },
+        Entity { name: "cello", class: "instrument", action: "hums a low line", purpose: "play a bass line" },
+        Entity { name: "drum", class: "instrument", action: "keeps a steady beat", purpose: "keep the beat" },
+        Entity { name: "flute", class: "instrument", action: "whistles a bright tune", purpose: "play a bright tune" },
+        Entity { name: "barge", class: "vessel", action: "carries grain down the river", purpose: "move heavy cargo" },
+        Entity { name: "sloop", class: "vessel", action: "leans into the wind", purpose: "sail the bay" },
+        Entity { name: "ferry", class: "vessel", action: "crosses the strait each hour", purpose: "cross the strait" },
+        Entity { name: "mill", class: "building", action: "grinds wheat into flour", purpose: "" },
+        Entity { name: "forge", class: "building", action: "glows with hot iron", purpose: "" },
+        Entity { name: "granary", class: "building", action: "stores the autumn harvest", purpose: "" },
+        Entity { name: "lighthouse", class: "building", action: "warns ships off the rocks", purpose: "" },
+    ];
+
+    /// Adjectives used as filler modifiers.
+    pub const ADJECTIVES: &[&str] = &[
+        "old", "small", "grey", "quiet", "busy", "narrow", "famous", "common", "northern",
+        "wooden", "heavy", "swift", "patient", "careful", "bright",
+    ];
+
+    /// Place names for prose variety.
+    pub const PLACES: &[&str] = &[
+        "the valley", "the harbor", "the north field", "the old town", "the river bend",
+        "the market square", "the east ridge", "the lower meadow",
+    ];
+
+    /// Company-ish names for the PTB-style newswire.
+    pub const FIRMS: &[&str] = &[
+        "harbor freight group", "north mills corp", "granary holdings", "ridge line partners",
+        "blue heron logistics", "ferry lane industries", "forge works inc", "meadow grain co",
+    ];
+
+    /// Quarter names for the newswire.
+    pub const QUARTERS: &[&str] = &["the first quarter", "the second quarter", "the third quarter", "the fourth quarter"];
+
+    /// Looks up an entity by name.
+    pub fn entity(name: &str) -> Option<&'static Entity> {
+        ENTITIES.iter().find(|e| e.name == name)
+    }
+
+    /// All distinct class nouns, in first-appearance order.
+    pub fn classes() -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for e in ENTITIES {
+            if !out.contains(&e.class) {
+                out.push(e.class);
+            }
+        }
+        out
+    }
+}
+
+/// Which synthetic corpus to generate; each stands in for one of the paper's
+/// perplexity datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CorpusStyle {
+    /// Encyclopedic prose with section headings (WikiText2 stand-in).
+    Wiki,
+    /// Financial newswire with numbers and firm names (PTB stand-in).
+    Ptb,
+    /// Mixed web text: questions, imperatives, lists (C4 stand-in).
+    C4,
+}
+
+impl CorpusStyle {
+    /// All styles in paper order.
+    pub fn all() -> [CorpusStyle; 3] {
+        [CorpusStyle::Wiki, CorpusStyle::Ptb, CorpusStyle::C4]
+    }
+
+    /// Short dataset label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            CorpusStyle::Wiki => "wiki",
+            CorpusStyle::Ptb => "ptb",
+            CorpusStyle::C4 => "c4",
+        }
+    }
+}
+
+impl std::fmt::Display for CorpusStyle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A generated corpus with its style and seed.
+///
+/// # Example
+///
+/// ```
+/// use atom_data::{Corpus, CorpusStyle};
+///
+/// let c = Corpus::generate(CorpusStyle::Ptb, 5_000, 1);
+/// assert!(c.text().len() >= 5_000);
+/// let (train, valid) = c.split(0.9);
+/// assert!(train.len() > valid.len());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    style: CorpusStyle,
+    seed: u64,
+    text: String,
+}
+
+impl Corpus {
+    /// Generates at least `target_chars` characters of `style` text from
+    /// `seed`.
+    pub fn generate(style: CorpusStyle, target_chars: usize, seed: u64) -> Self {
+        let mut rng = SeededRng::new(seed ^ 0xA70A_D474 ^ (style as u64) << 32);
+        let mut text = String::with_capacity(target_chars + 256);
+        let mut gen = SentenceGen::new(style);
+        while text.len() < target_chars {
+            gen.emit_block(&mut rng, &mut text);
+        }
+        Corpus { style, seed, text }
+    }
+
+    /// The corpus style.
+    pub fn style(&self) -> CorpusStyle {
+        self.style
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The full text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Splits into `(train, validation)` at the sentence boundary closest to
+    /// `train_frac` of the text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_frac` is not in `(0, 1)`.
+    pub fn split(&self, train_frac: f64) -> (&str, &str) {
+        assert!(
+            train_frac > 0.0 && train_frac < 1.0,
+            "train_frac must be in (0, 1)"
+        );
+        let target = (self.text.len() as f64 * train_frac) as usize;
+        // Find the next sentence end at or after target.
+        let boundary = self.text[target.min(self.text.len())..]
+            .find(". ")
+            .map(|i| target + i + 2)
+            .unwrap_or(self.text.len());
+        self.text.split_at(boundary)
+    }
+
+    /// Samples `n` random sentences for quantization calibration, mirroring
+    /// the paper's "128 randomly sampled sentences from WikiText2" (§5.1).
+    pub fn calibration_sentences(&self, n: usize, seed: u64) -> Vec<String> {
+        let sentences: Vec<&str> = self
+            .text
+            .split_inclusive(". ")
+            .filter(|s| s.len() > 16)
+            .collect();
+        let mut rng = SeededRng::new(seed ^ 0xCA11_B8A7);
+        (0..n)
+            .map(|_| sentences[rng.below(sentences.len().max(1))].to_string())
+            .collect()
+    }
+}
+
+/// Internal sentence generator; one per corpus.
+struct SentenceGen {
+    style: CorpusStyle,
+}
+
+impl SentenceGen {
+    fn new(style: CorpusStyle) -> Self {
+        SentenceGen { style }
+    }
+
+    /// Emits one block (a heading + paragraph, a news item, or a web snippet).
+    fn emit_block(&mut self, rng: &mut SeededRng, out: &mut String) {
+        match self.style {
+            CorpusStyle::Wiki => self.wiki_block(rng, out),
+            CorpusStyle::Ptb => self.ptb_block(rng, out),
+            CorpusStyle::C4 => self.c4_block(rng, out),
+        }
+    }
+
+    fn pick_entity(&self, rng: &mut SeededRng) -> &'static lexicon::Entity {
+        // Mildly skewed weighting: natural text is Zipfian, but the tail
+        // must stay frequent enough that a small model can learn *every*
+        // entity's facts (the zero-shot tasks sample entities uniformly).
+        let n = lexicon::ENTITIES.len();
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).sqrt()).collect();
+        &lexicon::ENTITIES[rng.weighted_index(&weights)]
+    }
+
+    fn adjective(&self, rng: &mut SeededRng) -> &'static str {
+        lexicon::ADJECTIVES[rng.below(lexicon::ADJECTIVES.len())]
+    }
+
+    fn place(&self, rng: &mut SeededRng) -> &'static str {
+        lexicon::PLACES[rng.below(lexicon::PLACES.len())]
+    }
+
+    /// Core fact sentences shared by all styles so zero-shot tasks are
+    /// learnable from any corpus. `about` pins the subject (wiki blocks
+    /// pass their topic entity so each article actually teaches its topic).
+    fn fact_sentences(&self, rng: &mut SeededRng, out: &mut String, about: Option<&'static lexicon::Entity>) {
+        let e = about.unwrap_or_else(|| self.pick_entity(rng));
+        match rng.below(5) {
+            0 => {
+                out.push_str(&format!("the {} is a {} . ", e.name, e.class));
+            }
+            1 => {
+                out.push_str(&format!("the {} {} . ", e.name, e.action));
+            }
+            2 => {
+                // BoolQ-style q/a pairs, both polarities.
+                let truthy = rng.below(2) == 0;
+                let class = if truthy {
+                    e.class
+                } else {
+                    let classes = lexicon::classes();
+                    let mut other = classes[rng.below(classes.len())];
+                    while other == e.class {
+                        other = classes[rng.below(classes.len())];
+                    }
+                    other
+                };
+                let ans = if truthy { "yes" } else { "no" };
+                out.push_str(&format!("is the {} a {} ? {} . ", e.name, class, ans));
+            }
+            3 => {
+                if !e.purpose.is_empty() {
+                    out.push_str(&format!("to {} , use the {} . ", e.purpose, e.name));
+                } else {
+                    out.push_str(&format!(
+                        "the {} {} is a {} . ",
+                        self.adjective(rng),
+                        e.name,
+                        e.class
+                    ));
+                }
+            }
+            _ => {
+                // Number agreement pairs (WinoGrande-style signal): plural
+                // subjects take the bare verb form.
+                let verb = e.action.split(' ').next().unwrap_or("stands");
+                let plural = plural_of(verb);
+                out.push_str(&format!(
+                    "one {} {} while two {}s {} . ",
+                    e.name, verb, e.name, plural
+                ));
+            }
+        }
+    }
+
+    fn wiki_block(&mut self, rng: &mut SeededRng, out: &mut String) {
+        let e = self.pick_entity(rng);
+        out.push_str(&format!("= the {} =\n", e.name));
+        let sentences = 5 + rng.below(5);
+        for _ in 0..sentences {
+            match rng.below(5) {
+                // Half the sentences teach facts, mostly about the topic.
+                0 | 1 => {
+                    let about = if rng.below(10) < 7 { Some(e) } else { None };
+                    self.fact_sentences(rng, out, about);
+                }
+                2 => out.push_str(&format!(
+                    "the {} {} is found near {} . ",
+                    self.adjective(rng),
+                    e.name,
+                    self.place(rng)
+                )),
+                3 => out.push_str(&format!(
+                    "early records describe the {} as a {} {} . ",
+                    e.name,
+                    self.adjective(rng),
+                    e.class
+                )),
+                _ => {
+                    let e2 = self.pick_entity(rng);
+                    out.push_str(&format!(
+                        "unlike the {} , the {} {} . ",
+                        e2.name, e.name, e.action
+                    ));
+                }
+            }
+        }
+        out.push('\n');
+    }
+
+    fn ptb_block(&mut self, rng: &mut SeededRng, out: &mut String) {
+        let firm = lexicon::FIRMS[rng.below(lexicon::FIRMS.len())];
+        let q = lexicon::QUARTERS[rng.below(lexicon::QUARTERS.len())];
+        let n = 5 + rng.below(95);
+        match rng.below(4) {
+            0 => out.push_str(&format!(
+                "{} said it expects {} million in revenue for {} . ",
+                firm, n, q
+            )),
+            1 => out.push_str(&format!(
+                "analysts at {} raised estimates by {} percent . ",
+                firm, n
+            )),
+            2 => {
+                let e = self.pick_entity(rng);
+                out.push_str(&format!(
+                    "{} shipped {} {} units in {} . ",
+                    firm, n, e.name, q
+                ));
+            }
+            _ => self.fact_sentences(rng, out, None),
+        }
+        if rng.below(6) == 0 {
+            out.push('\n');
+        }
+    }
+
+    fn c4_block(&mut self, rng: &mut SeededRng, out: &mut String) {
+        match rng.below(5) {
+            0 => {
+                let e = self.pick_entity(rng);
+                out.push_str(&format!(
+                    "click here to learn more about the {} and other {}s . ",
+                    e.name, e.class
+                ));
+            }
+            1 => {
+                let e = self.pick_entity(rng);
+                out.push_str(&format!(
+                    "top {} picks :\n- the {} {}\n- the {} {}\n",
+                    e.class,
+                    self.adjective(rng),
+                    e.name,
+                    self.adjective(rng),
+                    e.name
+                ));
+            }
+            2 => {
+                let e = self.pick_entity(rng);
+                out.push_str(&format!("what does the {} do ? it {} . ", e.name, e.action));
+            }
+            _ => self.fact_sentences(rng, out, None),
+        }
+    }
+}
+
+/// Third-person-singular to plural verb form, exposed for the agreement
+/// task in [`crate::tasks`] so task answers match corpus usage exactly.
+pub fn plural_for_tasks(verb: &str) -> String {
+    plural_of(verb)
+}
+
+/// Third-person-singular to plural verb form ("sings" -> "sing").
+fn plural_of(verb: &str) -> String {
+    if let Some(stripped) = verb.strip_suffix("ies") {
+        format!("{stripped}y")
+    } else if let Some(stripped) = verb.strip_suffix('s') {
+        stripped.to_string()
+    } else {
+        verb.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_reaches_target_length() {
+        for style in CorpusStyle::all() {
+            let c = Corpus::generate(style, 10_000, 3);
+            assert!(c.text().len() >= 10_000, "{style} too short");
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = Corpus::generate(CorpusStyle::Wiki, 2_000, 9);
+        let b = Corpus::generate(CorpusStyle::Wiki, 2_000, 9);
+        assert_eq!(a.text(), b.text());
+        let c = Corpus::generate(CorpusStyle::Wiki, 2_000, 10);
+        assert_ne!(a.text(), c.text());
+    }
+
+    #[test]
+    fn styles_differ() {
+        let w = Corpus::generate(CorpusStyle::Wiki, 2_000, 1);
+        let p = Corpus::generate(CorpusStyle::Ptb, 2_000, 1);
+        assert_ne!(w.text(), p.text());
+        assert!(w.text().contains("= the"));
+        assert!(p.text().contains("million"));
+    }
+
+    #[test]
+    fn split_is_clean() {
+        let c = Corpus::generate(CorpusStyle::C4, 8_000, 2);
+        let (train, valid) = c.split(0.9);
+        assert_eq!(train.len() + valid.len(), c.text().len());
+        assert!(train.len() > 6 * valid.len());
+        assert!(train.ends_with(". ") || valid.is_empty());
+    }
+
+    #[test]
+    fn calibration_sentences_sampled() {
+        let c = Corpus::generate(CorpusStyle::Wiki, 20_000, 4);
+        let sents = c.calibration_sentences(128, 7);
+        assert_eq!(sents.len(), 128);
+        assert!(sents.iter().all(|s| s.len() > 16));
+        // Deterministic resampling.
+        assert_eq!(sents, c.calibration_sentences(128, 7));
+    }
+
+    #[test]
+    fn text_is_in_vocabulary() {
+        let tok = crate::Tokenizer::new();
+        for style in CorpusStyle::all() {
+            let c = Corpus::generate(style, 5_000, 5);
+            assert_eq!(tok.decode(&tok.encode(c.text())), c.text());
+        }
+    }
+
+    #[test]
+    fn lexicon_lookup() {
+        let e = lexicon::entity("hammer").unwrap();
+        assert_eq!(e.class, "tool");
+        assert!(lexicon::entity("nonesuch").is_none());
+        assert!(lexicon::classes().len() >= 5);
+    }
+
+    #[test]
+    fn plural_of_verbs() {
+        assert_eq!(plural_of("sings"), "sing");
+        assert_eq!(plural_of("carries"), "carry");
+        assert_eq!(plural_of("run"), "run");
+    }
+}

@@ -1,0 +1,365 @@
+//! Six likelihood-scored zero-shot tasks standing in for the paper's lm-eval
+//! suite (PIQA, ARC-e, ARC-c, BoolQ, HellaSwag, WinoGrande).
+//!
+//! Each task item is a prompt plus a set of textual options, exactly one of
+//! which is correct given the facts baked into [`crate::corpus::lexicon`].
+//! Scoring follows lm-eval's multiple-choice rule: the model scores each
+//! `prompt + option` continuation by length-normalized log-likelihood and
+//! picks the best option. A model that has learned the corpus regularities
+//! scores far above chance; a badly quantized model collapses toward chance —
+//! the same dynamic Table 1 of the paper shows between Atom and the RTN/
+//! SmoothQuant baselines at W4A4.
+
+use crate::corpus::lexicon::{self, Entity};
+use atom_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// The six task families, named for the lm-eval tasks they stand in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Affordance: "to strike a nail , use the" → tool (PIQA stand-in).
+    Affordance,
+    /// Class membership, easy distractors (ARC-e stand-in).
+    ClassEasy,
+    /// Class membership, same-category hard distractors (ARC-c stand-in).
+    ClassHard,
+    /// Yes/no fact verification (BoolQ stand-in).
+    BoolQa,
+    /// Plausible continuation of an entity description (HellaSwag stand-in).
+    Continuation,
+    /// Subject–verb number agreement (WinoGrande stand-in).
+    Agreement,
+}
+
+impl TaskKind {
+    /// All kinds in Table 1 column order.
+    pub fn all() -> [TaskKind; 6] {
+        [
+            TaskKind::Affordance,
+            TaskKind::ClassEasy,
+            TaskKind::ClassHard,
+            TaskKind::BoolQa,
+            TaskKind::Continuation,
+            TaskKind::Agreement,
+        ]
+    }
+
+    /// Column label used in Table 1 output.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskKind::Affordance => "PIQA*",
+            TaskKind::ClassEasy => "ARC-e*",
+            TaskKind::ClassHard => "ARC-c*",
+            TaskKind::BoolQa => "BoolQ*",
+            TaskKind::Continuation => "HellaSw*",
+            TaskKind::Agreement => "WinoGr*",
+        }
+    }
+}
+
+impl std::fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One multiple-choice item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Task {
+    /// Task family.
+    pub kind: TaskKind,
+    /// Prompt text the options continue.
+    pub prompt: String,
+    /// Candidate continuations.
+    pub options: Vec<String>,
+    /// Index of the correct option.
+    pub answer: usize,
+}
+
+impl Task {
+    /// Number of options (chance accuracy is `1 / num_options`).
+    pub fn num_options(&self) -> usize {
+        self.options.len()
+    }
+}
+
+/// A generated suite of task items, grouped by kind.
+///
+/// # Example
+///
+/// ```
+/// use atom_data::{TaskKind, TaskSuite};
+///
+/// let suite = TaskSuite::generate(10, 42);
+/// assert_eq!(suite.items(TaskKind::BoolQa).len(), 10);
+/// for t in suite.items(TaskKind::BoolQa) {
+///     assert!(t.answer < t.options.len());
+/// }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskSuite {
+    items_per_kind: usize,
+    items: Vec<Task>,
+}
+
+impl TaskSuite {
+    /// Generates `items_per_kind` items for each of the six kinds.
+    pub fn generate(items_per_kind: usize, seed: u64) -> Self {
+        let mut rng = SeededRng::new(seed ^ 0x7A5C_0DE5);
+        let mut items = Vec::with_capacity(items_per_kind * 6);
+        for kind in TaskKind::all() {
+            for _ in 0..items_per_kind {
+                items.push(make_item(kind, &mut rng));
+            }
+        }
+        TaskSuite {
+            items_per_kind,
+            items,
+        }
+    }
+
+    /// All items across all kinds.
+    pub fn all_items(&self) -> &[Task] {
+        &self.items
+    }
+
+    /// Items of one kind.
+    pub fn items(&self, kind: TaskKind) -> Vec<&Task> {
+        self.items.iter().filter(|t| t.kind == kind).collect()
+    }
+
+    /// Number of items per kind.
+    pub fn items_per_kind(&self) -> usize {
+        self.items_per_kind
+    }
+}
+
+fn pick(rng: &mut SeededRng) -> &'static Entity {
+    &lexicon::ENTITIES[rng.below(lexicon::ENTITIES.len())]
+}
+
+fn pick_with_purpose(rng: &mut SeededRng) -> &'static Entity {
+    loop {
+        let e = pick(rng);
+        if !e.purpose.is_empty() {
+            return e;
+        }
+    }
+}
+
+fn distinct_class(rng: &mut SeededRng, not: &str) -> &'static str {
+    let classes = lexicon::classes();
+    loop {
+        let c = classes[rng.below(classes.len())];
+        if c != not {
+            return c;
+        }
+    }
+}
+
+fn make_item(kind: TaskKind, rng: &mut SeededRng) -> Task {
+    match kind {
+        TaskKind::Affordance => {
+            let e = pick_with_purpose(rng);
+            let mut wrong1 = pick_with_purpose(rng);
+            while wrong1.name == e.name {
+                wrong1 = pick_with_purpose(rng);
+            }
+            let mut wrong2 = pick(rng);
+            while wrong2.name == e.name || wrong2.name == wrong1.name {
+                wrong2 = pick(rng);
+            }
+            shuffled(
+                TaskKind::Affordance,
+                format!("to {} , use the", e.purpose),
+                vec![
+                    format!(" {} .", e.name),
+                    format!(" {} .", wrong1.name),
+                    format!(" {} .", wrong2.name),
+                ],
+                rng,
+            )
+        }
+        TaskKind::ClassEasy => {
+            let e = pick(rng);
+            let w1 = distinct_class(rng, e.class);
+            let mut w2 = distinct_class(rng, e.class);
+            while w2 == w1 {
+                w2 = distinct_class(rng, e.class);
+            }
+            shuffled(
+                TaskKind::ClassEasy,
+                format!("the {} is a", e.name),
+                vec![
+                    format!(" {} .", e.class),
+                    format!(" {} .", w1),
+                    format!(" {} .", w2),
+                ],
+                rng,
+            )
+        }
+        TaskKind::ClassHard => {
+            // Hard version: options are full sentences about a *different*
+            // entity sharing surface words, and there are four options.
+            let e = pick(rng);
+            let w1 = distinct_class(rng, e.class);
+            let mut w2 = distinct_class(rng, e.class);
+            while w2 == w1 {
+                w2 = distinct_class(rng, e.class);
+            }
+            let mut w3 = distinct_class(rng, e.class);
+            while w3 == w1 || w3 == w2 {
+                w3 = distinct_class(rng, e.class);
+            }
+            shuffled(
+                TaskKind::ClassHard,
+                format!("early records describe the {} as a common", e.name),
+                vec![
+                    format!(" {} .", e.class),
+                    format!(" {} .", w1),
+                    format!(" {} .", w2),
+                    format!(" {} .", w3),
+                ],
+                rng,
+            )
+        }
+        TaskKind::BoolQa => {
+            let e = pick(rng);
+            let truthy = rng.below(2) == 0;
+            let class = if truthy {
+                e.class
+            } else {
+                distinct_class(rng, e.class)
+            };
+            let answer = usize::from(!truthy); // option 0 is "yes"
+            Task {
+                kind: TaskKind::BoolQa,
+                prompt: format!("is the {} a {} ?", e.name, class),
+                options: vec![" yes .".to_string(), " no .".to_string()],
+                answer,
+            }
+        }
+        TaskKind::Continuation => {
+            let e = pick(rng);
+            let mut w1 = pick(rng);
+            while w1.action == e.action {
+                w1 = pick(rng);
+            }
+            let mut w2 = pick(rng);
+            while w2.action == e.action || w2.action == w1.action {
+                w2 = pick(rng);
+            }
+            shuffled(
+                TaskKind::Continuation,
+                format!("the {}", e.name),
+                vec![
+                    format!(" {} .", e.action),
+                    format!(" {} .", w1.action),
+                    format!(" {} .", w2.action),
+                ],
+                rng,
+            )
+        }
+        TaskKind::Agreement => {
+            let e = pick(rng);
+            let verb = e.action.split(' ').next().unwrap_or("stands");
+            let plural = crate::corpus::plural_for_tasks(verb);
+            Task {
+                kind: TaskKind::Agreement,
+                prompt: format!("one {} {} while two {}s", e.name, verb, e.name),
+                options: vec![format!(" {plural} ."), format!(" {verb} .")],
+                answer: 0,
+            }
+        }
+    }
+}
+
+/// Shuffles options (answer index tracked) so the correct answer position is
+/// uniform.
+fn shuffled(kind: TaskKind, prompt: String, options: Vec<String>, rng: &mut SeededRng) -> Task {
+    let n = options.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    let answer = order.iter().position(|&o| o == 0).expect("answer present");
+    let options = order.into_iter().map(|o| options[o].clone()).collect();
+    Task {
+        kind,
+        prompt,
+        options,
+        answer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_all_kinds() {
+        let suite = TaskSuite::generate(5, 1);
+        assert_eq!(suite.all_items().len(), 30);
+        for kind in TaskKind::all() {
+            assert_eq!(suite.items(kind).len(), 5);
+        }
+    }
+
+    #[test]
+    fn answers_in_range_and_options_distinct() {
+        let suite = TaskSuite::generate(50, 2);
+        for t in suite.all_items() {
+            assert!(t.answer < t.options.len(), "{t:?}");
+            let mut opts = t.options.clone();
+            opts.sort();
+            opts.dedup();
+            assert_eq!(opts.len(), t.options.len(), "duplicate options in {t:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = TaskSuite::generate(10, 3);
+        let b = TaskSuite::generate(10, 3);
+        assert_eq!(a.all_items(), b.all_items());
+    }
+
+    #[test]
+    fn boolqa_answer_consistent_with_lexicon() {
+        let suite = TaskSuite::generate(100, 4);
+        for t in suite.items(TaskKind::BoolQa) {
+            // Parse "is the <name> a <class> ?"
+            let words: Vec<&str> = t.prompt.split(' ').collect();
+            let name = words[2];
+            let class = words[4];
+            let e = lexicon::entity(name).unwrap();
+            let truthy = e.class == class;
+            let expected = usize::from(!truthy);
+            assert_eq!(t.answer, expected, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn answer_positions_are_shuffled() {
+        let suite = TaskSuite::generate(100, 5);
+        let positions: Vec<usize> = suite
+            .items(TaskKind::ClassEasy)
+            .iter()
+            .map(|t| t.answer)
+            .collect();
+        // With 100 items across 3 positions, all positions should occur.
+        for p in 0..3 {
+            assert!(positions.contains(&p), "position {p} never used");
+        }
+    }
+
+    #[test]
+    fn prompts_are_tokenizable() {
+        let tok = crate::Tokenizer::new();
+        let suite = TaskSuite::generate(20, 6);
+        for t in suite.all_items() {
+            assert_eq!(tok.decode(&tok.encode(&t.prompt)), t.prompt);
+            for o in &t.options {
+                assert_eq!(tok.decode(&tok.encode(o)), *o);
+            }
+        }
+    }
+}

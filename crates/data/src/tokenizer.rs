@@ -1,0 +1,119 @@
+//! Character-level tokenizer with a fixed 96-symbol vocabulary.
+//!
+//! The vocabulary covers the printable ASCII range (space through `~`) plus
+//! newline. Characters outside the vocabulary are replaced with `?` so
+//! `encode` never fails and the token-id range is statically known, which
+//! keeps the model-embedding shapes independent of corpus content.
+
+use serde::{Deserialize, Serialize};
+
+/// Token id produced by [`Tokenizer`].
+pub type TokenId = u16;
+
+/// Fixed-vocabulary character tokenizer.
+///
+/// # Example
+///
+/// ```
+/// use atom_data::Tokenizer;
+///
+/// let tok = Tokenizer::new();
+/// let ids = tok.encode("hi!\n");
+/// assert_eq!(ids.len(), 4);
+/// assert_eq!(tok.decode(&ids), "hi!\n");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tokenizer {
+    _priv: (),
+}
+
+/// Number of printable-ASCII symbols (space..=`~`).
+const PRINTABLE: usize = 95;
+/// Id assigned to newline.
+const NEWLINE_ID: TokenId = PRINTABLE as TokenId;
+
+impl Tokenizer {
+    /// Creates the tokenizer. All instances are identical.
+    pub fn new() -> Self {
+        Tokenizer { _priv: () }
+    }
+
+    /// Vocabulary size (96: printable ASCII plus newline).
+    pub fn vocab_size(&self) -> usize {
+        PRINTABLE + 1
+    }
+
+    /// Encodes text to token ids; out-of-vocabulary characters become `?`.
+    pub fn encode(&self, text: &str) -> Vec<TokenId> {
+        text.chars().map(|c| self.encode_char(c)).collect()
+    }
+
+    /// Encodes one character.
+    pub fn encode_char(&self, c: char) -> TokenId {
+        match c {
+            '\n' => NEWLINE_ID,
+            ' '..='~' => (c as u32 - ' ' as u32) as TokenId,
+            _ => ('?' as u32 - ' ' as u32) as TokenId,
+        }
+    }
+
+    /// Decodes token ids back to text.
+    ///
+    /// Ids outside the vocabulary decode to `?` (decoding never fails, so a
+    /// sampling loop over raw logits cannot crash the server).
+    pub fn decode(&self, ids: &[TokenId]) -> String {
+        ids.iter().map(|&id| self.decode_token(id)).collect()
+    }
+
+    /// Decodes one token id.
+    pub fn decode_token(&self, id: TokenId) -> char {
+        if id == NEWLINE_ID {
+            '\n'
+        } else if (id as usize) < PRINTABLE {
+            char::from_u32(' ' as u32 + id as u32).unwrap_or('?')
+        } else {
+            '?'
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_printable() {
+        let tok = Tokenizer::new();
+        let text = "The quick brown fox! 0123456789 ~@#$%\n";
+        assert_eq!(tok.decode(&tok.encode(text)), text);
+    }
+
+    #[test]
+    fn vocab_size_is_96() {
+        assert_eq!(Tokenizer::new().vocab_size(), 96);
+    }
+
+    #[test]
+    fn all_ids_in_range() {
+        let tok = Tokenizer::new();
+        for id in tok.encode("hello\nworld ~") {
+            assert!((id as usize) < tok.vocab_size());
+        }
+    }
+
+    #[test]
+    fn oov_becomes_question_mark() {
+        let tok = Tokenizer::new();
+        assert_eq!(tok.decode(&tok.encode("héllo")), "h?llo");
+        assert_eq!(tok.decode_token(999), '?');
+    }
+
+    #[test]
+    fn every_vocab_id_roundtrips() {
+        let tok = Tokenizer::new();
+        for id in 0..tok.vocab_size() as TokenId {
+            let c = tok.decode_token(id);
+            assert_eq!(tok.encode_char(c), id);
+        }
+    }
+}

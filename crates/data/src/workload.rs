@@ -1,0 +1,202 @@
+//! ShareGPT-like serving workload model.
+//!
+//! The paper generates its end-to-end workload by collecting the prefill and
+//! decode length distributions from ShareGPT, treating multi-round
+//! conversations as requests from multiple users whose prompts concatenate
+//! all previous rounds (§5.3.2). This module reproduces that process from a
+//! parametric model: log-normal single-round lengths (the published ShareGPT
+//! fits), a geometric number of conversation rounds, and Poisson arrivals.
+
+use atom_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// One inference request: arrive, prefill `prefill_tokens`, then decode
+/// `decode_tokens` one token at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Request id (dense, in arrival order).
+    pub id: usize,
+    /// Arrival time in seconds from trace start.
+    pub arrival_s: f64,
+    /// Prompt length in tokens (includes concatenated history for
+    /// multi-round conversations).
+    pub prefill_tokens: usize,
+    /// Number of tokens to generate.
+    pub decode_tokens: usize,
+}
+
+impl Request {
+    /// Total KV-cache footprint of the finished request, in tokens.
+    pub fn total_context(&self) -> usize {
+        self.prefill_tokens + self.decode_tokens
+    }
+}
+
+/// Parameters of the synthetic ShareGPT-like trace.
+///
+/// Defaults follow published ShareGPT statistics: median prompt around 160
+/// tokens, median response around 190 tokens, heavy right tails, and roughly
+/// 30% of requests continuing an earlier conversation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// `mu` of the log-normal prefill length (log-tokens).
+    pub prefill_mu: f64,
+    /// `sigma` of the log-normal prefill length.
+    pub prefill_sigma: f64,
+    /// `mu` of the log-normal decode length (log-tokens).
+    pub decode_mu: f64,
+    /// `sigma` of the log-normal decode length.
+    pub decode_sigma: f64,
+    /// Probability that a request continues the previous conversation,
+    /// concatenating its full history into the new prompt.
+    pub continuation_prob: f64,
+    /// Mean request arrival rate (requests per second).
+    pub arrival_rate: f64,
+    /// Hard cap on any single request's context length in tokens.
+    pub max_context: usize,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            prefill_mu: 5.1,
+            prefill_sigma: 1.1,
+            decode_mu: 5.25,
+            decode_sigma: 0.9,
+            continuation_prob: 0.3,
+            arrival_rate: 16.0,
+            max_context: 4096,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Generates a deterministic trace of `n` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate (non-positive rate or sigma).
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Request> {
+        assert!(self.arrival_rate > 0.0, "arrival rate must be positive");
+        assert!(
+            self.prefill_sigma > 0.0 && self.decode_sigma > 0.0,
+            "sigmas must be positive"
+        );
+        let mut rng = SeededRng::new(seed ^ 0x5847_6054);
+        let mut out = Vec::with_capacity(n);
+        let mut clock = 0.0f64;
+        // History of recent finished conversations available for
+        // continuation (conversation total length in tokens).
+        let mut history: Vec<usize> = Vec::new();
+        for id in 0..n {
+            clock += rng.exponential_f64(self.arrival_rate);
+            let base_prefill = (rng.lognormal_f64(self.prefill_mu, self.prefill_sigma) as usize).max(4);
+            let decode = (rng.lognormal_f64(self.decode_mu, self.decode_sigma) as usize).clamp(1, self.max_context / 2);
+            let mut prefill = base_prefill;
+            if !history.is_empty() && rng.uniform_f32() < self.continuation_prob as f32 {
+                // Concatenate all previous prompts and responses (§5.3.2).
+                let prior = history[rng.below(history.len())];
+                prefill += prior;
+            }
+            prefill = prefill.min(self.max_context.saturating_sub(decode)).max(4);
+            let req = Request {
+                id,
+                arrival_s: clock,
+                prefill_tokens: prefill,
+                decode_tokens: decode,
+            };
+            history.push(req.total_context().min(self.max_context));
+            if history.len() > 64 {
+                history.remove(0);
+            }
+            out.push(req);
+        }
+        out
+    }
+
+    /// Mean prefill and decode lengths of the spec's *single-round*
+    /// log-normal distributions (before continuation concatenation).
+    pub fn single_round_means(&self) -> (f64, f64) {
+        let pf = (self.prefill_mu + self.prefill_sigma * self.prefill_sigma / 2.0).exp();
+        let dc = (self.decode_mu + self.decode_sigma * self.decode_sigma / 2.0).exp();
+        (pf, dc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_and_sorted() {
+        let spec = WorkloadSpec::default();
+        let a = spec.generate(200, 1);
+        let b = spec.generate(200, 1);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert!(a.windows(2).all(|w| w[0].id + 1 == w[1].id));
+    }
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let spec = WorkloadSpec::default();
+        for r in spec.generate(500, 2) {
+            assert!(r.prefill_tokens >= 4);
+            assert!(r.decode_tokens >= 1);
+            assert!(r.total_context() <= spec.max_context + spec.max_context / 2);
+        }
+    }
+
+    #[test]
+    fn medians_are_in_sharegpt_ballpark() {
+        let spec = WorkloadSpec::default();
+        let trace = spec.generate(2000, 3);
+        let mut prefills: Vec<usize> = trace.iter().map(|r| r.prefill_tokens).collect();
+        prefills.sort_unstable();
+        let median = prefills[prefills.len() / 2];
+        assert!(
+            (80..=600).contains(&median),
+            "median prefill {median} outside expected band"
+        );
+    }
+
+    #[test]
+    fn continuations_make_longer_prompts() {
+        let with = WorkloadSpec {
+            continuation_prob: 0.9,
+            ..WorkloadSpec::default()
+        };
+        let without = WorkloadSpec {
+            continuation_prob: 0.0,
+            ..WorkloadSpec::default()
+        };
+        let mean = |trace: &[Request]| {
+            trace.iter().map(|r| r.prefill_tokens).sum::<usize>() as f64 / trace.len() as f64
+        };
+        let m_with = mean(&with.generate(1000, 4));
+        let m_without = mean(&without.generate(1000, 4));
+        assert!(m_with > m_without * 1.3, "{m_with} vs {m_without}");
+    }
+
+    #[test]
+    fn arrival_rate_scales_duration() {
+        let fast = WorkloadSpec {
+            arrival_rate: 100.0,
+            ..WorkloadSpec::default()
+        };
+        let slow = WorkloadSpec {
+            arrival_rate: 1.0,
+            ..WorkloadSpec::default()
+        };
+        let end = |trace: &[Request]| trace.last().unwrap().arrival_s;
+        assert!(end(&fast.generate(300, 5)) < end(&slow.generate(300, 5)));
+    }
+
+    #[test]
+    fn single_round_means_formula() {
+        let spec = WorkloadSpec::default();
+        let (pf, dc) = spec.single_round_means();
+        assert!(pf > 100.0 && pf < 1000.0);
+        assert!(dc > 100.0 && dc < 1000.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests of the data substrate.
+
+use atom_data::corpus::lexicon;
+use atom_data::{Corpus, CorpusStyle, TaskSuite, Tokenizer};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn corpora_are_deterministic_and_tokenizable(
+        seed in 0u64..200,
+        style_idx in 0usize..3,
+        chars in 500usize..4000,
+    ) {
+        let style = CorpusStyle::all()[style_idx];
+        let a = Corpus::generate(style, chars, seed);
+        let b = Corpus::generate(style, chars, seed);
+        prop_assert_eq!(a.text(), b.text());
+        prop_assert!(a.text().len() >= chars);
+        let tok = Tokenizer::new();
+        prop_assert_eq!(tok.decode(&tok.encode(a.text())), a.text());
+    }
+
+    #[test]
+    fn splits_partition_exactly(seed in 0u64..100, frac in 0.5f64..0.95) {
+        let c = Corpus::generate(CorpusStyle::Wiki, 4000, seed);
+        let (train, valid) = c.split(frac);
+        prop_assert_eq!(train.len() + valid.len(), c.text().len());
+        prop_assert!(train.len() as f64 >= c.text().len() as f64 * frac * 0.8);
+    }
+
+    #[test]
+    fn task_answers_consistent_with_lexicon(seed in 0u64..200, items in 1usize..30) {
+        let suite = TaskSuite::generate(items, seed);
+        prop_assert_eq!(suite.all_items().len(), items * 6);
+        for t in suite.all_items() {
+            prop_assert!(t.answer < t.options.len());
+            prop_assert!(t.num_options() >= 2);
+            // Every prompt mentions a real lexicon entity.
+            let mentions_entity = lexicon::ENTITIES
+                .iter()
+                .any(|e| t.prompt.contains(e.name) || t.options.iter().any(|o| o.contains(e.name)));
+            prop_assert!(mentions_entity, "no entity in {t:?}");
+        }
+    }
+
+    #[test]
+    fn class_tasks_have_correct_class_as_answer(seed in 0u64..100) {
+        let suite = TaskSuite::generate(20, seed);
+        for t in suite.items(atom_data::TaskKind::ClassEasy) {
+            // "the <name> is a" -> correct option is " <class> ."
+            let name = t.prompt.split(' ').nth(1).unwrap();
+            let e = lexicon::entity(name).unwrap();
+            let expect = format!("{} .", e.class);
+            prop_assert_eq!(t.options[t.answer].trim(), expect.as_str());
+        }
+    }
+
+    #[test]
+    fn tokenizer_total(ids in proptest::collection::vec(0u16..200, 0..64)) {
+        // Decoding any id sequence never panics and re-encodes to valid ids.
+        let tok = Tokenizer::new();
+        let text = tok.decode(&ids);
+        let re = tok.encode(&text);
+        prop_assert_eq!(re.len(), ids.len());
+        prop_assert!(re.iter().all(|&t| (t as usize) < tok.vocab_size()));
+    }
+}

@@ -1,0 +1,181 @@
+//! Efficiency ablations of §5.4.2.
+//!
+//! Two studies:
+//!
+//! 1. **Fused-GEMM throughput ladder** — pure INT4 GEMM, + fused mixed
+//!    precision, + fused group dequantization, compared against the INT8
+//!    theoretical limit (980 → 900 → 770 TOPS in the paper, profiled at the
+//!    Llama-7B config with batch 4096).
+//! 2. **Reorder fusion vs. matrix decomposition** — Atom fuses reorder +
+//!    quantize into the preceding layer norm; the LLM.int8()-style baseline
+//!    decomposes the matrix at run time with separate passes. The paper
+//!    reports Atom 25–35% faster on layernorm+GEMM across batch 16–256.
+
+use crate::cost::{op_time, ComputeKind, Op};
+use crate::hardware::HardwareProfile;
+use serde::{Deserialize, Serialize};
+
+/// One row of the fused-GEMM throughput ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelAblationRow {
+    /// Technique label.
+    pub label: &'static str,
+    /// Sustained TOPS at the profiling shape.
+    pub tops: f64,
+}
+
+/// The §5.4.2 fused-GEMM ladder at the paper's profiling shape
+/// (Llama-7B dense GEMM, batch 4096).
+pub fn fused_gemm_ladder(hw: &HardwareProfile) -> Vec<KernelAblationRow> {
+    let shape = |compute| Op::Gemm {
+        m: 4096,
+        n: 4096,
+        k: 4096,
+        weight_bits: 4.0,
+        act_bits: 4.0,
+        compute,
+    };
+    let tops = |compute| op_time(&shape(compute), hw).achieved_tops();
+    vec![
+        KernelAblationRow {
+            label: "Pure INT4 GEMM (no quantization ops)",
+            tops: tops(ComputeKind::Int4Pure),
+        },
+        KernelAblationRow {
+            label: "+ Fused mixed-precision (INT8 outliers)",
+            tops: tops(ComputeKind::Int4Mixed),
+        },
+        KernelAblationRow {
+            label: "+ Fused group dequantization",
+            tops: tops(ComputeKind::Int4Atom),
+        },
+        KernelAblationRow {
+            label: "INT8 theoretical limit",
+            tops: hw.int8_tops,
+        },
+    ]
+}
+
+/// Latency of layernorm + GEMM with Atom's fused reorder+quantize versus
+/// the decomposition baseline (LLM.int8()-style), at one batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReorderAblationRow {
+    /// Batch size.
+    pub batch: usize,
+    /// Fused pipeline seconds.
+    pub fused_s: f64,
+    /// Decomposed pipeline seconds.
+    pub decomposed_s: f64,
+}
+
+impl ReorderAblationRow {
+    /// Relative advantage of fusion (e.g. `0.30` = 30% faster).
+    pub fn speedup(&self) -> f64 {
+        self.decomposed_s / self.fused_s - 1.0
+    }
+}
+
+/// Kernel launch + sync overhead per kernel, seconds. A small fixed cost
+/// every real CUDA pipeline pays; the decomposition baseline pays it more
+/// times per layer.
+const LAUNCH_S: f64 = 0.6e-6;
+
+/// Compares fused vs. decomposed mixed-precision handling over a batch
+/// sweep (paper: batch 16–256, layer norm + one GEMM; Atom wins 25–35%,
+/// this model lands 25–45%).
+pub fn reorder_ablation(hw: &HardwareProfile, dim: usize, batches: &[usize]) -> Vec<ReorderAblationRow> {
+    batches
+        .iter()
+        .map(|&batch| {
+            let gemm = Op::Gemm {
+                m: batch,
+                n: dim,
+                k: dim,
+                weight_bits: 4.0,
+                act_bits: 4.0,
+                compute: ComputeKind::Int4Atom,
+            };
+            // Fused (Atom): one norm kernel with reorder+quantize riding
+            // along (one extra stream), then the mixed-precision GEMM —
+            // two launches total.
+            let norm_fused = Op::Elementwise {
+                tokens: batch,
+                dim,
+                streams: 3.0,
+            };
+            let fused_s =
+                2.0 * LAUNCH_S + op_time(&norm_fused, hw).seconds() + op_time(&gemm, hw).seconds();
+
+            // Decomposed (LLM.int8()-style): norm+quantize, a run-time
+            // index-gather splitting outlier columns out of the matrix, the
+            // low-bit GEMM on the normal part, and a separate FP16 GEMM on
+            // the extracted outlier columns — four launches.
+            let gather = Op::Elementwise {
+                tokens: batch,
+                dim,
+                streams: 2.0,
+            };
+            let outlier_gemm = Op::Gemm {
+                m: batch,
+                n: dim,
+                k: 128,
+                weight_bits: 16.0,
+                act_bits: 16.0,
+                compute: ComputeKind::Fp16Tensor,
+            };
+            let decomposed_s = 4.0 * LAUNCH_S
+                + op_time(&norm_fused, hw).seconds()
+                + op_time(&gather, hw).seconds()
+                + op_time(&gemm, hw).seconds()
+                + op_time(&outlier_gemm, hw).seconds();
+            ReorderAblationRow {
+                batch,
+                fused_s,
+                decomposed_s,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_matches_paper_numbers() {
+        let hw = HardwareProfile::rtx4090();
+        let rows = fused_gemm_ladder(&hw);
+        assert_eq!(rows.len(), 4);
+        assert!((rows[0].tops - 980.0).abs() < 20.0, "pure {}", rows[0].tops);
+        assert!((rows[1].tops - 900.0).abs() < 20.0, "mixed {}", rows[1].tops);
+        assert!((rows[2].tops - 770.0).abs() < 20.0, "atom {}", rows[2].tops);
+        // "still outperforms the theoretical limit of INT8 throughput by
+        // nearly 18%".
+        let margin = rows[2].tops / rows[3].tops - 1.0;
+        assert!((0.10..0.25).contains(&margin), "margin {margin}");
+    }
+
+    #[test]
+    fn ladder_is_monotone() {
+        let hw = HardwareProfile::rtx4090();
+        let rows = fused_gemm_ladder(&hw);
+        assert!(rows[0].tops > rows[1].tops);
+        assert!(rows[1].tops > rows[2].tops);
+    }
+
+    #[test]
+    fn reorder_fusion_wins_25_to_35_percent() {
+        // Paper: "Atom consistently outperforms the baseline from 25% to
+        // 35%" over batch 16-256.
+        let hw = HardwareProfile::rtx4090();
+        let rows = reorder_ablation(&hw, 4096, &[16, 32, 64, 128, 256]);
+        for row in rows {
+            let s = row.speedup();
+            assert!(
+                (0.20..0.50).contains(&s),
+                "batch {}: speedup {s}",
+                row.batch
+            );
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! GPU hardware profiles.
+//!
+//! Peak numbers are the published device constants the paper itself cites:
+//! the A100 appears in §2 ("1248 TOPS of INT4 and 624 TOPS of INT8 as
+//! opposed to only 312 TFLOPS for FP16"), and the RTX 4090 is the
+//! evaluation device (§5.3).
+
+use serde::{Deserialize, Serialize};
+
+/// Peak capabilities of one GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareProfile {
+    /// Device name.
+    pub name: &'static str,
+    /// Dense FP16 tensor-core throughput, TFLOPS.
+    pub fp16_tflops: f64,
+    /// Dense INT8 tensor-core throughput, TOPS.
+    pub int8_tops: f64,
+    /// Dense INT4 tensor-core throughput, TOPS.
+    pub int4_tops: f64,
+    /// FP32 CUDA-core throughput (dequantization epilogues), TFLOPS.
+    pub fp32_tflops: f64,
+    /// Memory bandwidth, GB/s.
+    pub hbm_gbps: f64,
+    /// Device memory, bytes.
+    pub mem_bytes: u64,
+}
+
+impl HardwareProfile {
+    /// NVIDIA A100 (40 GB, SXM): the §2 reference device.
+    pub fn a100() -> Self {
+        HardwareProfile {
+            name: "A100-40GB",
+            fp16_tflops: 312.0,
+            int8_tops: 624.0,
+            int4_tops: 1248.0,
+            fp32_tflops: 19.5,
+            hbm_gbps: 1555.0,
+            mem_bytes: 40 * (1 << 30),
+        }
+    }
+
+    /// NVIDIA A100 (80 GB, SXM): the variant large-model TP deployments
+    /// use (same compute, more/faster HBM).
+    pub fn a100_80gb() -> Self {
+        HardwareProfile {
+            name: "A100-80GB",
+            hbm_gbps: 2039.0,
+            mem_bytes: 80 * (1 << 30),
+            ..Self::a100()
+        }
+    }
+
+    /// NVIDIA RTX 4090 (24 GB): the paper's evaluation device (§5.3).
+    pub fn rtx4090() -> Self {
+        HardwareProfile {
+            name: "RTX4090-24GB",
+            fp16_tflops: 330.3,
+            int8_tops: 660.6,
+            int4_tops: 1321.2,
+            fp32_tflops: 82.6,
+            hbm_gbps: 1008.0,
+            mem_bytes: 24 * (1 << 30),
+        }
+    }
+
+    /// Seconds to move `bytes` through HBM at peak bandwidth.
+    pub fn mem_seconds(&self, bytes: f64) -> f64 {
+        bytes / (self.hbm_gbps * 1e9)
+    }
+
+    /// The roofline ridge point (ops per byte) for a given peak in
+    /// T(FL)OPS.
+    pub fn ridge(&self, peak_tops: f64) -> f64 {
+        peak_tops * 1e12 / (self.hbm_gbps * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cited_ratios_hold() {
+        // §2: INT4 is 4x FP16 and 2x INT8 on the A100.
+        let a = HardwareProfile::a100();
+        assert_eq!(a.int4_tops, 4.0 * a.fp16_tflops);
+        assert_eq!(a.int4_tops, 2.0 * a.int8_tops);
+        let r = HardwareProfile::rtx4090();
+        assert!((r.int4_tops / r.int8_tops - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mem_seconds_sane() {
+        let hw = HardwareProfile::rtx4090();
+        // 1 GB at 1008 GB/s ~ 1 ms.
+        let t = hw.mem_seconds(1e9);
+        assert!((t - 1.0 / 1008.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_point() {
+        let hw = HardwareProfile::a100();
+        // 312e12 / 1555e9 ~ 200 ops/byte.
+        let r = hw.ridge(hw.fp16_tflops);
+        assert!((r - 200.0).abs() < 2.0);
+    }
+}

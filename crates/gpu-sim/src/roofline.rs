@@ -1,0 +1,164 @@
+//! Roofline analysis (paper Fig. 4).
+//!
+//! For each serving scheme, place the dense layer and the self-attention
+//! layer on the roofline: x = arithmetic intensity (ops/element in the
+//! paper's variant; ops/byte here, equivalent up to the element width),
+//! y = attainable throughput `min(peak, intensity * bandwidth)`.
+
+use crate::cost::{op_time, Op, OpTime};
+use crate::graph::{LlamaGpuConfig, SimScheme};
+use crate::hardware::HardwareProfile;
+use serde::{Deserialize, Serialize};
+
+/// One point on the roofline plot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Scheme label.
+    pub scheme: &'static str,
+    /// Operator label (`dense` / `attention`).
+    pub operator: &'static str,
+    /// Batch size the point was computed at.
+    pub batch: usize,
+    /// Arithmetic intensity, ops per byte.
+    pub intensity: f64,
+    /// Attainable throughput under the roofline, TOPS.
+    pub attainable_tops: f64,
+    /// Effective compute peak of the operator's pipeline, TOPS.
+    pub peak_tops: f64,
+    /// Whether the operator lands compute bound.
+    pub compute_bound: bool,
+}
+
+/// Computes the roofline points of the dense QKV GEMM and the decode
+/// self-attention for one scheme and batch.
+pub fn roofline_points(
+    config: &LlamaGpuConfig,
+    scheme: SimScheme,
+    batch: usize,
+    kv_len: usize,
+    hw: &HardwareProfile,
+) -> Vec<RooflinePoint> {
+    let dense = Op::Gemm {
+        m: batch,
+        n: config.dim,
+        k: config.dim,
+        weight_bits: scheme.weight_bits(),
+        act_bits: scheme.act_bits(),
+        compute: scheme.compute(),
+    };
+    let attention = Op::Attention {
+        batch,
+        heads: config.heads,
+        head_dim: config.head_dim(),
+        kv_len,
+        q_len: 1,
+        kv_bits: scheme.kv_bits(),
+    };
+    let peak_dense = scheme.compute().effective_tops(hw);
+    let peak_attn = crate::cost::ComputeKind::Fp16Tensor.effective_tops(hw);
+    vec![
+        point(scheme.label(), "dense", batch, &op_time(&dense, hw), peak_dense, hw),
+        point(
+            scheme.label(),
+            "attention",
+            batch,
+            &op_time(&attention, hw),
+            peak_attn,
+            hw,
+        ),
+    ]
+}
+
+fn point(
+    scheme: &'static str,
+    operator: &'static str,
+    batch: usize,
+    t: &OpTime,
+    peak_tops: f64,
+    hw: &HardwareProfile,
+) -> RooflinePoint {
+    let intensity = t.intensity();
+    let bw_tops = intensity * hw.hbm_gbps * 1e9 / 1e12;
+    RooflinePoint {
+        scheme,
+        operator,
+        batch,
+        intensity,
+        attainable_tops: bw_tops.min(peak_tops),
+        peak_tops,
+        compute_bound: t.compute_bound(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_crosses_ridge_with_batch() {
+        // Fig. 4a: at large batch the dense layer is compute bound; at
+        // batch 1 it is memory bound.
+        let hw = HardwareProfile::a100();
+        let cfg = LlamaGpuConfig::llama7b();
+        let at = |batch| {
+            roofline_points(&cfg, SimScheme::Fp16, batch, 1024, &hw)
+                .into_iter()
+                .find(|p| p.operator == "dense")
+                .unwrap()
+        };
+        assert!(!at(1).compute_bound);
+        assert!(at(512).compute_bound);
+        assert!(at(512).intensity > at(1).intensity);
+    }
+
+    #[test]
+    fn attention_never_compute_bound() {
+        // Fig. 4: self-attention consistently exhibits low arithmetic
+        // intensity regardless of batch (no cross-request reuse, §3).
+        let hw = HardwareProfile::a100();
+        let cfg = LlamaGpuConfig::llama7b();
+        for batch in [1, 64, 256] {
+            for p in roofline_points(&cfg, SimScheme::Fp16, batch, 1024, &hw) {
+                if p.operator == "attention" {
+                    assert!(!p.compute_bound, "batch {batch}");
+                    assert!(p.intensity < 20.0, "batch {batch}: {}", p.intensity);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_raises_attention_attainable() {
+        // Fig. 4a: weight-activation quantization lifts the attention
+        // throughput by shrinking KV bytes.
+        let hw = HardwareProfile::a100();
+        let cfg = LlamaGpuConfig::llama7b();
+        let attn = |scheme| {
+            roofline_points(&cfg, scheme, 128, 1024, &hw)
+                .into_iter()
+                .find(|p| p.operator == "attention")
+                .unwrap()
+                .attainable_tops
+        };
+        assert!(attn(SimScheme::AtomW4A4) > 3.0 * attn(SimScheme::Fp16));
+        // Fig. 4b: weight-only quantization does NOT lift attention.
+        assert!((attn(SimScheme::W4A16) - attn(SimScheme::Fp16)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_peak_rises_with_lower_bits() {
+        let hw = HardwareProfile::a100();
+        let cfg = LlamaGpuConfig::llama7b();
+        let peak = |scheme| {
+            roofline_points(&cfg, scheme, 512, 1024, &hw)
+                .into_iter()
+                .find(|p| p.operator == "dense")
+                .unwrap()
+                .peak_tops
+        };
+        assert!(peak(SimScheme::AtomW4A4) > peak(SimScheme::W8A8));
+        assert!(peak(SimScheme::W8A8) > peak(SimScheme::Fp16));
+        // Fig. 4b: W4A16 keeps the FP16 compute roof.
+        assert!((peak(SimScheme::W4A16) - peak(SimScheme::Fp16)).abs() < 1e-9);
+    }
+}

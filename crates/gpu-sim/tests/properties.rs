@@ -1,0 +1,115 @@
+//! Property-based tests of the roofline cost model: latencies must be
+//! positive, monotone in work, and consistent between compute and memory
+//! accounting.
+
+use atom_gpu_sim::cost::ComputeKind;
+use atom_gpu_sim::graph::iteration_breakdown;
+use atom_gpu_sim::{op_time, HardwareProfile, LlamaGpuConfig, MemoryModel, Op, Phase, SimScheme};
+use proptest::prelude::*;
+
+fn schemes() -> [SimScheme; 4] {
+    SimScheme::all()
+}
+
+proptest! {
+    #[test]
+    fn gemm_time_positive_and_monotone_in_m(
+        m in 1usize..512,
+        n in 64usize..4096,
+        k in 64usize..4096,
+    ) {
+        let hw = HardwareProfile::rtx4090();
+        let t = |m| {
+            op_time(
+                &Op::Gemm {
+                    m,
+                    n,
+                    k,
+                    weight_bits: 16.0,
+                    act_bits: 16.0,
+                    compute: ComputeKind::Fp16Tensor,
+                },
+                &hw,
+            )
+            .seconds()
+        };
+        prop_assert!(t(m) > 0.0);
+        prop_assert!(t(2 * m) >= t(m));
+    }
+
+    #[test]
+    fn attention_monotone_in_kv_len_and_bits(
+        batch in 1usize..256,
+        kv_len in 16usize..4096,
+    ) {
+        let hw = HardwareProfile::a100();
+        let t = |kv_len, bits: f64| {
+            op_time(
+                &Op::Attention {
+                    batch,
+                    heads: 32,
+                    head_dim: 128,
+                    kv_len,
+                    q_len: 1,
+                    kv_bits: bits,
+                },
+                &hw,
+            )
+            .seconds()
+        };
+        prop_assert!(t(kv_len, 16.0) >= t(kv_len, 4.0));
+        prop_assert!(t(2 * kv_len, 8.0) >= t(kv_len, 8.0));
+    }
+
+    #[test]
+    fn iteration_time_monotone_in_batch(batch in 1usize..128, scheme_idx in 0usize..4) {
+        let hw = HardwareProfile::rtx4090();
+        let cfg = LlamaGpuConfig::llama7b();
+        let scheme = schemes()[scheme_idx];
+        let t = |b| iteration_breakdown(&cfg, scheme, b, 512, Phase::Decode, &hw).total_s();
+        prop_assert!(t(batch) > 0.0);
+        prop_assert!(t(batch * 2) >= t(batch) * 0.999);
+        // Throughput (batch/latency) must not shrink with batch (the
+        // batching effect of §3).
+        prop_assert!((2.0 * batch as f64) / t(batch * 2) >= batch as f64 / t(batch) * 0.999);
+    }
+
+    #[test]
+    fn atom_never_slower_than_fp16(batch in 1usize..256, kv_len in 64usize..2048) {
+        let hw = HardwareProfile::rtx4090();
+        let cfg = LlamaGpuConfig::llama7b();
+        let fp16 = iteration_breakdown(&cfg, SimScheme::Fp16, batch, kv_len, Phase::Decode, &hw);
+        let atom = iteration_breakdown(&cfg, SimScheme::AtomW4A4, batch, kv_len, Phase::Decode, &hw);
+        prop_assert!(atom.total_s() <= fp16.total_s());
+        prop_assert!(atom.attention_s <= fp16.attention_s);
+        prop_assert!(atom.dense_s <= fp16.dense_s);
+    }
+
+    #[test]
+    fn max_batch_monotone_in_memory_and_scheme(ctx in 64usize..4096) {
+        let cfg = LlamaGpuConfig::llama7b();
+        let small = MemoryModel::new(cfg, SimScheme::AtomW4A4, 16 << 30);
+        let large = MemoryModel::new(cfg, SimScheme::AtomW4A4, 24 << 30);
+        prop_assert!(large.max_batch(ctx) >= small.max_batch(ctx));
+        let fp16 = MemoryModel::new(cfg, SimScheme::Fp16, 24 << 30);
+        prop_assert!(large.max_batch(ctx) >= fp16.max_batch(ctx));
+    }
+
+    #[test]
+    fn op_time_roofline_consistency(m in 1usize..600) {
+        // seconds() is exactly max(compute, memory), and achieved TOPS never
+        // exceeds the effective peak.
+        let hw = HardwareProfile::a100();
+        let op = Op::Gemm {
+            m,
+            n: 4096,
+            k: 4096,
+            weight_bits: 4.0,
+            act_bits: 4.0,
+            compute: ComputeKind::Int4Atom,
+        };
+        let t = op_time(&op, &hw);
+        prop_assert!((t.seconds() - t.compute_s.max(t.memory_s)).abs() < 1e-15);
+        prop_assert!(t.achieved_tops() <= ComputeKind::Int4Atom.effective_tops(&hw) * (1.0 + 1e-9));
+    }
+}

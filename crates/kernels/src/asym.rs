@@ -1,0 +1,273 @@
+//! Asymmetric per-row quantized containers for the KV-cache (paper §4.4).
+//!
+//! The KV-cache is quantized *asymmetrically* because — unlike the dense
+//! GEMM operands — its dequantization happens on load, before an FP16
+//! computation, so zero points cost no extra integer cross-terms (§2). The
+//! paper uses attention-head granularity: each `(token, head)` vector gets
+//! its own scale and zero point. Here one [`AsymQuantized`] holds one head's
+//! rows, so each row is exactly one `(token, head)` quantization group.
+
+use crate::packed::PackedMatrix;
+use atom_tensor::f16::round_f16;
+use atom_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Asymmetrically quantized matrix with one `(scale, zero)` pair per row.
+///
+/// Follows the paper's uniform asymmetric formula (§2) in the equivalent
+/// affine `(scale, min)` form, which keeps constant rows exact and offsets
+/// lossless (the integer zero point `z = -min/s` is folded into the stored
+/// minimum):
+///
+/// ```text
+/// s = (max(X) - min(X)) / (2^n - 1)
+/// q = clamp(round((x - min) / s), 0, 2^n - 1)
+/// x' = min + s * q
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use atom_kernels::AsymQuantized;
+/// use atom_tensor::Matrix;
+///
+/// let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]);
+/// let q = AsymQuantized::quantize(&x, 4);
+/// assert!(q.dequantize().mse(&x) < 0.02);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsymQuantized {
+    bits: u8,
+    /// Unsigned codes stored biased into the signed packed container.
+    codes: PackedMatrix,
+    /// Per-row scale (f16-rounded).
+    scales: Vec<f32>,
+    /// Per-row minimum (f16-rounded); plays the role of the zero point.
+    mins: Vec<f32>,
+}
+
+impl AsymQuantized {
+    /// Quantizes each row of `x` asymmetrically at `bits` precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 8`.
+    pub fn quantize(x: &Matrix, bits: u8) -> Self {
+        assert!((2..=8).contains(&bits), "bits must be in 2..=8");
+        let (rows, cols) = x.shape();
+        let levels = ((1u32 << bits) - 1) as f32;
+        let bias = 1i16 << (bits - 1); // shift unsigned codes into signed storage
+        let mut codes = PackedMatrix::zeros(rows, cols, bits);
+        let mut scales = Vec::with_capacity(rows);
+        let mut mins = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = x.row(r);
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for &v in row {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if !lo.is_finite() || !hi.is_finite() {
+                lo = 0.0;
+                hi = 0.0;
+            }
+            let lo = round_f16(lo);
+            let mut s = (hi - lo) / levels;
+            if s <= 0.0 {
+                s = 1.0;
+            }
+            s = round_f16(s).max(f32::MIN_POSITIVE);
+            scales.push(s);
+            mins.push(lo);
+            for (c, &v) in row.iter().enumerate() {
+                let q = (((v - lo) / s).round()).clamp(0.0, levels) as i16;
+                codes.set(r, c, (q - bias) as i8);
+            }
+        }
+        AsymQuantized {
+            bits,
+            codes,
+            scales,
+            mins,
+        }
+    }
+
+    /// Bit width.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.codes.rows()
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.codes.cols()
+    }
+
+    /// Dequantizes every row.
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), self.cols());
+        let mut buf = vec![0i8; self.cols()];
+        let bias = (1i16 << (self.bits - 1)) as f32;
+        for r in 0..self.rows() {
+            self.codes.unpack_row(r, &mut buf);
+            let s = self.scales[r];
+            let lo = self.mins[r];
+            for (d, &q) in out.row_mut(r).iter_mut().zip(buf.iter()) {
+                *d = lo + s * (q as f32 + bias);
+            }
+        }
+        out
+    }
+
+    /// Dequantizes a single row into a caller buffer (the attention kernel's
+    /// dequantize-on-load path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.cols()`.
+    pub fn dequantize_row_into(&self, r: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.cols(), "buffer size mismatch");
+        let mut buf = vec![0i8; self.cols()];
+        self.codes.unpack_row(r, &mut buf);
+        let bias = (1i16 << (self.bits - 1)) as f32;
+        let s = self.scales[r];
+        let lo = self.mins[r];
+        for (d, &q) in out.iter_mut().zip(buf.iter()) {
+            *d = lo + s * (q as f32 + bias);
+        }
+    }
+
+    /// Appends the rows of `x`, quantizing them on the way in.
+    pub fn append_rows(&mut self, x: &Matrix) {
+        assert_eq!(x.cols(), self.cols(), "append width mismatch");
+        let added = AsymQuantized::quantize(x, self.bits);
+        let mut merged = PackedMatrix::zeros(self.rows() + added.rows(), self.cols(), self.bits);
+        let mut buf = vec![0i8; self.cols()];
+        for r in 0..self.rows() {
+            self.codes.unpack_row(r, &mut buf);
+            for (c, &v) in buf.iter().enumerate() {
+                merged.set(r, c, v);
+            }
+        }
+        for r in 0..added.rows() {
+            added.codes.unpack_row(r, &mut buf);
+            for (c, &v) in buf.iter().enumerate() {
+                merged.set(self.rows() + r, c, v);
+            }
+        }
+        self.codes = merged;
+        self.scales.extend_from_slice(&added.scales);
+        self.mins.extend_from_slice(&added.mins);
+    }
+
+    /// Real memory footprint: packed codes plus 16-bit scale and minimum
+    /// per row.
+    pub fn packed_bytes(&self) -> usize {
+        self.codes.packed_bytes() + self.scales.len() * 2 + self.mins.len() * 2
+    }
+
+    /// Creates an empty container of width `cols`.
+    pub fn empty(cols: usize, bits: u8) -> Self {
+        AsymQuantized {
+            bits,
+            codes: PackedMatrix::zeros(0, cols, bits),
+            scales: Vec::new(),
+            mins: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atom_tensor::SeededRng;
+
+    #[test]
+    fn asym_beats_symmetric_on_shifted_data() {
+        // Data with a large positive offset wastes half the symmetric grid.
+        let mut rng = SeededRng::new(1);
+        let mut x = rng.normal_matrix(4, 32, 0.0, 0.1);
+        for v in x.as_mut_slice() {
+            *v += 5.0;
+        }
+        let asym = AsymQuantized::quantize(&x, 4).dequantize().mse(&x);
+        let sym = crate::group::fake_quantize(&x, crate::group::QuantSpec::new(4, usize::MAX))
+            .mse(&x);
+        assert!(asym < sym / 2.0, "asym {asym} vs sym {sym}");
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let mut rng = SeededRng::new(2);
+        let x = rng.uniform_matrix(6, 16, -3.0, 7.0);
+        let q = AsymQuantized::quantize(&x, 8);
+        let d = q.dequantize();
+        for r in 0..x.rows() {
+            let range: f32 = 10.0; // hi - lo upper bound
+            let step = range / 255.0;
+            for (a, b) in x.row(r).iter().zip(d.row(r)) {
+                assert!((a - b).abs() <= step, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_rows_are_exact() {
+        let x = Matrix::full(3, 8, 2.5);
+        let q = AsymQuantized::quantize(&x, 4);
+        let d = q.dequantize();
+        for (a, b) in x.as_slice().iter().zip(d.as_slice()) {
+            assert!((a - b).abs() < 2.5 * 2.0f32.powi(-10), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn append_rows_matches_fresh_quantization() {
+        let mut rng = SeededRng::new(3);
+        let a = rng.normal_matrix(2, 8, 0.0, 1.0);
+        let b = rng.normal_matrix(3, 8, 2.0, 0.5);
+        let mut grown = AsymQuantized::quantize(&a, 4);
+        grown.append_rows(&b);
+        assert_eq!(grown.rows(), 5);
+        let fresh_b = AsymQuantized::quantize(&b, 4);
+        let gd = grown.dequantize();
+        let bd = fresh_b.dequantize();
+        for r in 0..3 {
+            assert_eq!(gd.row(2 + r), bd.row(r));
+        }
+    }
+
+    #[test]
+    fn dequantize_row_into_matches_full() {
+        let mut rng = SeededRng::new(4);
+        let x = rng.normal_matrix(4, 8, 0.0, 1.0);
+        let q = AsymQuantized::quantize(&x, 4);
+        let full = q.dequantize();
+        let mut buf = vec![0.0f32; 8];
+        for r in 0..4 {
+            q.dequantize_row_into(r, &mut buf);
+            assert_eq!(&buf[..], full.row(r));
+        }
+    }
+
+    #[test]
+    fn bytes_shrink_with_bits() {
+        let mut rng = SeededRng::new(5);
+        let x = rng.normal_matrix(16, 64, 0.0, 1.0);
+        let b4 = AsymQuantized::quantize(&x, 4).packed_bytes();
+        let b8 = AsymQuantized::quantize(&x, 8).packed_bytes();
+        assert!(b4 * 2 <= b8 + 64 * 4);
+    }
+
+    #[test]
+    fn empty_container_appends() {
+        let mut q = AsymQuantized::empty(8, 4);
+        assert_eq!(q.rows(), 0);
+        q.append_rows(&Matrix::full(2, 8, 1.0));
+        assert_eq!(q.rows(), 2);
+    }
+}

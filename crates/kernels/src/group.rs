@@ -1,0 +1,469 @@
+//! Symmetric per-group quantized tensors — the operand format of Atom's
+//! fused GEMM (paper §4.2).
+//!
+//! A [`GroupQuantized`] matrix divides every row (channel dimension last,
+//! as in the paper) into contiguous groups of `group` elements, each with
+//! its own FP16 scale. Quantization is symmetric with the paper's formula
+//! (§2):
+//!
+//! ```text
+//! s = 2 * max|X| / (2^n - 1) * c        (c = clipping factor)
+//! q = clamp(round(x / s), -2^(n-1), 2^(n-1) - 1)
+//! ```
+//!
+//! The same container stores weights (quantized offline) and activations
+//! (quantized dynamically per token, §4.3) — exactly like the GPU pipeline,
+//! where one format feeds the INT4/INT8 tensor-core MMA.
+
+use crate::packed::PackedMatrix;
+use atom_tensor::f16::round_f16;
+use atom_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a symmetric group quantization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantSpec {
+    /// Bit width (2–8).
+    pub bits: u8,
+    /// Group size along the channel dimension; the final group of a row may
+    /// be smaller if `cols % group != 0`. Use `usize::MAX` for per-channel
+    /// (one group spanning the whole row).
+    pub group: usize,
+    /// Clipping factor `c` in `(0, 1]` shrinking the quantization range.
+    pub clip: f32,
+}
+
+impl QuantSpec {
+    /// Spec with the given bits, group size, and no clipping.
+    pub fn new(bits: u8, group: usize) -> Self {
+        QuantSpec {
+            bits,
+            group,
+            clip: 1.0,
+        }
+    }
+
+    /// Returns a copy with the clipping factor set.
+    pub fn with_clip(mut self, clip: f32) -> Self {
+        self.clip = clip;
+        self
+    }
+
+    /// Number of groups needed for `cols` channels.
+    pub fn groups_for(&self, cols: usize) -> usize {
+        if self.group == usize::MAX {
+            return usize::from(cols > 0);
+        }
+        cols.div_ceil(self.group)
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when bits or clip are out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(2..=8).contains(&self.bits) {
+            return Err(format!("bits {} out of 2..=8", self.bits));
+        }
+        if self.group == 0 {
+            return Err("group must be positive".into());
+        }
+        if !(self.clip > 0.0 && self.clip <= 1.0) {
+            return Err(format!("clip {} out of (0, 1]", self.clip));
+        }
+        Ok(())
+    }
+}
+
+/// A symmetric group-quantized matrix: packed integers plus one FP16 scale
+/// per `(row, group)`.
+///
+/// # Example
+///
+/// ```
+/// use atom_kernels::{GroupQuantized, QuantSpec};
+/// use atom_tensor::Matrix;
+///
+/// let x = Matrix::from_rows(&[&[0.1, -0.5, 2.0, 0.7]]);
+/// let q = GroupQuantized::quantize(&x, QuantSpec::new(4, 2));
+/// let err = q.dequantize().mse(&x);
+/// assert!(err < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupQuantized {
+    spec: QuantSpec,
+    values: PackedMatrix,
+    /// `rows x n_groups` scales, rounded to the f16 grid.
+    scales: Matrix,
+}
+
+impl GroupQuantized {
+    /// Quantizes `x` row-wise with the paper's symmetric formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid.
+    pub fn quantize(x: &Matrix, spec: QuantSpec) -> Self {
+        spec.validate().expect("invalid quant spec");
+        let (rows, cols) = x.shape();
+        let group = spec.group.min(cols.max(1));
+        let n_groups = spec.groups_for(cols);
+        let qmax_pos = ((1i32 << (spec.bits - 1)) - 1) as f32;
+        let qmin = -(1i32 << (spec.bits - 1)) as f32;
+        let levels = ((1i32 << spec.bits) - 1) as f32;
+
+        let mut values = PackedMatrix::zeros(rows, cols, spec.bits);
+        let mut scales = Matrix::zeros(rows, n_groups);
+        for r in 0..rows {
+            let row = x.row(r);
+            for g in 0..n_groups {
+                let start = g * group;
+                let end = (start + group).min(cols);
+                let amax = row[start..end]
+                    .iter()
+                    .fold(0.0f32, |m, &v| m.max(v.abs()));
+                // Paper §2: s = 2 max|X| c / (2^n - 1).
+                let mut s = 2.0 * amax * spec.clip / levels;
+                if s <= 0.0 {
+                    s = 1.0; // all-zero group: any scale decodes to zeros
+                }
+                s = round_f16(s).max(f32::MIN_POSITIVE);
+                scales[(r, g)] = s;
+                #[allow(clippy::needless_range_loop)] // c also indexes the payload
+                for c in start..end {
+                    let q = (row[c] / s).round().clamp(qmin, qmax_pos) as i8;
+                    values.set(r, c, q);
+                }
+            }
+        }
+        GroupQuantized {
+            spec,
+            values,
+            scales,
+        }
+    }
+
+    /// The quantization spec.
+    pub fn spec(&self) -> QuantSpec {
+        self.spec
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.values.rows()
+    }
+
+    /// Number of columns (channels).
+    pub fn cols(&self) -> usize {
+        self.values.cols()
+    }
+
+    /// The packed integer payload.
+    pub fn values(&self) -> &PackedMatrix {
+        &self.values
+    }
+
+    /// The `rows x n_groups` scale matrix.
+    pub fn scales(&self) -> &Matrix {
+        &self.scales
+    }
+
+    /// Builds a container from pre-computed integers and scales (used by
+    /// GPTQ, which chooses the integers itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with the spec.
+    pub fn from_parts(spec: QuantSpec, values: PackedMatrix, scales: Matrix) -> Self {
+        spec.validate().expect("invalid quant spec");
+        assert_eq!(values.bits(), spec.bits, "payload bit width mismatch");
+        assert_eq!(scales.rows(), values.rows(), "scale rows mismatch");
+        assert_eq!(
+            scales.cols(),
+            spec.groups_for(values.cols()),
+            "scale group count mismatch"
+        );
+        GroupQuantized {
+            spec,
+            values,
+            scales,
+        }
+    }
+
+    /// Quantizes `x` with *pre-computed* per-group scales shared by every
+    /// row — the static-quantization variant the paper argues against in
+    /// §4.3 (scales come from calibration instead of the live input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scales.len()` does not match the group count or contains
+    /// non-positive values.
+    pub fn quantize_with_shared_scales(x: &Matrix, spec: QuantSpec, shared: &[f32]) -> Self {
+        spec.validate().expect("invalid quant spec");
+        let (rows, cols) = x.shape();
+        let group = spec.group.min(cols.max(1));
+        let n_groups = spec.groups_for(cols);
+        assert_eq!(shared.len(), n_groups, "shared scale count mismatch");
+        assert!(shared.iter().all(|&s| s > 0.0), "scales must be positive");
+        let qmax_pos = ((1i32 << (spec.bits - 1)) - 1) as f32;
+        let qmin = -(1i32 << (spec.bits - 1)) as f32;
+        let mut values = PackedMatrix::zeros(rows, cols, spec.bits);
+        let mut scales = Matrix::zeros(rows, n_groups);
+        for r in 0..rows {
+            let row = x.row(r);
+            for g in 0..n_groups {
+                let s = round_f16(shared[g]).max(f32::MIN_POSITIVE);
+                scales[(r, g)] = s;
+                let start = g * group;
+                let end = (start + group).min(cols);
+                #[allow(clippy::needless_range_loop)] // c also indexes the payload
+                for c in start..end {
+                    let q = (row[c] / s).round().clamp(qmin, qmax_pos) as i8;
+                    values.set(r, c, q);
+                }
+            }
+        }
+        GroupQuantized {
+            spec,
+            values,
+            scales,
+        }
+    }
+
+    /// Per-group scales that map a calibration sample's maxima onto the
+    /// grid — the offline half of static quantization. Returns one scale
+    /// per group.
+    pub fn calibrate_shared_scales(sample: &Matrix, spec: QuantSpec) -> Vec<f32> {
+        let cols = sample.cols();
+        let group = spec.group.min(cols.max(1));
+        let n_groups = spec.groups_for(cols);
+        let levels = ((1i32 << spec.bits) - 1) as f32;
+        (0..n_groups)
+            .map(|g| {
+                let start = g * group;
+                let end = (start + group).min(cols);
+                let mut amax = 0.0f32;
+                for r in 0..sample.rows() {
+                    for &v in &sample.row(r)[start..end] {
+                        amax = amax.max(v.abs());
+                    }
+                }
+                let s = 2.0 * amax * spec.clip / levels;
+                round_f16(if s > 0.0 { s } else { 1.0 }).max(f32::MIN_POSITIVE)
+            })
+            .collect()
+    }
+
+    /// Dequantizes to f32.
+    pub fn dequantize(&self) -> Matrix {
+        let (rows, cols) = (self.rows(), self.cols());
+        let group = self.spec.group.min(cols.max(1));
+        let mut out = Matrix::zeros(rows, cols);
+        let mut buf = vec![0i8; cols];
+        for r in 0..rows {
+            self.values.unpack_row(r, &mut buf);
+            let dst = out.row_mut(r);
+            for (c, (&q, d)) in buf.iter().zip(dst.iter_mut()).enumerate() {
+                let s = self.scales[(r, c / group)];
+                *d = q as f32 * s;
+            }
+        }
+        out
+    }
+
+    /// Real memory footprint: packed integers plus 16-bit scales.
+    pub fn packed_bytes(&self) -> usize {
+        self.values.packed_bytes() + self.scales.len() * 2
+    }
+
+    /// Effective bits per element including scales (paper §4.2 defines
+    /// `effective bit` as the average bits per element counting
+    /// quantization parameters).
+    pub fn effective_bits(&self) -> f64 {
+        8.0 * self.packed_bytes() as f64 / (self.rows() * self.cols()) as f64
+    }
+}
+
+/// Convenience: quantize then immediately dequantize ("fake quantization"),
+/// the standard tool for accuracy ablations.
+pub fn fake_quantize(x: &Matrix, spec: QuantSpec) -> Matrix {
+    GroupQuantized::quantize(x, spec).dequantize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atom_tensor::SeededRng;
+
+    #[test]
+    fn roundtrip_error_shrinks_with_bits() {
+        let mut rng = SeededRng::new(1);
+        let x = rng.normal_matrix(8, 64, 0.0, 1.0);
+        let mut last = f64::INFINITY;
+        for bits in [2u8, 3, 4, 6, 8] {
+            let err = fake_quantize(&x, QuantSpec::new(bits, 16)).mse(&x);
+            assert!(err < last, "error should drop with bits: {bits} -> {err}");
+            last = err;
+        }
+    }
+
+    #[test]
+    fn finer_groups_reduce_error_on_normal_channels() {
+        // This is exactly Atom's group-quantization argument: with a few
+        // high-magnitude channels in the row, per-channel scales are set by
+        // the outliers and crush the normal values; per-group scales adapt
+        // locally. Measure error on the *normal* channels only.
+        let mut rng = SeededRng::new(2);
+        let mut x = rng.normal_matrix(4, 128, 0.0, 1.0);
+        for r in 0..4 {
+            for c in 112..128 {
+                x[(r, c)] *= 50.0;
+            }
+        }
+        let normal_mse = |d: &Matrix| {
+            let mut e = 0.0f64;
+            for r in 0..4 {
+                for c in 0..112 {
+                    e += ((d[(r, c)] - x[(r, c)]) as f64).powi(2);
+                }
+            }
+            e / (4.0 * 112.0)
+        };
+        let coarse = normal_mse(&fake_quantize(&x, QuantSpec::new(4, usize::MAX)));
+        let fine = normal_mse(&fake_quantize(&x, QuantSpec::new(4, 16)));
+        assert!(
+            fine < coarse / 10.0,
+            "group quant should win on normal channels: fine {fine} vs coarse {coarse}"
+        );
+    }
+
+    #[test]
+    fn zero_matrix_roundtrips_exactly() {
+        let x = Matrix::zeros(3, 10);
+        let q = GroupQuantized::quantize(&x, QuantSpec::new(4, 4));
+        assert_eq!(q.dequantize(), x);
+    }
+
+    #[test]
+    fn scales_are_f16_representable() {
+        let mut rng = SeededRng::new(3);
+        let x = rng.normal_matrix(4, 32, 0.0, 3.0);
+        let q = GroupQuantized::quantize(&x, QuantSpec::new(4, 8));
+        for &s in q.scales().as_slice() {
+            assert_eq!(s, round_f16(s), "scale {s} not on f16 grid");
+        }
+    }
+
+    #[test]
+    fn quantized_values_in_range() {
+        let mut rng = SeededRng::new(4);
+        let x = rng.normal_matrix(4, 32, 0.0, 10.0);
+        for bits in [3u8, 4, 8] {
+            let q = GroupQuantized::quantize(&x, QuantSpec::new(bits, 8));
+            let lo = -(1i16 << (bits - 1)) as i8;
+            let hi = ((1i16 << (bits - 1)) - 1) as i8;
+            for v in q.values().unpack() {
+                assert!(v >= lo && v <= hi, "bits {bits}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn clipping_reduces_outlier_dominance() {
+        // One huge value per group; clipping trades its accuracy for the
+        // rest of the group.
+        let mut x = Matrix::full(1, 32, 0.1);
+        x[(0, 5)] = 100.0;
+        let unclipped = GroupQuantized::quantize(&x, QuantSpec::new(4, 32));
+        // The clip must bring the step below ~0.2 so the 0.1 values land on
+        // a nonzero level: s_unclipped = 2*100/15 = 13.3, so clip 0.01
+        // yields s = 0.133.
+        let clipped = GroupQuantized::quantize(&x, QuantSpec::new(4, 32).with_clip(0.01));
+        let small_err = |m: &Matrix| {
+            let mut e = 0.0f64;
+            for c in 0..32 {
+                if c != 5 {
+                    e += ((m[(0, c)] - 0.1) as f64).powi(2);
+                }
+            }
+            e
+        };
+        assert!(small_err(&clipped.dequantize()) < small_err(&unclipped.dequantize()));
+    }
+
+    #[test]
+    fn ragged_final_group() {
+        let mut rng = SeededRng::new(5);
+        let x = rng.normal_matrix(2, 10, 0.0, 1.0); // 10 cols, group 4 -> 3 groups
+        let spec = QuantSpec::new(4, 4);
+        assert_eq!(spec.groups_for(10), 3);
+        let q = GroupQuantized::quantize(&x, spec);
+        assert_eq!(q.scales().cols(), 3);
+        assert!(q.dequantize().mse(&x) < 0.05);
+    }
+
+    #[test]
+    fn effective_bits_matches_paper_formula() {
+        // Paper footnote 1: group 128 INT4 with FP16 scales has
+        // 4 + 16/128 = 4.125 effective bits (before outliers).
+        let x = Matrix::zeros(4, 512);
+        let q = GroupQuantized::quantize(&x, QuantSpec::new(4, 128));
+        assert!((q.effective_bits() - 4.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_channel_spec() {
+        let mut rng = SeededRng::new(6);
+        let x = rng.normal_matrix(3, 20, 0.0, 1.0);
+        let q = GroupQuantized::quantize(&x, QuantSpec::new(8, usize::MAX));
+        assert_eq!(q.scales().cols(), 1);
+        assert!(q.dequantize().mse(&x) < 1e-4);
+    }
+
+    #[test]
+    fn static_scales_roundtrip_on_calibration_like_data() {
+        let mut rng = SeededRng::new(7);
+        let sample = rng.normal_matrix(32, 32, 0.0, 1.0);
+        let spec = QuantSpec::new(4, 8);
+        let shared = GroupQuantized::calibrate_shared_scales(&sample, spec);
+        assert_eq!(shared.len(), 4);
+        let live = rng.normal_matrix(8, 32, 0.0, 1.0);
+        let q_static = GroupQuantized::quantize_with_shared_scales(&live, spec, &shared);
+        let q_dynamic = GroupQuantized::quantize(&live, spec);
+        let err_static = q_static.dequantize().mse(&live);
+        let err_dynamic = q_dynamic.dequantize().mse(&live);
+        // Dynamic adapts to the live input and must not lose; static stays
+        // usable when the distribution matches calibration.
+        assert!(err_dynamic <= err_static * 1.5, "{err_dynamic} vs {err_static}");
+        assert!(err_static < 0.1, "static error unusable: {err_static}");
+    }
+
+    #[test]
+    fn static_scales_fail_on_distribution_shift() {
+        // The paper's §4.3 argument: statically calculated parameters miss
+        // the live input's local distribution.
+        let mut rng = SeededRng::new(8);
+        let sample = rng.normal_matrix(32, 16, 0.0, 0.1); // calibrated small
+        let spec = QuantSpec::new(4, 8);
+        let shared = GroupQuantized::calibrate_shared_scales(&sample, spec);
+        let live = rng.normal_matrix(8, 16, 0.0, 5.0); // live is 50x larger
+        let err_static = GroupQuantized::quantize_with_shared_scales(&live, spec, &shared)
+            .dequantize()
+            .mse(&live);
+        let err_dynamic = GroupQuantized::quantize(&live, spec).dequantize().mse(&live);
+        assert!(
+            err_static > err_dynamic * 10.0,
+            "static should clip badly: {err_static} vs {err_dynamic}"
+        );
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        assert!(QuantSpec::new(1, 8).validate().is_err());
+        assert!(QuantSpec::new(9, 8).validate().is_err());
+        assert!(QuantSpec::new(4, 0).validate().is_err());
+        assert!(QuantSpec::new(4, 8).with_clip(0.0).validate().is_err());
+        assert!(QuantSpec::new(4, 8).with_clip(1.5).validate().is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Bit-exact packed low-bit CPU kernels for the Atom reproduction.
+//!
+//! The paper's CUDA kernels cannot run here, but their *numerics* can: this
+//! crate implements the same data layouts and arithmetic pipelines on the
+//! CPU, bit-for-bit —
+//!
+//! - [`packed`] — dense bit-packed integer matrices (2–8 bits per element,
+//!   INT4 packs two values per byte exactly like the GPU layout).
+//! - [`group`] — symmetric per-group quantized tensors with f16 scales: the
+//!   operand format of Atom's fused GEMM (paper §4.2).
+//! - [`gemm`] — integer GEMM with i32 accumulation, the fused
+//!   group-dequantization GEMM of Fig. 8, and the mixed-precision GEMM that
+//!   multiplies the INT4 normal region and the INT8 outlier region
+//!   separately and sums in FP32.
+//! - [`asym`] — asymmetric per-row quantized containers used by the
+//!   KV-cache (paper §4.4).
+//! - [`attention`] — self-attention with dequantize-on-load quantized KV,
+//!   mirroring the fused FlashInfer kernel.
+//!
+//! Every kernel has a reference implementation and is tested against it;
+//! the quantization *algorithms* (outlier selection, reordering, GPTQ,
+//! clipping search) live in the `atom` crate and produce these containers.
+
+pub mod asym;
+pub mod attention;
+pub mod gemm;
+pub mod group;
+pub mod packed;
+
+pub use asym::AsymQuantized;
+pub use group::{GroupQuantized, QuantSpec};
+pub use packed::PackedMatrix;
+
+/// Error type for kernel-level shape and parameter validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// Operand shapes are incompatible.
+    ShapeMismatch(String),
+    /// A quantization parameter is out of range.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::ShapeMismatch(s) => write!(f, "shape mismatch: {s}"),
+            KernelError::InvalidParameter(s) => write!(f, "invalid parameter: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}

@@ -1,0 +1,297 @@
+//! Bit-packed signed-integer matrices.
+//!
+//! [`PackedMatrix`] stores an `rows x cols` matrix of `bits`-wide signed
+//! integers with values biased to unsigned at rest, rows padded to byte
+//! boundaries — the same layout low-bit GPU kernels use (INT4 packs two
+//! values per byte). It is the storage substrate for both the symmetric
+//! group-quantized GEMM operands and the asymmetric KV-cache.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense matrix of `bits`-wide signed integers (2 ≤ bits ≤ 8).
+///
+/// Element `v` is stored as the unsigned value `v + 2^(bits-1)`; the signed
+/// range is `[-2^(bits-1), 2^(bits-1) - 1]` (e.g. `[-8, 7]` for INT4).
+///
+/// # Example
+///
+/// ```
+/// use atom_kernels::PackedMatrix;
+///
+/// let mut m = PackedMatrix::zeros(2, 3, 4);
+/// m.set(1, 2, -8);
+/// m.set(0, 0, 7);
+/// assert_eq!(m.get(1, 2), -8);
+/// assert_eq!(m.get(0, 0), 7);
+/// assert_eq!(m.packed_bytes(), 4); // 2 rows x ceil(3*4/8) = 2 bytes
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedMatrix {
+    rows: usize,
+    cols: usize,
+    bits: u8,
+    row_stride: usize,
+    data: Vec<u8>,
+}
+
+impl PackedMatrix {
+    /// Creates a matrix of zeros (the signed value `0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 8`.
+    pub fn zeros(rows: usize, cols: usize, bits: u8) -> Self {
+        assert!((2..=8).contains(&bits), "bits must be in 2..=8, got {bits}");
+        let row_stride = (cols * bits as usize).div_ceil(8);
+        let mut m = PackedMatrix {
+            rows,
+            cols,
+            bits,
+            row_stride,
+            data: vec![0u8; rows * row_stride],
+        };
+        // Biased representation of signed 0 is 2^(bits-1), not raw 0.
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, 0);
+            }
+        }
+        m
+    }
+
+    /// Builds a packed matrix from signed values in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != rows * cols` or any value is out of the
+    /// signed range of `bits`.
+    pub fn from_values(rows: usize, cols: usize, bits: u8, values: &[i8]) -> Self {
+        assert_eq!(values.len(), rows * cols, "value count mismatch");
+        let mut m = Self::zeros(rows, cols, bits);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, values[r * cols + c]);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Bit width per element.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Smallest representable signed value.
+    pub fn min_value(&self) -> i8 {
+        -(1i16 << (self.bits - 1)) as i8
+    }
+
+    /// Largest representable signed value.
+    pub fn max_value(&self) -> i8 {
+        ((1i16 << (self.bits - 1)) - 1) as i8
+    }
+
+    /// Bytes of packed storage (the real memory footprint).
+    pub fn packed_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Reads one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn get(&self, r: usize, c: usize) -> i8 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        let bits = self.bits as usize;
+        let bit_off = c * bits;
+        let byte = r * self.row_stride + bit_off / 8;
+        let shift = bit_off % 8;
+        // Read up to 16 bits covering the window.
+        let lo = self.data[byte] as u16;
+        let hi = if shift + bits > 8 {
+            self.data[byte + 1] as u16
+        } else {
+            0
+        };
+        let window = lo | (hi << 8);
+        let mask = (1u16 << bits) - 1;
+        let raw = ((window >> shift) & mask) as i16;
+        (raw - (1i16 << (bits - 1))) as i8
+    }
+
+    /// Writes one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices or out-of-range values.
+    pub fn set(&mut self, r: usize, c: usize, v: i8) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        assert!(
+            v >= self.min_value() && v <= self.max_value(),
+            "value {v} out of range for {} bits",
+            self.bits
+        );
+        let bits = self.bits as usize;
+        let raw = (v as i16 + (1i16 << (bits - 1))) as u16;
+        let bit_off = c * bits;
+        let byte = r * self.row_stride + bit_off / 8;
+        let shift = bit_off % 8;
+        let mask = ((1u16 << bits) - 1) << shift;
+        let mut window = self.data[byte] as u16;
+        if shift + bits > 8 {
+            window |= (self.data[byte + 1] as u16) << 8;
+        }
+        window = (window & !mask) | (raw << shift);
+        self.data[byte] = (window & 0xFF) as u8;
+        if shift + bits > 8 {
+            self.data[byte + 1] = (window >> 8) as u8;
+        }
+    }
+
+    /// Unpacks row `r` into `out` as signed i8 values.
+    ///
+    /// This is the hot path of every GEMM kernel: operand rows are unpacked
+    /// once into registers/cache-resident buffers before the integer MMA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.cols()`.
+    pub fn unpack_row(&self, r: usize, out: &mut [i8]) {
+        assert_eq!(out.len(), self.cols, "unpack buffer size mismatch");
+        let bits = self.bits as usize;
+        let bias = 1i16 << (bits - 1);
+        let mask = (1u16 << bits) - 1;
+        let row = &self.data[r * self.row_stride..(r + 1) * self.row_stride];
+        match bits {
+            8 => {
+                for (c, o) in out.iter_mut().enumerate() {
+                    *o = (row[c] as i16 - bias) as i8;
+                }
+            }
+            4 => {
+                // Two values per byte: the canonical INT4 nibble layout.
+                for (c, o) in out.iter_mut().enumerate() {
+                    let b = row[c / 2];
+                    let raw = if c % 2 == 0 { b & 0x0F } else { b >> 4 };
+                    *o = (raw as i16 - bias) as i8;
+                }
+            }
+            _ => {
+                for (c, o) in out.iter_mut().enumerate() {
+                    let bit_off = c * bits;
+                    let byte = bit_off / 8;
+                    let shift = bit_off % 8;
+                    let lo = row[byte] as u16;
+                    let hi = if shift + bits > 8 {
+                        row[byte + 1] as u16
+                    } else {
+                        0
+                    };
+                    let raw = ((lo | (hi << 8)) >> shift) & mask;
+                    *o = (raw as i16 - bias) as i8;
+                }
+            }
+        }
+    }
+
+    /// Unpacks the whole matrix into a row-major i8 buffer.
+    pub fn unpack(&self) -> Vec<i8> {
+        let mut out = vec![0i8; self.rows * self.cols];
+        for r in 0..self.rows {
+            self.unpack_row(r, &mut out[r * self.cols..(r + 1) * self.cols]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_bit_widths() {
+        for bits in 2..=8u8 {
+            let lo = -(1i16 << (bits - 1)) as i8;
+            let hi = ((1i16 << (bits - 1)) - 1) as i8;
+            let cols = 13; // odd to exercise byte-boundary crossings
+            let mut m = PackedMatrix::zeros(3, cols, bits);
+            let mut expected = Vec::new();
+            for r in 0..3 {
+                for c in 0..cols {
+                    let v = (lo as i32 + ((r * cols + c) as i32 % (hi as i32 - lo as i32 + 1))) as i8;
+                    m.set(r, c, v);
+                    expected.push(v);
+                }
+            }
+            for r in 0..3 {
+                for c in 0..cols {
+                    assert_eq!(m.get(r, c), expected[r * cols + c], "bits={bits} r={r} c={c}");
+                }
+            }
+            assert_eq!(m.unpack(), expected, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn int4_packs_two_per_byte() {
+        let m = PackedMatrix::zeros(1, 128, 4);
+        assert_eq!(m.packed_bytes(), 64);
+        let m8 = PackedMatrix::zeros(1, 128, 8);
+        assert_eq!(m8.packed_bytes(), 128);
+        let m3 = PackedMatrix::zeros(1, 128, 3);
+        assert_eq!(m3.packed_bytes(), 48);
+    }
+
+    #[test]
+    fn zeros_decode_to_zero() {
+        for bits in 2..=8u8 {
+            let m = PackedMatrix::zeros(2, 5, bits);
+            assert!(m.unpack().iter().all(|&v| v == 0), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn extremes_roundtrip() {
+        let mut m = PackedMatrix::zeros(1, 2, 4);
+        m.set(0, 0, -8);
+        m.set(0, 1, 7);
+        assert_eq!(m.get(0, 0), -8);
+        assert_eq!(m.get(0, 1), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn overflow_value_panics() {
+        let mut m = PackedMatrix::zeros(1, 1, 4);
+        m.set(0, 0, 8);
+    }
+
+    #[test]
+    fn from_values_matches_sets() {
+        let vals: Vec<i8> = vec![-2, -1, 0, 1, -2, 1];
+        let m = PackedMatrix::from_values(2, 3, 2, &vals);
+        assert_eq!(m.unpack(), vals);
+    }
+
+    #[test]
+    fn neighbors_do_not_clobber() {
+        let mut m = PackedMatrix::zeros(1, 8, 3);
+        for c in 0..8 {
+            m.set(0, c, (c as i8) - 4);
+        }
+        m.set(0, 3, 3); // rewrite middle element
+        let expect: Vec<i8> = vec![-4, -3, -2, 3, 0, 1, 2, 3];
+        assert_eq!(m.unpack(), expect);
+    }
+}

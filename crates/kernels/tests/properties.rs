@@ -1,0 +1,152 @@
+//! Property-based tests of the kernel crate's quantization invariants.
+
+use atom_kernels::gemm::{fused_group_gemm, reference_gemm};
+use atom_kernels::{AsymQuantized, GroupQuantized, PackedMatrix, QuantSpec};
+use atom_tensor::Matrix;
+use proptest::prelude::*;
+
+fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-50.0f32..50.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn packed_matrix_roundtrips(
+        bits in 2u8..=8,
+        rows in 1usize..5,
+        cols in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = atom_tensor::SeededRng::new(seed);
+        let lo = -(1i16 << (bits - 1)) as i32;
+        let hi = (1i16 << (bits - 1)) as i32 - 1;
+        let values: Vec<i8> = (0..rows * cols)
+            .map(|_| (lo + rng.below((hi - lo + 1) as usize) as i32) as i8)
+            .collect();
+        let m = PackedMatrix::from_values(rows, cols, bits, &values);
+        prop_assert_eq!(m.unpack(), values);
+    }
+
+    #[test]
+    fn symmetric_quantization_error_bounded(m in matrix(1..6, 1..48), bits in 3u8..=8) {
+        let spec = QuantSpec::new(bits, 16);
+        let q = GroupQuantized::quantize(&m, spec);
+        let d = q.dequantize();
+        let group = 16usize;
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                let g = c / group;
+                let s = q.scales()[(r, g)];
+                let err = (m[(r, c)] - d[(r, c)]).abs();
+                // Half a step plus f16 scale-rounding slack.
+                prop_assert!(
+                    err <= 0.5 * s + m[(r, c)].abs() * 2e-3 + 1e-6,
+                    "err {err} vs step {s} at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_quantization_error_bounded(m in matrix(1..6, 2..32), bits in 3u8..=8) {
+        let q = AsymQuantized::quantize(&m, bits);
+        let d = q.dequantize();
+        let levels = ((1u32 << bits) - 1) as f32;
+        for r in 0..m.rows() {
+            let row = m.row(r);
+            let lo = row.iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let step = ((hi - lo) / levels).max(f32::MIN_POSITIVE);
+            for (a, b) in row.iter().zip(d.row(r)) {
+                prop_assert!(
+                    (a - b).abs() <= 0.51 * step + a.abs() * 2e-3 + 1e-6,
+                    "row {r}: {a} vs {b}, step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn requantization_moves_at_most_one_step(m in matrix(1..4, 1..24), bits in 3u8..=8) {
+        // The paper's scale formula s = 2*amax/(2^n - 1) never places amax
+        // itself on the grid (it maps to the half-step (2^n-1)/2), so
+        // quantization is NOT idempotent — but a second pass may move each
+        // value by at most one step of its new scale.
+        let spec = QuantSpec::new(bits, 8);
+        let q2 = GroupQuantized::quantize(
+            &GroupQuantized::quantize(&m, spec).dequantize(),
+            spec,
+        );
+        let once = GroupQuantized::quantize(&m, spec).dequantize();
+        let twice = q2.dequantize();
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                let s = q2.scales()[(r, c / 8)];
+                let delta = (once[(r, c)] - twice[(r, c)]).abs();
+                prop_assert!(delta <= s + 1e-6, "moved {delta} with step {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_gemm_equals_reference(
+        seed in 0u64..500,
+        m in 1usize..5,
+        n in 1usize..6,
+        groups in 1usize..4,
+        bits in 3u8..=8,
+    ) {
+        let k = groups * 8;
+        let mut rng = atom_tensor::SeededRng::new(seed);
+        let a = rng.normal_matrix(m, k, 0.0, 1.0);
+        let w = rng.normal_matrix(n, k, 0.0, 1.0);
+        let qa = GroupQuantized::quantize(&a, QuantSpec::new(bits, 8));
+        let qw = GroupQuantized::quantize(&w, QuantSpec::new(bits, 8));
+        let fused = fused_group_gemm(&qa, &qw).unwrap();
+        let reference = reference_gemm(&qa, &qw);
+        for (x, y) in fused.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn packed_bytes_monotone_in_bits(rows in 1usize..8, cols in 8usize..64) {
+        let mut last = 0usize;
+        for bits in 2u8..=8 {
+            let m = PackedMatrix::zeros(rows, cols, bits);
+            prop_assert!(m.packed_bytes() >= last);
+            last = m.packed_bytes();
+        }
+    }
+
+    #[test]
+    fn effective_bits_at_least_nominal(m in matrix(2..4, 16..64), bits in 2u8..=8) {
+        let q = GroupQuantized::quantize(&m, QuantSpec::new(bits, 16));
+        prop_assert!(q.effective_bits() >= bits as f64 - 1e-9);
+        // Scales add at most 16/group + packing slack.
+        prop_assert!(q.effective_bits() <= bits as f64 + 16.0 / 16.0 + 8.0);
+    }
+
+    #[test]
+    fn shared_scale_quantization_stays_on_grid(
+        seed in 0u64..200,
+        cols in 8usize..33,
+    ) {
+        let mut rng = atom_tensor::SeededRng::new(seed);
+        let sample = rng.normal_matrix(16, cols, 0.0, 1.0);
+        let spec = QuantSpec::new(4, 8);
+        let shared = GroupQuantized::calibrate_shared_scales(&sample, spec);
+        let live = rng.normal_matrix(4, cols, 0.0, 1.0);
+        let q = GroupQuantized::quantize_with_shared_scales(&live, spec, &shared);
+        // Every scale row equals the shared scales.
+        for r in 0..q.scales().rows() {
+            for (g, &sh) in shared.iter().enumerate() {
+                let expect = atom_tensor::f16::round_f16(sh).max(f32::MIN_POSITIVE);
+                prop_assert_eq!(q.scales()[(r, g)], expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Prints validation perplexity of every zoo model on the three corpora.
+use atom_data::CorpusStyle;
+use atom_nn::{eval, zoo};
+
+fn main() {
+    for id in zoo::ZooId::all() {
+        let model = zoo::trained(id);
+        print!("{:8}", id.label());
+        for style in CorpusStyle::all() {
+            let toks = zoo::validation_tokens(style);
+            let ppl = eval::perplexity(&model, &toks[..toks.len().min(3000)], 96);
+            print!("  {}={:.3}", style, ppl);
+        }
+        println!();
+    }
+}

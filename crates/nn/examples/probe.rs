@@ -1,0 +1,27 @@
+//! Probes the Large zoo model with hand-picked task-style prompts and
+//! prints per-option likelihoods — a quick check that the lexicon facts
+//! were absorbed during training.
+use atom_nn::{eval, zoo};
+use atom_data::Tokenizer;
+
+fn main() {
+    let model = zoo::trained(zoo::ZooId::Large);
+    let tok = Tokenizer::new();
+    for (prompt, opts) in [
+        ("the robin is a", vec![" bird .", " fish .", " tool ."]),
+        ("the hammer is a", vec![" tool .", " bird .", " vessel ."]),
+        ("the lighthouse is a", vec![" building .", " fish .", " mammal ."]),
+        ("is the robin a bird ?", vec![" yes .", " no ."]),
+        ("is the robin a fish ?", vec![" yes .", " no ."]),
+        ("to strike a nail , use the", vec![" hammer .", " violin .", " ferry ."]),
+        ("one wolf howls while two wolfs", vec![" howl .", " howls ."]),
+    ] {
+        let p = tok.encode(prompt);
+        print!("{prompt:35}");
+        for o in &opts {
+            let lp = eval::continuation_logprob(&model, &p, &tok.encode(o));
+            print!("  {o:?}={lp:.3}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,734 @@
+//! Tape-based reverse-mode automatic differentiation over
+//! [`atom_tensor::Matrix`].
+//!
+//! The engine is a classic Wengert list: every operation appends a node
+//! holding its result and a pure backward function mapping the upstream
+//! gradient plus the parent values to parent gradients. It implements
+//! exactly the operator set a Llama-style decoder needs — embedding gather,
+//! `x @ W^T` linears, attention matmuls, RMSNorm, SiLU, RoPE, causally
+//! masked softmax, and mean cross-entropy — nothing more.
+//!
+//! The models in this reproduction are small enough (≲2M parameters) that
+//! cloning parameter matrices onto a fresh tape every step is cheap relative
+//! to the matmuls themselves.
+
+use atom_tensor::{ops, Matrix};
+
+/// Handle to a tensor on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorId(usize);
+
+type BackwardFn = Box<dyn Fn(&Matrix, &[&Matrix]) -> Vec<Matrix>>;
+
+struct Node {
+    value: Matrix,
+    parents: Vec<TensorId>,
+    backward: Option<BackwardFn>,
+}
+
+/// A single-use computation tape.
+///
+/// Build the forward graph with the op methods, call [`Tape::backward`] on a
+/// scalar loss, then read gradients with [`Tape::grad`].
+///
+/// # Example
+///
+/// ```
+/// use atom_nn::autograd::Tape;
+/// use atom_tensor::Matrix;
+///
+/// let mut tape = Tape::new();
+/// let x = tape.leaf(Matrix::from_row(&[2.0, 3.0]));
+/// let y = tape.mul(x, x); // y = x^2 elementwise
+/// let loss = tape.sum(y);
+/// tape.backward(loss);
+/// let g = tape.grad(x).unwrap();
+/// assert_eq!(g.as_slice(), &[4.0, 6.0]); // d(x^2)/dx = 2x
+/// ```
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Matrix>>,
+}
+
+impl std::fmt::Debug for Tape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tape({} nodes)", self.nodes.len())
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, parents: Vec<TensorId>, backward: Option<BackwardFn>) -> TensorId {
+        self.nodes.push(Node {
+            value,
+            parents,
+            backward,
+        });
+        TensorId(self.nodes.len() - 1)
+    }
+
+    /// Registers an input tensor (parameter or data). Gradients are
+    /// accumulated for every leaf.
+    pub fn leaf(&mut self, value: Matrix) -> TensorId {
+        self.push(value, Vec::new(), None)
+    }
+
+    /// The forward value of a tensor.
+    pub fn value(&self, id: TensorId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    /// The gradient of a tensor after [`Tape::backward`]; `None` if the
+    /// tensor did not influence the loss or backward has not run.
+    pub fn grad(&self, id: TensorId) -> Option<&Matrix> {
+        self.grads.get(id.0).and_then(|g| g.as_ref())
+    }
+
+    // ------------------------------------------------------------------
+    // Operator set
+    // ------------------------------------------------------------------
+
+    /// Row gather: `out[r] = weight[tokens[r]]` (embedding lookup).
+    pub fn embedding(&mut self, weight: TensorId, tokens: &[u16]) -> TensorId {
+        let w = self.value(weight);
+        let dim = w.cols();
+        let vocab = w.rows();
+        let mut out = Matrix::zeros(tokens.len(), dim);
+        for (r, &t) in tokens.iter().enumerate() {
+            assert!((t as usize) < vocab, "token {t} out of vocabulary {vocab}");
+            out.row_mut(r).copy_from_slice(w.row(t as usize));
+        }
+        let toks: Vec<u16> = tokens.to_vec();
+        self.push(
+            out,
+            vec![weight],
+            Some(Box::new(move |g, parents| {
+                let w = parents[0];
+                let mut dw = Matrix::zeros(w.rows(), w.cols());
+                for (r, &t) in toks.iter().enumerate() {
+                    let dst = dw.row_mut(t as usize);
+                    for (d, s) in dst.iter_mut().zip(g.row(r)) {
+                        *d += s;
+                    }
+                }
+                vec![dw]
+            })),
+        )
+    }
+
+    /// Linear layer `a @ w^T` with `w` stored `out_features x in_features`.
+    pub fn matmul_nt(&mut self, a: TensorId, w: TensorId) -> TensorId {
+        let out = self.value(a).matmul_nt(self.value(w));
+        self.push(
+            out,
+            vec![a, w],
+            Some(Box::new(|g, parents| {
+                let (a, w) = (parents[0], parents[1]);
+                let da = g.matmul(w); // (m x out) @ (out x in)
+                let dw = g.transpose().matmul(a); // (out x m) @ (m x in)
+                vec![da, dw]
+            })),
+        )
+    }
+
+    /// Plain matrix product `a @ b`.
+    pub fn matmul(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let out = self.value(a).matmul(self.value(b));
+        self.push(
+            out,
+            vec![a, b],
+            Some(Box::new(|g, parents| {
+                let (a, b) = (parents[0], parents[1]);
+                let da = g.matmul_nt(b); // g @ b^T
+                let db = a.transpose().matmul(g);
+                vec![da, db]
+            })),
+        )
+    }
+
+    /// Element-wise sum of two same-shape tensors.
+    pub fn add(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let out = self.value(a).add(self.value(b));
+        self.push(
+            out,
+            vec![a, b],
+            Some(Box::new(|g, _| vec![g.clone(), g.clone()])),
+        )
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let out = self.value(a).hadamard(self.value(b));
+        self.push(
+            out,
+            vec![a, b],
+            Some(Box::new(|g, parents| {
+                vec![g.hadamard(parents[1]), g.hadamard(parents[0])]
+            })),
+        )
+    }
+
+    /// Multiplication by a compile-time constant.
+    pub fn scale(&mut self, a: TensorId, s: f32) -> TensorId {
+        let out = self.value(a).scaled(s);
+        self.push(
+            out,
+            vec![a],
+            Some(Box::new(move |g, _| vec![g.scaled(s)])),
+        )
+    }
+
+    /// Broadcast product of a `T x d` tensor with a `T x 1` column (used to
+    /// weight MoE expert outputs by their router gate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is not `T x 1`.
+    pub fn mul_broadcast_col(&mut self, a: TensorId, col: TensorId) -> TensorId {
+        let av = self.value(a);
+        let cv = self.value(col);
+        assert_eq!(cv.cols(), 1, "broadcast operand must have one column");
+        assert_eq!(cv.rows(), av.rows(), "broadcast height mismatch");
+        let mut out = av.clone();
+        for r in 0..out.rows() {
+            let s = cv[(r, 0)];
+            for v in out.row_mut(r) {
+                *v *= s;
+            }
+        }
+        self.push(
+            out,
+            vec![a, col],
+            Some(Box::new(|g, parents| {
+                let (a, c) = (parents[0], parents[1]);
+                let mut da = g.clone();
+                for r in 0..da.rows() {
+                    let s = c[(r, 0)];
+                    for v in da.row_mut(r) {
+                        *v *= s;
+                    }
+                }
+                let mut dc = Matrix::zeros(c.rows(), 1);
+                for r in 0..a.rows() {
+                    let dot: f32 = g.row(r).iter().zip(a.row(r)).map(|(g, a)| g * a).sum();
+                    dc[(r, 0)] = dot;
+                }
+                vec![da, dc]
+            })),
+        )
+    }
+
+    /// Sum of all elements, producing a `1 x 1` tensor.
+    pub fn sum(&mut self, a: TensorId) -> TensorId {
+        let total: f32 = self.value(a).as_slice().iter().sum();
+        self.push(
+            Matrix::from_row(&[total]),
+            vec![a],
+            Some(Box::new(|g, parents| {
+                let s = g[(0, 0)];
+                vec![Matrix::full(parents[0].rows(), parents[0].cols(), s)]
+            })),
+        )
+    }
+
+    /// RMSNorm over rows with a learned `1 x d` gain vector.
+    pub fn rmsnorm(&mut self, x: TensorId, gain: TensorId, eps: f32) -> TensorId {
+        let xv = self.value(x);
+        let gv = self.value(gain);
+        assert_eq!(gv.rows(), 1, "gain must be a row vector");
+        assert_eq!(gv.cols(), xv.cols(), "gain width mismatch");
+        let out = ops::rmsnorm_rows(xv, gv.row(0), eps);
+        self.push(
+            out,
+            vec![x, gain],
+            Some(Box::new(move |g, parents| {
+                let (x, gain) = (parents[0], parents[1]);
+                let n = x.cols() as f32;
+                let gr = gain.row(0);
+                let mut dx = Matrix::zeros(x.rows(), x.cols());
+                let mut dgain = Matrix::zeros(1, x.cols());
+                for r in 0..x.rows() {
+                    let xr = x.row(r);
+                    let gy = g.row(r);
+                    let ms: f32 = xr.iter().map(|v| v * v).sum::<f32>() / n;
+                    let inv = 1.0 / (ms + eps).sqrt();
+                    // s = sum_j gy_j * gain_j * x_j
+                    let s: f32 = gy
+                        .iter()
+                        .zip(gr.iter())
+                        .zip(xr.iter())
+                        .map(|((gy, g), x)| gy * g * x)
+                        .sum();
+                    let dxr = dx.row_mut(r);
+                    for i in 0..xr.len() {
+                        dxr[i] = inv * gr[i] * gy[i] - xr[i] * s * inv * inv * inv / n;
+                    }
+                    let dg = dgain.row_mut(0);
+                    for i in 0..xr.len() {
+                        dg[i] += gy[i] * xr[i] * inv;
+                    }
+                }
+                vec![dx, dgain]
+            })),
+        )
+    }
+
+    /// SiLU activation.
+    pub fn silu(&mut self, x: TensorId) -> TensorId {
+        let out = self.value(x).map(ops::silu);
+        self.push(
+            out,
+            vec![x],
+            Some(Box::new(|g, parents| {
+                let x = parents[0];
+                let mut dx = g.clone();
+                for (d, &v) in dx.as_mut_slice().iter_mut().zip(x.as_slice()) {
+                    let sig = 1.0 / (1.0 + (-v).exp());
+                    *d *= sig * (1.0 + v * (1.0 - sig));
+                }
+                vec![dx]
+            })),
+        )
+    }
+
+    /// Rotary position embedding with fixed positions (not differentiated
+    /// with respect to positions; the rotation is orthogonal so the backward
+    /// pass is the inverse rotation).
+    pub fn rope(&mut self, x: TensorId, positions: &[usize], head_dim: usize, theta: f32) -> TensorId {
+        let mut out = self.value(x).clone();
+        ops::rope_in_place(&mut out, positions, head_dim, theta);
+        let pos: Vec<usize> = positions.to_vec();
+        self.push(
+            out,
+            vec![x],
+            Some(Box::new(move |g, _| {
+                let mut dx = g.clone();
+                ops::rope_inverse_in_place(&mut dx, &pos, head_dim, theta);
+                vec![dx]
+            })),
+        )
+    }
+
+    /// Causally masked row softmax: entry `(q, k)` is masked out when
+    /// `k > q + offset` (see [`atom_tensor::ops::causal_mask_in_place`]).
+    pub fn masked_softmax(&mut self, scores: TensorId, offset: usize) -> TensorId {
+        let mut masked = self.value(scores).clone();
+        ops::causal_mask_in_place(&mut masked, offset);
+        let probs = ops::softmax_rows(&masked);
+        let probs_for_backward = probs.clone();
+        self.push(
+            probs,
+            vec![scores],
+            Some(Box::new(move |g, _| {
+                let p = &probs_for_backward;
+                let mut dx = Matrix::zeros(p.rows(), p.cols());
+                for r in 0..p.rows() {
+                    let pr = p.row(r);
+                    let gr = g.row(r);
+                    let dot: f32 = pr.iter().zip(gr.iter()).map(|(p, g)| p * g).sum();
+                    let dr = dx.row_mut(r);
+                    for i in 0..pr.len() {
+                        dr[i] = pr[i] * (gr[i] - dot);
+                    }
+                }
+                vec![dx]
+            })),
+        )
+    }
+
+    /// Extracts columns `[start, end)` (e.g. one attention head).
+    pub fn slice_cols(&mut self, x: TensorId, start: usize, end: usize) -> TensorId {
+        let out = self.value(x).slice_cols(start, end);
+        self.push(
+            out,
+            vec![x],
+            Some(Box::new(move |g, parents| {
+                let x = parents[0];
+                let mut dx = Matrix::zeros(x.rows(), x.cols());
+                for r in 0..x.rows() {
+                    dx.row_mut(r)[start..end].copy_from_slice(g.row(r));
+                }
+                vec![dx]
+            })),
+        )
+    }
+
+    /// Horizontally concatenates several same-height tensors (reassembling
+    /// attention heads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or heights differ.
+    pub fn hstack(&mut self, parts: &[TensorId]) -> TensorId {
+        assert!(!parts.is_empty(), "hstack of zero tensors");
+        let mut out = self.value(parts[0]).clone();
+        for &p in &parts[1..] {
+            out = out.hstack(self.value(p));
+        }
+        let widths: Vec<usize> = parts.iter().map(|&p| self.value(p).cols()).collect();
+        self.push(
+            out,
+            parts.to_vec(),
+            Some(Box::new(move |g, _| {
+                let mut grads = Vec::with_capacity(widths.len());
+                let mut start = 0;
+                for &w in &widths {
+                    grads.push(g.slice_cols(start, start + w));
+                    start += w;
+                }
+                grads
+            })),
+        )
+    }
+
+    /// Mean token cross-entropy between `logits` (`T x vocab`) and target
+    /// ids, producing a `1 x 1` loss tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len() != logits.rows()` or a target is out of
+    /// vocabulary.
+    pub fn cross_entropy_mean(&mut self, logits: TensorId, targets: &[u16]) -> TensorId {
+        let lv = self.value(logits);
+        assert_eq!(targets.len(), lv.rows(), "targets length mismatch");
+        let t = lv.rows() as f32;
+        let mut total = 0.0f32;
+        let mut probs = Matrix::zeros(lv.rows(), lv.cols());
+        for (r, &t_id) in targets.iter().enumerate() {
+            let ls = ops::log_softmax(lv.row(r));
+            let target = t_id as usize;
+            assert!(target < lv.cols(), "target {target} out of vocabulary");
+            total -= ls[target];
+            let pr = probs.row_mut(r);
+            for (p, &l) in pr.iter_mut().zip(ls.iter()) {
+                *p = l.exp();
+            }
+        }
+        let targets: Vec<u16> = targets.to_vec();
+        self.push(
+            Matrix::from_row(&[total / t]),
+            vec![logits],
+            Some(Box::new(move |g, _| {
+                let s = g[(0, 0)] / t;
+                let mut dl = probs.clone();
+                for (r, &target) in targets.iter().enumerate() {
+                    dl.row_mut(r)[target as usize] -= 1.0;
+                }
+                dl.scale_in_place(s);
+                vec![dl]
+            })),
+        )
+    }
+
+    /// Runs the backward pass from a scalar loss tensor, accumulating
+    /// gradients for every contributing node (including leaves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a `1 x 1` tensor.
+    pub fn backward(&mut self, loss: TensorId) {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "loss must be scalar"
+        );
+        self.grads = (0..self.nodes.len()).map(|_| None).collect();
+        self.grads[loss.0] = Some(Matrix::from_row(&[1.0]));
+        for i in (0..=loss.0).rev() {
+            let Some(g) = self.grads[i].clone() else {
+                continue;
+            };
+            let node = &self.nodes[i];
+            let Some(backward) = &node.backward else {
+                continue;
+            };
+            let parent_values: Vec<&Matrix> =
+                node.parents.iter().map(|p| &self.nodes[p.0].value).collect();
+            let parent_grads = backward(&g, &parent_values);
+            assert_eq!(
+                parent_grads.len(),
+                node.parents.len(),
+                "backward returned wrong arity"
+            );
+            let parents = node.parents.clone();
+            for (p, pg) in parents.into_iter().zip(parent_grads) {
+                match &mut self.grads[p.0] {
+                    Some(existing) => existing.add_scaled_in_place(&pg, 1.0),
+                    slot @ None => *slot = Some(pg),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atom_tensor::SeededRng;
+
+    /// Central-difference gradient check for a scalar function of one leaf.
+    fn grad_check(
+        build: impl Fn(&mut Tape, TensorId) -> TensorId,
+        input: Matrix,
+        tol: f32,
+    ) {
+        // Analytic gradient.
+        let mut tape = Tape::new();
+        let x = tape.leaf(input.clone());
+        let loss = build(&mut tape, x);
+        tape.backward(loss);
+        let analytic = tape.grad(x).expect("input must receive gradient").clone();
+
+        // Numeric gradient.
+        let eps = 1e-3f32;
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let f = |m: Matrix| {
+                let mut t = Tape::new();
+                let x = t.leaf(m);
+                let l = build(&mut t, x);
+                t.value(l)[(0, 0)]
+            };
+            let numeric = (f(plus) - f(minus)) / (2.0 * eps);
+            let got = analytic.as_slice()[i];
+            assert!(
+                (numeric - got).abs() < tol + 0.02 * numeric.abs(),
+                "grad mismatch at {i}: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn square_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::from_row(&[2.0, -3.0]));
+        let y = tape.mul(x, x);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert_eq!(tape.grad(x).unwrap().as_slice(), &[4.0, -6.0]);
+    }
+
+    #[test]
+    fn matmul_nt_grad_check() {
+        let mut rng = SeededRng::new(1);
+        let w = rng.normal_matrix(3, 4, 0.0, 1.0);
+        let input = rng.normal_matrix(2, 4, 0.0, 1.0);
+        grad_check(
+            move |t, x| {
+                let w = t.leaf(w.clone());
+                let y = t.matmul_nt(x, w);
+                let y2 = t.mul(y, y);
+                t.sum(y2)
+            },
+            input,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn matmul_weight_grad_check() {
+        let mut rng = SeededRng::new(2);
+        let a = rng.normal_matrix(2, 3, 0.0, 1.0);
+        let w_init = rng.normal_matrix(4, 3, 0.0, 1.0);
+        grad_check(
+            move |t, w| {
+                let a = t.leaf(a.clone());
+                let y = t.matmul_nt(a, w);
+                let y2 = t.mul(y, y);
+                t.sum(y2)
+            },
+            w_init,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn plain_matmul_grad_check() {
+        let mut rng = SeededRng::new(3);
+        let b = rng.normal_matrix(3, 2, 0.0, 1.0);
+        let input = rng.normal_matrix(2, 3, 0.0, 1.0);
+        grad_check(
+            move |t, a| {
+                let b = t.leaf(b.clone());
+                let y = t.matmul(a, b);
+                let y2 = t.mul(y, y);
+                t.sum(y2)
+            },
+            input,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn rmsnorm_grad_check() {
+        let mut rng = SeededRng::new(4);
+        let gain = rng.normal_matrix(1, 5, 1.0, 0.1);
+        let input = rng.normal_matrix(3, 5, 0.0, 2.0);
+        grad_check(
+            move |t, x| {
+                let g = t.leaf(gain.clone());
+                let y = t.rmsnorm(x, g, 1e-5);
+                let y2 = t.mul(y, y);
+                t.sum(y2)
+            },
+            input,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn rmsnorm_gain_grad_check() {
+        let mut rng = SeededRng::new(5);
+        let x = rng.normal_matrix(3, 5, 0.0, 1.5);
+        let gain_init = rng.normal_matrix(1, 5, 1.0, 0.1);
+        grad_check(
+            move |t, gain| {
+                let x = t.leaf(x.clone());
+                let y = t.rmsnorm(x, gain, 1e-5);
+                let y2 = t.mul(y, y);
+                t.sum(y2)
+            },
+            gain_init,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn silu_grad_check() {
+        let mut rng = SeededRng::new(6);
+        let input = rng.normal_matrix(2, 6, 0.0, 2.0);
+        grad_check(
+            |t, x| {
+                let y = t.silu(x);
+                let y2 = t.mul(y, y);
+                t.sum(y2)
+            },
+            input,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn rope_grad_check() {
+        let mut rng = SeededRng::new(7);
+        let input = rng.normal_matrix(3, 8, 0.0, 1.0);
+        grad_check(
+            |t, x| {
+                let y = t.rope(x, &[0, 3, 7], 4, 100.0);
+                let y2 = t.mul(y, y);
+                t.sum(y2)
+            },
+            input,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn masked_softmax_grad_check() {
+        let mut rng = SeededRng::new(8);
+        let input = rng.normal_matrix(3, 3, 0.0, 1.0);
+        grad_check(
+            |t, x| {
+                let p = t.masked_softmax(x, 0);
+                let p2 = t.mul(p, p);
+                t.sum(p2)
+            },
+            input,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn cross_entropy_grad_check() {
+        let mut rng = SeededRng::new(9);
+        let input = rng.normal_matrix(3, 5, 0.0, 1.0);
+        grad_check(
+            |t, x| t.cross_entropy_mean(x, &[1, 4, 0]),
+            input,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn embedding_scatters_gradient() {
+        let mut tape = Tape::new();
+        let w = tape.leaf(Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 2.0]]));
+        let e = tape.embedding(w, &[2, 0, 2]);
+        let loss = tape.sum(e);
+        tape.backward(loss);
+        let g = tape.grad(w).unwrap();
+        // Row 2 was gathered twice, row 0 once, row 1 never.
+        assert_eq!(g.row(0), &[1.0, 1.0]);
+        assert_eq!(g.row(1), &[0.0, 0.0]);
+        assert_eq!(g.row(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn slice_hstack_roundtrip_gradient() {
+        let mut rng = SeededRng::new(10);
+        let input = rng.normal_matrix(2, 6, 0.0, 1.0);
+        grad_check(
+            |t, x| {
+                let a = t.slice_cols(x, 0, 3);
+                let b = t.slice_cols(x, 3, 6);
+                let y = t.hstack(&[b, a]);
+                let y2 = t.mul(y, y);
+                t.sum(y2)
+            },
+            input,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn reused_node_accumulates_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::from_row(&[3.0]));
+        let y = tape.add(x, x); // y = 2x
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert_eq!(tape.grad(x).unwrap().as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn attention_shaped_graph_grad_check() {
+        // A miniature single-head attention: checks the composition of
+        // matmul, scale, masked softmax, and matmul.
+        let mut rng = SeededRng::new(11);
+        let k = rng.normal_matrix(4, 3, 0.0, 1.0);
+        let v = rng.normal_matrix(4, 3, 0.0, 1.0);
+        let input = rng.normal_matrix(4, 3, 0.0, 1.0); // queries
+        grad_check(
+            move |t, q| {
+                let k = t.leaf(k.clone());
+                let v = t.leaf(v.clone());
+                let scores = t.matmul_nt(q, k);
+                let scaled = t.scale(scores, 1.0 / 3.0f32.sqrt());
+                let probs = t.masked_softmax(scaled, 0);
+                let out = t.matmul(probs, v);
+                let o2 = t.mul(out, out);
+                t.sum(o2)
+            },
+            input,
+            2e-2,
+        );
+    }
+}

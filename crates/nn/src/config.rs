@@ -1,0 +1,160 @@
+//! Model configuration for the Llama-family architectures used in the
+//! reproduction.
+
+use serde::{Deserialize, Serialize};
+
+/// Architecture hyperparameters of a decoder-only Llama-style model.
+///
+/// The reproduction's model zoo instantiates this at four sizes standing in
+/// for Llama 7B/13B/30B/65B, plus a GQA variant ("Llama-2-like") and an MoE
+/// variant ("Mixtral-like") for the paper's Table 4 generality study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Vocabulary size (the tokenizer's 96 symbols).
+    pub vocab: usize,
+    /// Hidden dimension.
+    pub dim: usize,
+    /// Number of transformer blocks.
+    pub layers: usize,
+    /// Number of query heads; must divide `dim`.
+    pub heads: usize,
+    /// Number of key/value heads; equal to `heads` for MHA, smaller for GQA.
+    /// Must divide `heads`.
+    pub kv_heads: usize,
+    /// Hidden dimension of the SwiGLU MLP.
+    pub ffn_dim: usize,
+    /// Number of MoE experts; `1` means a dense MLP.
+    pub experts: usize,
+    /// RoPE base frequency.
+    pub rope_theta: f32,
+    /// RMSNorm epsilon.
+    pub norm_eps: f32,
+    /// Maximum sequence length the model is trained/evaluated on.
+    pub max_seq_len: usize,
+}
+
+impl ModelConfig {
+    /// Per-head dimension (`dim / heads`).
+    pub fn head_dim(&self) -> usize {
+        self.dim / self.heads
+    }
+
+    /// Width of the K/V projections (`kv_heads * head_dim`).
+    pub fn kv_dim(&self) -> usize {
+        self.kv_heads * self.head_dim()
+    }
+
+    /// Number of query heads sharing each KV head.
+    pub fn group_size(&self) -> usize {
+        self.heads / self.kv_heads
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        let attn = self.dim * self.dim * 2 + self.dim * self.kv_dim() * 2;
+        let mlp = 3 * self.dim * self.ffn_dim * self.experts;
+        let router = if self.experts > 1 { self.dim * self.experts } else { 0 };
+        let norms = 2 * self.dim;
+        let per_layer = attn + mlp + router + norms;
+        self.vocab * self.dim * 2 + self.dim + self.layers * per_layer
+    }
+
+    /// Validates internal divisibility constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dim == 0 || self.layers == 0 || self.heads == 0 || self.vocab == 0 {
+            return Err("all dimensions must be positive".into());
+        }
+        if !self.dim.is_multiple_of(self.heads) {
+            return Err(format!("dim {} not divisible by heads {}", self.dim, self.heads));
+        }
+        if !self.head_dim().is_multiple_of(2) {
+            return Err(format!("head_dim {} must be even for RoPE", self.head_dim()));
+        }
+        if self.kv_heads == 0 || !self.heads.is_multiple_of(self.kv_heads) {
+            return Err(format!(
+                "heads {} not divisible by kv_heads {}",
+                self.heads, self.kv_heads
+            ));
+        }
+        if self.experts == 0 {
+            return Err("experts must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ModelConfig {
+    /// The "base" size used by most unit tests: a 4-layer, 96-dim model.
+    fn default() -> Self {
+        ModelConfig {
+            vocab: 96,
+            dim: 96,
+            layers: 4,
+            heads: 6,
+            kv_heads: 6,
+            ffn_dim: 256,
+            experts: 1,
+            rope_theta: 10_000.0,
+            norm_eps: 1e-5,
+            max_seq_len: 256,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        assert!(ModelConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn head_math() {
+        let c = ModelConfig {
+            dim: 64,
+            heads: 4,
+            kv_heads: 2,
+            ..ModelConfig::default()
+        };
+        assert_eq!(c.head_dim(), 16);
+        assert_eq!(c.kv_dim(), 32);
+        assert_eq!(c.group_size(), 2);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let c = ModelConfig {
+            heads: 5, // 96 % 5 != 0
+            ..ModelConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c2 = ModelConfig {
+            kv_heads: 4, // 6 % 4 != 0
+            ..ModelConfig::default()
+        };
+        assert!(c2.validate().is_err());
+        let c3 = ModelConfig {
+            experts: 0,
+            ..ModelConfig::default()
+        };
+        assert!(c3.validate().is_err());
+    }
+
+    #[test]
+    fn param_count_scales() {
+        let small = ModelConfig::default();
+        let big = ModelConfig {
+            dim: 192,
+            ffn_dim: 512,
+            layers: 8,
+            ..ModelConfig::default()
+        };
+        assert!(big.param_count() > 4 * small.param_count());
+    }
+}

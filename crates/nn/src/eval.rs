@@ -1,0 +1,339 @@
+//! Model quality metrics: perplexity, zero-shot task accuracy, generation.
+//!
+//! All functions are generic over the linear precision `L`, so the same code
+//! scores the FP32 reference model and every quantized variant — Tables 1
+//! and 2 of the paper are produced by calling these with different `L`.
+
+use crate::kv::{Fp32KvCache, KvStore};
+use crate::linear::LinearLayer;
+use crate::model::LlamaModel;
+use atom_data::{TaskKind, TaskSuite, Tokenizer};
+use atom_tensor::{ops, SeededRng};
+
+/// Computes perplexity (e^mean-NLL) of a token stream under the model.
+///
+/// The stream is scored in non-overlapping windows of `window` tokens with a
+/// fresh KV cache per window, matching the standard fixed-context perplexity
+/// protocol.
+///
+/// # Panics
+///
+/// Panics if `window < 2` or `tokens.len() < window`.
+pub fn perplexity<L: LinearLayer>(model: &LlamaModel<L>, tokens: &[u16], window: usize) -> f64 {
+    let config = *model.config();
+    perplexity_with_cache(model, tokens, window, &mut || {
+        Box::new(Fp32KvCache::new(config.layers, config.kv_dim()))
+    })
+}
+
+/// [`perplexity`] with a caller-supplied KV-cache factory, so quantized
+/// caches (paper §4.4) evaluate through the identical protocol.
+///
+/// # Panics
+///
+/// Panics if `window < 2` or `tokens.len() < window`.
+pub fn perplexity_with_cache<L: LinearLayer>(
+    model: &LlamaModel<L>,
+    tokens: &[u16],
+    window: usize,
+    new_cache: &mut dyn FnMut() -> Box<dyn KvStore>,
+) -> f64 {
+    assert!(window >= 2, "window must be at least 2");
+    assert!(
+        tokens.len() >= window,
+        "need at least one window of {window} tokens, got {}",
+        tokens.len()
+    );
+    let mut total_nll = 0.0f64;
+    let mut count = 0usize;
+    let mut start = 0;
+    while start + window <= tokens.len() {
+        let chunk = &tokens[start..start + window];
+        let mut cache = new_cache();
+        let logits = model.forward(&chunk[..window - 1], cache.as_mut());
+        for (r, &target) in chunk[1..].iter().enumerate() {
+            total_nll += ops::cross_entropy(logits.row(r), target as usize) as f64;
+            count += 1;
+        }
+        start += window;
+    }
+    (total_nll / count as f64).exp()
+}
+
+/// Length-normalized log-likelihood of `continuation` given `prompt`
+/// (lm-eval's `acc_norm` scoring rule).
+pub fn continuation_logprob<L: LinearLayer>(
+    model: &LlamaModel<L>,
+    prompt: &[u16],
+    continuation: &[u16],
+) -> f64 {
+    let config = *model.config();
+    continuation_logprob_with_cache(model, prompt, continuation, &mut || {
+        Box::new(Fp32KvCache::new(config.layers, config.kv_dim()))
+    })
+}
+
+/// [`continuation_logprob`] with a caller-supplied KV-cache factory.
+pub fn continuation_logprob_with_cache<L: LinearLayer>(
+    model: &LlamaModel<L>,
+    prompt: &[u16],
+    continuation: &[u16],
+    new_cache: &mut dyn FnMut() -> Box<dyn KvStore>,
+) -> f64 {
+    assert!(!continuation.is_empty(), "empty continuation");
+    let mut ids = prompt.to_vec();
+    ids.extend_from_slice(continuation);
+    let mut cache = new_cache();
+    // Score tokens prompt.len()..end; the logit predicting ids[i] sits at
+    // row i-1, so we need rows prompt.len()-1 ..= end-2.
+    let logits = model.forward(&ids[..ids.len() - 1], cache.as_mut());
+    let mut lp = 0.0f64;
+    #[allow(clippy::needless_range_loop)] // i indexes both ids and logits rows
+    for i in prompt.len()..ids.len() {
+        let row = logits.row(i - 1);
+        lp += ops::log_softmax(row)[ids[i] as usize] as f64;
+    }
+    lp / continuation.len() as f64
+}
+
+/// Accuracy of the model on one task kind of a suite.
+pub fn task_accuracy<L: LinearLayer>(
+    model: &LlamaModel<L>,
+    suite: &TaskSuite,
+    kind: TaskKind,
+    tokenizer: &Tokenizer,
+) -> f64 {
+    let config = *model.config();
+    task_accuracy_with_cache(model, suite, kind, tokenizer, &mut || {
+        Box::new(Fp32KvCache::new(config.layers, config.kv_dim()))
+    })
+}
+
+/// [`task_accuracy`] with a caller-supplied KV-cache factory.
+pub fn task_accuracy_with_cache<L: LinearLayer>(
+    model: &LlamaModel<L>,
+    suite: &TaskSuite,
+    kind: TaskKind,
+    tokenizer: &Tokenizer,
+    new_cache: &mut dyn FnMut() -> Box<dyn KvStore>,
+) -> f64 {
+    let items = suite.items(kind);
+    assert!(!items.is_empty(), "no items for {kind:?}");
+    let mut correct = 0usize;
+    for task in &items {
+        let prompt = tokenizer.encode(&task.prompt);
+        let mut best = 0usize;
+        let mut best_lp = f64::NEG_INFINITY;
+        for (i, opt) in task.options.iter().enumerate() {
+            let cont = tokenizer.encode(opt);
+            let lp = continuation_logprob_with_cache(model, &prompt, &cont, new_cache);
+            if lp > best_lp {
+                best_lp = lp;
+                best = i;
+            }
+        }
+        if best == task.answer {
+            correct += 1;
+        }
+    }
+    correct as f64 / items.len() as f64
+}
+
+/// Accuracy on every kind, in [`TaskKind::all`] order, plus the average —
+/// one row of the paper's Table 1.
+pub fn zero_shot_row<L: LinearLayer>(
+    model: &LlamaModel<L>,
+    suite: &TaskSuite,
+    tokenizer: &Tokenizer,
+) -> (Vec<f64>, f64) {
+    let config = *model.config();
+    zero_shot_row_with_cache(model, suite, tokenizer, &mut || {
+        Box::new(Fp32KvCache::new(config.layers, config.kv_dim()))
+    })
+}
+
+/// [`zero_shot_row`] with a caller-supplied KV-cache factory.
+pub fn zero_shot_row_with_cache<L: LinearLayer>(
+    model: &LlamaModel<L>,
+    suite: &TaskSuite,
+    tokenizer: &Tokenizer,
+    new_cache: &mut dyn FnMut() -> Box<dyn KvStore>,
+) -> (Vec<f64>, f64) {
+    let accs: Vec<f64> = TaskKind::all()
+        .iter()
+        .map(|&k| task_accuracy_with_cache(model, suite, k, tokenizer, new_cache))
+        .collect();
+    let avg = accs.iter().sum::<f64>() / accs.len() as f64;
+    (accs, avg)
+}
+
+/// Greedy or temperature sampling from the model.
+///
+/// Returns the generated token ids (not including the prompt). Temperature
+/// `0.0` means greedy decoding.
+pub fn generate<L: LinearLayer>(
+    model: &LlamaModel<L>,
+    prompt: &[u16],
+    max_new: usize,
+    temperature: f32,
+    rng: &mut SeededRng,
+) -> Vec<u16> {
+    assert!(!prompt.is_empty(), "empty prompt");
+    let config = model.config();
+    let mut cache = Fp32KvCache::new(config.layers, config.kv_dim());
+    let mut logits = model.forward(prompt, &mut cache);
+    let mut out = Vec::with_capacity(max_new);
+    for _ in 0..max_new {
+        let last = logits.row(logits.rows() - 1);
+        let next = sample_token(last, temperature, rng);
+        out.push(next);
+        logits = model.forward(&[next], &mut cache);
+    }
+    out
+}
+
+fn sample_token(logits: &[f32], temperature: f32, rng: &mut SeededRng) -> u16 {
+    if temperature <= 0.0 {
+        return ops::argmax(logits) as u16;
+    }
+    let mut probs: Vec<f32> = logits.iter().map(|&l| l / temperature).collect();
+    ops::softmax_in_place(&mut probs);
+    let weights: Vec<f64> = probs.iter().map(|&p| p as f64).collect();
+    rng.weighted_index(&weights) as u16
+}
+
+/// Mean KL divergence (nats/token) between the next-token distributions of a
+/// reference and a test model over a token stream. This is the most
+/// sensitive "how much did quantization change the model" metric and is used
+/// by the ablation analyses.
+pub fn mean_kl<A: LinearLayer, B: LinearLayer>(
+    reference: &LlamaModel<A>,
+    test: &LlamaModel<B>,
+    tokens: &[u16],
+    window: usize,
+) -> f64 {
+    assert!(window >= 2 && tokens.len() >= window, "stream too short");
+    let (ca, cb) = (reference.config(), test.config());
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    let mut start = 0;
+    while start + window <= tokens.len() {
+        let chunk = &tokens[start..start + window - 1];
+        let mut cache_a = Fp32KvCache::new(ca.layers, ca.kv_dim());
+        let mut cache_b = Fp32KvCache::new(cb.layers, cb.kv_dim());
+        let la = reference.forward(chunk, &mut cache_a);
+        let lb = test.forward(chunk, &mut cache_b);
+        for r in 0..la.rows() {
+            total += kl_divergence(la.row(r), lb.row(r));
+            count += 1;
+        }
+        start += window;
+    }
+    total / count as f64
+}
+
+fn kl_divergence(p_logits: &[f32], q_logits: &[f32]) -> f64 {
+    let lp = ops::log_softmax(p_logits);
+    let lq = ops::log_softmax(q_logits);
+    lp.iter()
+        .zip(lq.iter())
+        .map(|(&lp, &lq)| (lp.exp() * (lp - lq)) as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::model::LlamaModel;
+
+    fn tiny() -> LlamaModel<crate::linear::DenseLinear> {
+        let config = ModelConfig {
+            dim: 32,
+            layers: 2,
+            heads: 4,
+            kv_heads: 4,
+            ffn_dim: 64,
+            ..ModelConfig::default()
+        };
+        LlamaModel::random_init(config, 42)
+    }
+
+    #[test]
+    fn random_model_perplexity_near_vocab() {
+        // An untrained model's perplexity should be within a factor of a few
+        // of uniform (vocab = 96).
+        let m = tiny();
+        let tokens: Vec<u16> = (0..300).map(|i| (i * 37 % 96) as u16).collect();
+        let ppl = perplexity(&m, &tokens, 50);
+        assert!(ppl > 20.0 && ppl < 500.0, "ppl {ppl}");
+    }
+
+    #[test]
+    fn perplexity_of_model_against_itself_is_consistent() {
+        let m = tiny();
+        let tokens: Vec<u16> = (0..200).map(|i| (i % 96) as u16).collect();
+        let a = perplexity(&m, &tokens, 40);
+        let b = perplexity(&m, &tokens, 40);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn continuation_logprob_is_finite_and_negative() {
+        let m = tiny();
+        let lp = continuation_logprob(&m, &[1, 2, 3], &[4, 5]);
+        assert!(lp.is_finite());
+        assert!(lp < 0.0);
+    }
+
+    #[test]
+    fn zero_shot_random_model_near_chance() {
+        let m = tiny();
+        let suite = TaskSuite::generate(12, 1);
+        let tok = Tokenizer::new();
+        let (accs, avg) = zero_shot_row(&m, &suite, &tok);
+        assert_eq!(accs.len(), 6);
+        // A random model should be roughly at chance (max option count 4,
+        // min 2) — just require the value is a valid probability.
+        assert!((0.0..=1.0).contains(&avg));
+    }
+
+    #[test]
+    fn generate_produces_valid_tokens() {
+        let m = tiny();
+        let mut rng = SeededRng::new(1);
+        let greedy = generate(&m, &[5, 6], 8, 0.0, &mut rng);
+        assert_eq!(greedy.len(), 8);
+        assert!(greedy.iter().all(|&t| (t as usize) < 96));
+        let sampled = generate(&m, &[5, 6], 8, 1.0, &mut rng);
+        assert_eq!(sampled.len(), 8);
+    }
+
+    #[test]
+    fn greedy_generation_deterministic() {
+        let m = tiny();
+        let mut r1 = SeededRng::new(1);
+        let mut r2 = SeededRng::new(2);
+        assert_eq!(
+            generate(&m, &[7], 6, 0.0, &mut r1),
+            generate(&m, &[7], 6, 0.0, &mut r2)
+        );
+    }
+
+    #[test]
+    fn kl_of_identical_models_is_zero() {
+        let m = tiny();
+        let tokens: Vec<u16> = (0..100).map(|i| (i % 90) as u16).collect();
+        let kl = mean_kl(&m, &m, &tokens, 30);
+        assert!(kl.abs() < 1e-9, "kl {kl}");
+    }
+
+    #[test]
+    fn kl_of_different_models_is_positive() {
+        let a = tiny();
+        let config = *a.config();
+        let b = LlamaModel::random_init(config, 43);
+        let tokens: Vec<u16> = (0..100).map(|i| (i % 90) as u16).collect();
+        assert!(mean_kl(&a, &b, &tokens, 30) > 0.01);
+    }
+}

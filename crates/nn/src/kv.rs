@@ -1,0 +1,128 @@
+//! KV-cache abstraction.
+//!
+//! The model writes each layer's keys and values through the [`KvStore`]
+//! trait, so cache precision is swappable exactly like linear-layer
+//! precision: the FP32 store here is the baseline, and the `atom` crate
+//! provides the paper's asymmetric low-bit quantized store (§4.4), which
+//! dequantizes on load.
+
+use atom_tensor::Matrix;
+
+/// Per-layer append-only key/value storage used during autoregressive
+/// decoding.
+///
+/// Keys are stored *after* RoPE is applied, matching serving systems where
+/// the cache holds position-encoded keys.
+pub trait KvStore: std::fmt::Debug {
+    /// Appends `k` and `v` rows (one per new token) to layer `layer`.
+    ///
+    /// Both matrices are `new_tokens x kv_dim`.
+    fn append(&mut self, layer: usize, k: &Matrix, v: &Matrix);
+
+    /// Materializes the full key cache of a layer (`seq_len x kv_dim`).
+    fn keys(&self, layer: usize) -> Matrix;
+
+    /// Materializes the full value cache of a layer (`seq_len x kv_dim`).
+    fn values(&self, layer: usize) -> Matrix;
+
+    /// Number of cached positions in a layer.
+    fn len(&self, layer: usize) -> usize;
+
+    /// Whether the layer cache is empty.
+    fn is_empty(&self, layer: usize) -> bool {
+        self.len(layer) == 0
+    }
+
+    /// Clears all layers.
+    fn clear(&mut self);
+}
+
+/// Full-precision KV cache (the FP16-serving baseline; values are kept in
+/// f32 here since f32→f16 rounding of the *cache* is exercised separately by
+/// the quantized store).
+#[derive(Debug, Clone)]
+pub struct Fp32KvCache {
+    layers: Vec<(Matrix, Matrix)>,
+    kv_dim: usize,
+}
+
+impl Fp32KvCache {
+    /// Creates an empty cache for `layers` layers of width `kv_dim`.
+    pub fn new(layers: usize, kv_dim: usize) -> Self {
+        Fp32KvCache {
+            layers: (0..layers)
+                .map(|_| (Matrix::zeros(0, kv_dim), Matrix::zeros(0, kv_dim)))
+                .collect(),
+            kv_dim,
+        }
+    }
+
+    /// KV width the cache was created with.
+    pub fn kv_dim(&self) -> usize {
+        self.kv_dim
+    }
+}
+
+impl KvStore for Fp32KvCache {
+    fn append(&mut self, layer: usize, k: &Matrix, v: &Matrix) {
+        assert_eq!(k.cols(), self.kv_dim, "k width mismatch");
+        assert_eq!(v.cols(), self.kv_dim, "v width mismatch");
+        assert_eq!(k.rows(), v.rows(), "k/v row mismatch");
+        let (ks, vs) = &mut self.layers[layer];
+        *ks = ks.vstack(k);
+        *vs = vs.vstack(v);
+    }
+
+    fn keys(&self, layer: usize) -> Matrix {
+        self.layers[layer].0.clone()
+    }
+
+    fn values(&self, layer: usize) -> Matrix {
+        self.layers[layer].1.clone()
+    }
+
+    fn len(&self, layer: usize) -> usize {
+        self.layers[layer].0.rows()
+    }
+
+    fn clear(&mut self) {
+        for (k, v) in &mut self.layers {
+            *k = Matrix::zeros(0, self.kv_dim);
+            *v = Matrix::zeros(0, self.kv_dim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read() {
+        let mut c = Fp32KvCache::new(2, 4);
+        assert!(c.is_empty(0));
+        let k = Matrix::full(3, 4, 1.0);
+        let v = Matrix::full(3, 4, 2.0);
+        c.append(0, &k, &v);
+        c.append(0, &k, &v);
+        assert_eq!(c.len(0), 6);
+        assert_eq!(c.len(1), 0);
+        assert_eq!(c.keys(0).rows(), 6);
+        assert_eq!(c.values(0)[(5, 3)], 2.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = Fp32KvCache::new(1, 2);
+        c.append(0, &Matrix::full(1, 2, 1.0), &Matrix::full(1, 2, 1.0));
+        c.clear();
+        assert!(c.is_empty(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "k width mismatch")]
+    fn wrong_width_panics() {
+        let mut c = Fp32KvCache::new(1, 4);
+        c.append(0, &Matrix::full(1, 3, 0.0), &Matrix::full(1, 3, 0.0));
+    }
+}

@@ -1,0 +1,281 @@
+//! Compact binary serialization of trained dense models.
+//!
+//! The model zoo trains its models once and caches them on disk so the
+//! examples, benches, and table binaries do not retrain. The format is a
+//! fixed little-endian layout: a magic tag, the [`ModelConfig`] fields, then
+//! every tensor's raw `f32` data in the canonical parameter-schema order
+//! (shapes are fully determined by the config, so no per-tensor headers are
+//! needed).
+
+use crate::config::ModelConfig;
+use crate::linear::DenseLinear;
+use crate::model::{Attention, Block, FeedForward, LlamaModel, Mlp};
+use atom_tensor::Matrix;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: u64 = 0x41544F4D_4D444C31; // "ATOMMDL1"
+
+/// Saves a dense model to `path`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_model(model: &LlamaModel<DenseLinear>, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut w = io::BufWriter::new(std::fs::File::create(&tmp)?);
+        w.write_all(&MAGIC.to_le_bytes())?;
+        write_config(&mut w, model.config())?;
+        write_matrix(&mut w, &model.embed)?;
+        for block in &model.blocks {
+            write_f32s(&mut w, &block.attn_norm)?;
+            for l in [&block.attn.wq, &block.attn.wk, &block.attn.wv, &block.attn.wo] {
+                write_matrix(&mut w, l.weight())?;
+            }
+            write_f32s(&mut w, &block.ffn_norm)?;
+            match &block.ffn {
+                FeedForward::Dense(mlp) => {
+                    write_mlp(&mut w, mlp)?;
+                }
+                FeedForward::Moe { router, experts } => {
+                    write_matrix(&mut w, router.weight())?;
+                    for mlp in experts {
+                        write_mlp(&mut w, mlp)?;
+                    }
+                }
+            }
+        }
+        write_f32s(&mut w, &model.final_norm)?;
+        write_matrix(&mut w, &model.head)?;
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads a dense model from `path`.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, bad magic, or a truncated/corrupt file.
+pub fn load_model(path: &Path) -> io::Result<LlamaModel<DenseLinear>> {
+    let mut r = io::BufReader::new(std::fs::File::open(path)?);
+    let magic = read_u64(&mut r)?;
+    if magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad magic {magic:#x}"),
+        ));
+    }
+    let config = read_config(&mut r)?;
+    config
+        .validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let dim = config.dim;
+    let kv_dim = config.kv_dim();
+    let embed = read_matrix(&mut r, config.vocab, dim)?;
+    let mut blocks = Vec::with_capacity(config.layers);
+    for _ in 0..config.layers {
+        let attn_norm = read_f32s(&mut r, dim)?;
+        let wq = DenseLinear::new(read_matrix(&mut r, dim, dim)?);
+        let wk = DenseLinear::new(read_matrix(&mut r, kv_dim, dim)?);
+        let wv = DenseLinear::new(read_matrix(&mut r, kv_dim, dim)?);
+        let wo = DenseLinear::new(read_matrix(&mut r, dim, dim)?);
+        let ffn_norm = read_f32s(&mut r, dim)?;
+        let ffn = if config.experts > 1 {
+            let router = DenseLinear::new(read_matrix(&mut r, config.experts, dim)?);
+            let experts = (0..config.experts)
+                .map(|_| read_mlp(&mut r, &config))
+                .collect::<io::Result<Vec<_>>>()?;
+            FeedForward::Moe { router, experts }
+        } else {
+            FeedForward::Dense(read_mlp(&mut r, &config)?)
+        };
+        blocks.push(Block {
+            attn_norm,
+            attn: Attention { wq, wk, wv, wo },
+            ffn_norm,
+            ffn,
+        });
+    }
+    let final_norm = read_f32s(&mut r, dim)?;
+    let head = read_matrix(&mut r, config.vocab, dim)?;
+    // Require exact EOF so truncation/corruption is detected.
+    let mut probe = [0u8; 1];
+    if r.read(&mut probe)? != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trailing bytes after model",
+        ));
+    }
+    Ok(LlamaModel::from_parts(config, embed, blocks, final_norm, head))
+}
+
+fn write_mlp<W: Write>(w: &mut W, mlp: &Mlp<DenseLinear>) -> io::Result<()> {
+    write_matrix(w, mlp.gate.weight())?;
+    write_matrix(w, mlp.up.weight())?;
+    write_matrix(w, mlp.down.weight())
+}
+
+fn read_mlp<R: Read>(r: &mut R, config: &ModelConfig) -> io::Result<Mlp<DenseLinear>> {
+    Ok(Mlp {
+        gate: DenseLinear::new(read_matrix(r, config.ffn_dim, config.dim)?),
+        up: DenseLinear::new(read_matrix(r, config.ffn_dim, config.dim)?),
+        down: DenseLinear::new(read_matrix(r, config.dim, config.ffn_dim)?),
+    })
+}
+
+fn write_config<W: Write>(w: &mut W, c: &ModelConfig) -> io::Result<()> {
+    for v in [
+        c.vocab, c.dim, c.layers, c.heads, c.kv_heads, c.ffn_dim, c.experts, c.max_seq_len,
+    ] {
+        w.write_all(&(v as u64).to_le_bytes())?;
+    }
+    w.write_all(&c.rope_theta.to_le_bytes())?;
+    w.write_all(&c.norm_eps.to_le_bytes())
+}
+
+fn read_config<R: Read>(r: &mut R) -> io::Result<ModelConfig> {
+    let mut vals = [0u64; 8];
+    for v in &mut vals {
+        *v = read_u64(r)?;
+    }
+    let mut f = [0u8; 4];
+    r.read_exact(&mut f)?;
+    let rope_theta = f32::from_le_bytes(f);
+    r.read_exact(&mut f)?;
+    let norm_eps = f32::from_le_bytes(f);
+    Ok(ModelConfig {
+        vocab: vals[0] as usize,
+        dim: vals[1] as usize,
+        layers: vals[2] as usize,
+        heads: vals[3] as usize,
+        kv_heads: vals[4] as usize,
+        ffn_dim: vals[5] as usize,
+        experts: vals[6] as usize,
+        max_seq_len: vals[7] as usize,
+        rope_theta,
+        norm_eps,
+    })
+}
+
+fn write_matrix<W: Write>(w: &mut W, m: &Matrix) -> io::Result<()> {
+    write_f32s(w, m.as_slice())
+}
+
+fn write_f32s<W: Write>(w: &mut W, values: &[f32]) -> io::Result<()> {
+    for v in values {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_matrix<R: Read>(r: &mut R, rows: usize, cols: usize) -> io::Result<Matrix> {
+    Ok(Matrix::from_vec(rows, cols, read_f32s(r, rows * cols)?))
+}
+
+fn read_f32s<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<f32>> {
+    let mut bytes = vec![0u8; n * 4];
+    r.read_exact(&mut bytes)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .collect())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::kv::Fp32KvCache;
+
+    fn roundtrip(config: ModelConfig) {
+        let m = LlamaModel::random_init(config, 11);
+        let dir = std::env::temp_dir().join(format!(
+            "atom-serialize-test-{}-{}",
+            std::process::id(),
+            config.experts
+        ));
+        let path = dir.join("model.bin");
+        save_model(&m, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(loaded.config(), m.config());
+        let tokens = [1u16, 2, 3];
+        let mut c1 = Fp32KvCache::new(config.layers, config.kv_dim());
+        let mut c2 = Fp32KvCache::new(config.layers, config.kv_dim());
+        assert_eq!(
+            m.forward(&tokens, &mut c1).as_slice(),
+            loaded.forward(&tokens, &mut c2).as_slice()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        roundtrip(ModelConfig {
+            dim: 32,
+            layers: 2,
+            heads: 4,
+            kv_heads: 4,
+            ffn_dim: 64,
+            ..ModelConfig::default()
+        });
+    }
+
+    #[test]
+    fn moe_gqa_roundtrip() {
+        roundtrip(ModelConfig {
+            dim: 32,
+            layers: 2,
+            heads: 4,
+            kv_heads: 2,
+            ffn_dim: 48,
+            experts: 3,
+            ..ModelConfig::default()
+        });
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let dir = std::env::temp_dir().join(format!("atom-serialize-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("junk.bin");
+        std::fs::write(&path, b"not a model at all").unwrap();
+        assert!(load_model(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let config = ModelConfig {
+            dim: 32,
+            layers: 1,
+            heads: 4,
+            kv_heads: 4,
+            ffn_dim: 64,
+            ..ModelConfig::default()
+        };
+        let m = LlamaModel::random_init(config, 1);
+        let dir = std::env::temp_dir().join(format!("atom-serialize-trunc-{}", std::process::id()));
+        let path = dir.join("model.bin");
+        save_model(&m, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 17]).unwrap();
+        assert!(load_model(&path).is_err());
+        // Trailing garbage is also rejected.
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(&[0u8; 8]);
+        std::fs::write(&path, &extended).unwrap();
+        assert!(load_model(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the model substrate: the KV-cache/incremental
+//! decoding invariant, serialization roundtrips, and transform equivalence
+//! across random configurations.
+
+use atom_nn::kv::Fp32KvCache;
+use atom_nn::transform::{inject_outliers, OutlierSpec};
+use atom_nn::{LlamaModel, ModelConfig};
+use proptest::prelude::*;
+
+/// Random valid tiny configs.
+fn config_strategy() -> impl Strategy<Value = ModelConfig> {
+    (1usize..3, 1usize..3, 1usize..3, 1usize..3).prop_map(|(layers, h, kvg, e)| {
+        let heads = h * 2; // 2 or 4
+        let kv_heads = if heads % kvg == 0 { heads / kvg } else { heads };
+        let kv_heads = if kv_heads == 0 { heads } else { kv_heads };
+        ModelConfig {
+            vocab: 96,
+            dim: heads * 8, // head_dim 8, even
+            layers,
+            heads,
+            kv_heads,
+            ffn_dim: 32,
+            experts: e, // 1..=2 dense or MoE
+            rope_theta: 10_000.0,
+            norm_eps: 1e-5,
+            max_seq_len: 64,
+        }
+    })
+    .prop_filter("valid", |c| c.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn incremental_decode_matches_batch(config in config_strategy(), seed in 0u64..100) {
+        let model = LlamaModel::random_init(config, seed);
+        let tokens: Vec<u16> = (0..6).map(|i| ((seed as usize + i * 13) % 96) as u16).collect();
+
+        let mut full = Fp32KvCache::new(config.layers, config.kv_dim());
+        let batch_logits = model.forward(&tokens, &mut full);
+
+        let mut inc = Fp32KvCache::new(config.layers, config.kv_dim());
+        let mut last = None;
+        for &t in &tokens {
+            last = Some(model.forward(&[t], &mut inc));
+        }
+        let last = last.unwrap();
+        for (a, b) in batch_logits.row(tokens.len() - 1).iter().zip(last.row(0)) {
+            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic(config in config_strategy(), seed in 0u64..100) {
+        let model = LlamaModel::random_init(config, seed);
+        let tokens = [3u16, 50, 7];
+        let mut c1 = Fp32KvCache::new(config.layers, config.kv_dim());
+        let mut c2 = Fp32KvCache::new(config.layers, config.kv_dim());
+        prop_assert_eq!(
+            model.forward(&tokens, &mut c1),
+            model.forward(&tokens, &mut c2)
+        );
+    }
+
+    #[test]
+    fn serialize_roundtrip_random_configs(config in config_strategy(), seed in 0u64..100) {
+        let model = LlamaModel::random_init(config, seed);
+        let dir = std::env::temp_dir().join(format!(
+            "atom-prop-serialize-{}-{seed}-{}",
+            std::process::id(),
+            config.param_count()
+        ));
+        let path = dir.join("m.bin");
+        atom_nn::serialize::save_model(&model, &path).unwrap();
+        let loaded = atom_nn::serialize::load_model(&path).unwrap();
+        let tokens = [1u16, 2];
+        let mut c1 = Fp32KvCache::new(config.layers, config.kv_dim());
+        let mut c2 = Fp32KvCache::new(config.layers, config.kv_dim());
+        prop_assert_eq!(
+            model.forward(&tokens, &mut c1),
+            loaded.forward(&tokens, &mut c2)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn outlier_injection_preserves_function(
+        config in config_strategy(),
+        seed in 0u64..50,
+        magnitude in 5.0f32..80.0,
+    ) {
+        let mut model = LlamaModel::random_init(config, seed);
+        let tokens = [10u16, 20, 30];
+        let mut c1 = Fp32KvCache::new(config.layers, config.kv_dim());
+        let before = model.forward(&tokens, &mut c1);
+        inject_outliers(
+            &mut model,
+            &OutlierSpec {
+                channels_per_site: 2,
+                magnitude,
+                value_magnitude: 3.0,
+                spread: 0.2,
+                seed,
+            },
+        );
+        let mut c2 = Fp32KvCache::new(config.layers, config.kv_dim());
+        let after = model.forward(&tokens, &mut c2);
+        for (a, b) in before.as_slice().iter().zip(after.as_slice()) {
+            prop_assert!(
+                (a - b).abs() / (a.abs().max(1.0)) < 1e-2,
+                "function changed: {a} vs {b} (magnitude {magnitude})"
+            );
+        }
+    }
+}

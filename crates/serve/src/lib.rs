@@ -1,0 +1,24 @@
+//! LLM serving substrate for the Atom reproduction.
+//!
+//! The paper integrates Atom into Punica with FlashInfer + PagedAttention
+//! and continuous batching (§4.5, §5.3.2). This crate rebuilds that stack:
+//!
+//! - [`paged`] — a vLLM-style paged KV-cache block allocator with per-
+//!   sequence block tables and byte accounting per quantization scheme.
+//! - [`scheduler`] — Orca-style continuous batching: FCFS admission,
+//!   iteration-level refill when requests finish.
+//! - [`simulate`] — the end-to-end serving simulator driving the
+//!   `atom-gpu-sim` cost model over ShareGPT-like traces; regenerates the
+//!   Fig. 10 throughput / latency / fixed-memory comparisons.
+//! - [`engine`] — a *real* CPU serving engine running the trained zoo
+//!   models with Atom-quantized weights and KV caches end to end, proving
+//!   the full stack functions (scheduling, paging, quantized decode).
+
+pub mod engine;
+pub mod paged;
+pub mod scheduler;
+pub mod simulate;
+
+pub use paged::{BlockTable, PagedAllocator};
+pub use scheduler::{BatchEvent, ContinuousBatcher, RequestState};
+pub use simulate::{ServingReport, ServingSimulator};

@@ -1,0 +1,300 @@
+//! Paged KV-cache block allocator (PagedAttention-style).
+//!
+//! GPU memory for the KV cache is carved into fixed-size blocks of
+//! `block_size` token slots; each sequence owns a block table mapping its
+//! logical positions to physical blocks. Paging eliminates the reservation
+//! fragmentation of contiguous allocation and is what lets the serving
+//! stack push batch sizes to the memory limit (paper §4.5 / Fig. 10c).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Sequence identity within the allocator.
+pub type SeqId = usize;
+
+/// A sequence's block table: physical block ids in logical order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockTable {
+    blocks: Vec<usize>,
+    tokens: usize,
+}
+
+impl BlockTable {
+    /// Physical blocks backing this sequence.
+    pub fn blocks(&self) -> &[usize] {
+        &self.blocks
+    }
+
+    /// Number of tokens stored.
+    pub fn tokens(&self) -> usize {
+        self.tokens
+    }
+}
+
+/// Fixed-pool block allocator.
+///
+/// # Example
+///
+/// ```
+/// use atom_serve::PagedAllocator;
+///
+/// let mut alloc = PagedAllocator::new(8, 16); // 8 blocks of 16 tokens
+/// alloc.register(0);
+/// assert!(alloc.grow(0, 20).is_ok()); // needs 2 blocks
+/// assert_eq!(alloc.used_blocks(), 2);
+/// alloc.release(0);
+/// assert_eq!(alloc.used_blocks(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PagedAllocator {
+    block_size: usize,
+    free: Vec<usize>,
+    tables: HashMap<SeqId, BlockTable>,
+    total_blocks: usize,
+    peak_used: usize,
+}
+
+/// Error returned when the block pool is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfBlocks {
+    /// Blocks requested beyond availability.
+    pub short_by: usize,
+}
+
+impl std::fmt::Display for OutOfBlocks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "KV block pool exhausted (short by {} blocks)", self.short_by)
+    }
+}
+
+impl std::error::Error for OutOfBlocks {}
+
+impl PagedAllocator {
+    /// Creates a pool of `total_blocks` blocks of `block_size` token slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size == 0`.
+    pub fn new(total_blocks: usize, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        PagedAllocator {
+            block_size,
+            free: (0..total_blocks).rev().collect(),
+            tables: HashMap::new(),
+            total_blocks,
+            peak_used: 0,
+        }
+    }
+
+    /// Sizes a pool for a byte budget, given bytes per cached token.
+    pub fn for_budget(budget_bytes: f64, bytes_per_token: f64, block_size: usize) -> Self {
+        let tokens = (budget_bytes / bytes_per_token).max(0.0) as usize;
+        Self::new(tokens / block_size, block_size)
+    }
+
+    /// Tokens per block.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Total pool size in blocks.
+    pub fn total_blocks(&self) -> usize {
+        self.total_blocks
+    }
+
+    /// Currently allocated blocks.
+    pub fn used_blocks(&self) -> usize {
+        self.total_blocks - self.free.len()
+    }
+
+    /// High-water mark of allocated blocks.
+    pub fn peak_used(&self) -> usize {
+        self.peak_used
+    }
+
+    /// Free blocks remaining.
+    pub fn free_blocks(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Registers an empty sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already registered.
+    pub fn register(&mut self, seq: SeqId) {
+        let prev = self.tables.insert(seq, BlockTable::default());
+        assert!(prev.is_none(), "sequence {seq} already registered");
+    }
+
+    /// Whether a sequence is registered.
+    pub fn contains(&self, seq: SeqId) -> bool {
+        self.tables.contains_key(&seq)
+    }
+
+    /// The block table of a sequence.
+    pub fn table(&self, seq: SeqId) -> Option<&BlockTable> {
+        self.tables.get(&seq)
+    }
+
+    /// Blocks needed to store `tokens` tokens.
+    pub fn blocks_for(&self, tokens: usize) -> usize {
+        tokens.div_ceil(self.block_size)
+    }
+
+    /// Whether growing `seq` by `new_tokens` would fit right now.
+    pub fn can_grow(&self, seq: SeqId, new_tokens: usize) -> bool {
+        let table = match self.tables.get(&seq) {
+            Some(t) => t,
+            None => return false,
+        };
+        let needed = self.blocks_for(table.tokens + new_tokens) - table.blocks.len();
+        needed <= self.free.len()
+    }
+
+    /// Extends a sequence by `new_tokens`, allocating blocks as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfBlocks`] (allocating nothing) when the pool cannot
+    /// cover the growth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is not registered.
+    pub fn grow(&mut self, seq: SeqId, new_tokens: usize) -> Result<(), OutOfBlocks> {
+        let table = self
+            .tables
+            .get(&seq)
+            .unwrap_or_else(|| panic!("sequence {seq} not registered"));
+        let target_blocks = self.blocks_for(table.tokens + new_tokens);
+        let needed = target_blocks - table.blocks.len();
+        if needed > self.free.len() {
+            return Err(OutOfBlocks {
+                short_by: needed - self.free.len(),
+            });
+        }
+        let table = self.tables.get_mut(&seq).expect("checked above");
+        for _ in 0..needed {
+            table.blocks.push(self.free.pop().expect("checked len"));
+        }
+        table.tokens += new_tokens;
+        self.peak_used = self.peak_used.max(self.total_blocks - self.free.len());
+        Ok(())
+    }
+
+    /// Releases a sequence, returning its blocks to the pool.
+    ///
+    /// Unknown ids are ignored (releasing twice is harmless).
+    pub fn release(&mut self, seq: SeqId) {
+        if let Some(table) = self.tables.remove(&seq) {
+            self.free.extend(table.blocks);
+        }
+    }
+
+    /// Fraction of allocated slots actually filled with tokens (internal
+    /// fragmentation metric; PagedAttention keeps this near 1).
+    pub fn utilization(&self) -> f64 {
+        let used = self.used_blocks() * self.block_size;
+        if used == 0 {
+            return 1.0;
+        }
+        let tokens: usize = self.tables.values().map(|t| t.tokens).sum();
+        tokens as f64 / used as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_and_release_cycle() {
+        let mut a = PagedAllocator::new(4, 8);
+        a.register(1);
+        a.grow(1, 8).unwrap(); // exactly one block
+        assert_eq!(a.used_blocks(), 1);
+        a.grow(1, 1).unwrap(); // spills into a second block
+        assert_eq!(a.used_blocks(), 2);
+        assert_eq!(a.table(1).unwrap().tokens(), 9);
+        a.release(1);
+        assert_eq!(a.used_blocks(), 0);
+        assert_eq!(a.free_blocks(), 4);
+    }
+
+    #[test]
+    fn exhaustion_is_atomic() {
+        let mut a = PagedAllocator::new(2, 4);
+        a.register(1);
+        a.register(2);
+        a.grow(1, 4).unwrap();
+        let err = a.grow(2, 9).unwrap_err(); // needs 3 blocks, 1 free
+        assert_eq!(err.short_by, 2);
+        // Nothing was allocated for seq 2.
+        assert_eq!(a.table(2).unwrap().blocks().len(), 0);
+        assert_eq!(a.used_blocks(), 1);
+    }
+
+    #[test]
+    fn can_grow_predicts_grow() {
+        let mut a = PagedAllocator::new(3, 4);
+        a.register(7);
+        assert!(a.can_grow(7, 12));
+        assert!(!a.can_grow(7, 13));
+        a.grow(7, 12).unwrap();
+        assert!(a.can_grow(7, 0));
+        assert!(!a.can_grow(7, 1));
+        assert!(!a.can_grow(99, 1), "unregistered sequence cannot grow");
+    }
+
+    #[test]
+    fn blocks_are_reused_after_release() {
+        let mut a = PagedAllocator::new(2, 4);
+        a.register(1);
+        a.grow(1, 8).unwrap();
+        let blocks_1: Vec<usize> = a.table(1).unwrap().blocks().to_vec();
+        a.release(1);
+        a.register(2);
+        a.grow(2, 8).unwrap();
+        let mut blocks_2: Vec<usize> = a.table(2).unwrap().blocks().to_vec();
+        blocks_2.sort_unstable();
+        let mut sorted_1 = blocks_1;
+        sorted_1.sort_unstable();
+        assert_eq!(sorted_1, blocks_2);
+    }
+
+    #[test]
+    fn utilization_tracks_fill() {
+        let mut a = PagedAllocator::new(4, 8);
+        a.register(1);
+        a.grow(1, 4).unwrap(); // half a block
+        assert!((a.utilization() - 0.5).abs() < 1e-9);
+        a.grow(1, 4).unwrap();
+        assert!((a.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn for_budget_sizing() {
+        // 1 MiB budget at 1 KiB per token, 16-token blocks = 64 blocks.
+        let a = PagedAllocator::for_budget(1_048_576.0, 1024.0, 16);
+        assert_eq!(a.total_blocks(), 64);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut a = PagedAllocator::new(4, 4);
+        a.register(1);
+        a.grow(1, 16).unwrap();
+        a.release(1);
+        assert_eq!(a.used_blocks(), 0);
+        assert_eq!(a.peak_used(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn double_register_panics() {
+        let mut a = PagedAllocator::new(1, 1);
+        a.register(0);
+        a.register(0);
+    }
+}

@@ -1,0 +1,446 @@
+//! Continuous batching scheduler (Orca-style iteration-level scheduling).
+//!
+//! Requests are admitted First-Come-First-Served up to a batch cap and the
+//! KV block pool's capacity; whenever a request finishes decoding, the
+//! on-the-fly batch is refilled from the queue at the *next iteration*
+//! boundary — the continuous batching of §5.3.2.
+
+use crate::paged::PagedAllocator;
+use atom_data::Request;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Lifecycle state of a request inside the batcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestState {
+    /// Waiting in the FCFS queue.
+    Queued,
+    /// Admitted; prompt not yet processed.
+    Prefill,
+    /// Generating tokens.
+    Decoding,
+    /// All tokens generated; slot released.
+    Finished,
+}
+
+/// What happened to a request during one scheduler step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BatchEvent {
+    /// Request was admitted and needs its prompt prefilled.
+    Admitted(Request),
+    /// Request finished and its memory was released.
+    Finished(Request),
+    /// Request was preempted under memory pressure (vLLM-style recompute
+    /// preemption): its KV blocks were released and it re-entered the head
+    /// of the queue; its prompt must be prefilled again and generation
+    /// restarts.
+    Preempted(Request),
+}
+
+/// One active sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActiveSeq {
+    /// The underlying request.
+    pub request: Request,
+    /// Tokens decoded so far.
+    pub decoded: usize,
+    /// Whether the prompt has been prefilled.
+    pub prefilled: bool,
+}
+
+impl ActiveSeq {
+    /// Current context length (prompt + decoded tokens).
+    pub fn context(&self) -> usize {
+        self.request.prefill_tokens + self.decoded
+    }
+
+    /// Whether generation is complete.
+    pub fn done(&self) -> bool {
+        self.decoded >= self.request.decode_tokens
+    }
+}
+
+/// Iteration-level FCFS continuous batcher with paged-KV admission control.
+#[derive(Debug)]
+pub struct ContinuousBatcher {
+    queue: VecDeque<Request>,
+    active: Vec<ActiveSeq>,
+    max_batch: usize,
+    allocator: PagedAllocator,
+    finished: usize,
+    last_advanced: usize,
+    preemptions: usize,
+}
+
+impl ContinuousBatcher {
+    /// Creates a batcher with a batch-size cap and a KV block pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0`.
+    pub fn new(max_batch: usize, allocator: PagedAllocator) -> Self {
+        assert!(max_batch > 0, "max_batch must be positive");
+        ContinuousBatcher {
+            queue: VecDeque::new(),
+            active: Vec::new(),
+            max_batch,
+            allocator,
+            finished: 0,
+            last_advanced: 0,
+            preemptions: 0,
+        }
+    }
+
+    /// Enqueues a request (FCFS order).
+    pub fn submit(&mut self, request: Request) {
+        self.queue.push_back(request);
+    }
+
+    /// Number of queued (not yet admitted) requests.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The active batch.
+    pub fn active(&self) -> &[ActiveSeq] {
+        &self.active
+    }
+
+    /// Total finished requests.
+    pub fn finished(&self) -> usize {
+        self.finished
+    }
+
+    /// Whether all submitted work is complete.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.active.is_empty()
+    }
+
+    /// The KV allocator (for memory introspection).
+    pub fn allocator(&self) -> &PagedAllocator {
+        &self.allocator
+    }
+
+    /// Admits queued requests while the batch cap and block pool allow,
+    /// strictly in FCFS order (head-of-line blocking is intentional — it is
+    /// what the paper's serving setup does).
+    ///
+    /// Admission keeps a small block *watermark* free when other sequences
+    /// are running (vLLM's policy): without it, a freshly preempted request
+    /// would immediately re-admit into the very blocks its eviction freed
+    /// and the batch would thrash forever.
+    pub fn admit(&mut self) -> Vec<BatchEvent> {
+        let mut events = Vec::new();
+        while self.active.len() < self.max_batch {
+            let Some(front) = self.queue.front() else {
+                break;
+            };
+            // Admission reserves the prompt plus one decode block so a
+            // newly admitted request can always make progress.
+            let reserve = front.prefill_tokens + 1;
+            let id = front.id;
+            let needed = self.allocator.blocks_for(reserve);
+            let watermark = if self.active.is_empty() {
+                0 // a lone request may take the whole pool
+            } else {
+                (self.allocator.total_blocks() / 100).max(1)
+            };
+            if self.allocator.free_blocks() < needed + watermark {
+                break;
+            }
+            if !self.allocator.contains(id) {
+                self.allocator.register(id);
+            }
+            self.allocator.grow(id, reserve).expect("checked headroom");
+            let request = self.queue.pop_front().expect("front exists");
+            events.push(BatchEvent::Admitted(request));
+            self.active.push(ActiveSeq {
+                request,
+                decoded: 0,
+                prefilled: false,
+            });
+        }
+        events
+    }
+
+    /// Marks the pending prefills as done (called after the engine runs the
+    /// prefill phase) and returns the sequences that were prefilled.
+    pub fn complete_prefill(&mut self) -> Vec<Request> {
+        let mut done = Vec::new();
+        for seq in &mut self.active {
+            if !seq.prefilled {
+                seq.prefilled = true;
+                done.push(seq.request);
+            }
+        }
+        done
+    }
+
+    /// Advances every decoding sequence by one token, retiring finished
+    /// requests and releasing their KV blocks. Returns finish (and
+    /// possibly preemption) events.
+    ///
+    /// Sequences that cannot obtain a block for their next token stall for
+    /// this iteration. If *nothing* advanced and at least one sequence
+    /// stalled, the youngest stalled sequence is preempted (its blocks are
+    /// released and it re-enters the head of the queue for recompute), so
+    /// the batch can never deadlock on memory — the same policy vLLM uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a single stalled sequence is alone in the batch with an
+    /// empty pool: such a request exceeds the KV pool and can never be
+    /// served.
+    pub fn step_decode(&mut self) -> Vec<BatchEvent> {
+        let mut events = Vec::new();
+        let mut kept = Vec::with_capacity(self.active.len());
+        let mut advanced = 0usize;
+        let mut stalled_ids = Vec::new();
+        for mut seq in std::mem::take(&mut self.active) {
+            if !seq.prefilled {
+                kept.push(seq);
+                continue;
+            }
+            // The admission reserve covers the first decode token; later
+            // tokens grow the table one at a time.
+            if seq.decoded > 0
+                && self.allocator.grow(seq.request.id, 1).is_err() {
+                    stalled_ids.push(seq.request.id);
+                    kept.push(seq); // stalled: no block available
+                    continue;
+                }
+            seq.decoded += 1;
+            advanced += 1;
+            if seq.done() {
+                self.allocator.release(seq.request.id);
+                self.finished += 1;
+                events.push(BatchEvent::Finished(seq.request));
+            } else {
+                kept.push(seq);
+            }
+        }
+        self.active = kept;
+        self.last_advanced = advanced;
+        if advanced == 0 && !stalled_ids.is_empty() {
+            assert!(
+                self.active.len() > 1 || !self.queue.is_empty() || stalled_ids.len() > 1,
+                "request {} exceeds the KV pool and can never be served",
+                stalled_ids[0]
+            );
+            // Preempt the youngest stalled sequence.
+            let victim_id = *stalled_ids.last().expect("non-empty");
+            let pos = self
+                .active
+                .iter()
+                .rposition(|s| s.request.id == victim_id)
+                .expect("victim active");
+            let victim = self.active.remove(pos);
+            self.allocator.release(victim.request.id);
+            self.queue.push_front(victim.request);
+            self.preemptions += 1;
+            events.push(BatchEvent::Preempted(victim.request));
+        }
+        events
+    }
+
+    /// How many sequences produced a token in the last [`Self::step_decode`].
+    pub fn last_advanced(&self) -> usize {
+        self.last_advanced
+    }
+
+    /// Total recompute preemptions so far.
+    pub fn preemptions(&self) -> usize {
+        self.preemptions
+    }
+
+    /// Whether sequence `id` will be able to take its next decode step
+    /// right now (used by engines that must mirror scheduler progress).
+    pub fn can_advance(&self, id: usize) -> bool {
+        match self.active.iter().find(|s| s.request.id == id) {
+            Some(seq) => seq.prefilled && (seq.decoded == 0 || self.allocator.can_grow(id, 1)),
+            None => false,
+        }
+    }
+
+    /// Number of active sequences currently decoding (prefilled).
+    pub fn decoding(&self) -> usize {
+        self.active.iter().filter(|s| s.prefilled).count()
+    }
+
+    /// Mean context length over active sequences (0 when empty).
+    pub fn mean_context(&self) -> f64 {
+        if self.active.is_empty() {
+            return 0.0;
+        }
+        self.active.iter().map(|s| s.context() as f64).sum::<f64>() / self.active.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: usize, prefill: usize, decode: usize) -> Request {
+        Request {
+            id,
+            arrival_s: 0.0,
+            prefill_tokens: prefill,
+            decode_tokens: decode,
+        }
+    }
+
+    fn batcher(max_batch: usize, blocks: usize) -> ContinuousBatcher {
+        ContinuousBatcher::new(max_batch, PagedAllocator::new(blocks, 16))
+    }
+
+    #[test]
+    fn fcfs_admission_and_refill() {
+        let mut b = batcher(2, 100);
+        for i in 0..4 {
+            b.submit(req(i, 16, 2));
+        }
+        let admitted = b.admit();
+        assert_eq!(admitted.len(), 2);
+        assert_eq!(b.active().len(), 2);
+        assert_eq!(b.queued(), 2);
+
+        b.complete_prefill();
+        b.step_decode(); // decoded 1/2
+        let finished = b.step_decode(); // decoded 2/2 -> both finish
+        assert_eq!(finished.len(), 2);
+        assert_eq!(b.finished(), 2);
+
+        // Refill admits the next two in order.
+        let refill = b.admit();
+        match &refill[0] {
+            BatchEvent::Admitted(r) => assert_eq!(r.id, 2),
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(b.active().len(), 2);
+    }
+
+    #[test]
+    fn memory_limits_admission() {
+        // 4 blocks of 16 = 64 token slots; each request needs 33 -> 3 blocks.
+        let mut b = batcher(8, 4);
+        b.submit(req(0, 32, 4));
+        b.submit(req(1, 32, 4));
+        let events = b.admit();
+        assert_eq!(events.len(), 1, "only one request fits");
+        assert_eq!(b.queued(), 1);
+        // Finishing the first frees room for the second.
+        b.complete_prefill();
+        for _ in 0..4 {
+            b.step_decode();
+        }
+        assert_eq!(b.finished(), 1);
+        assert_eq!(b.admit().len(), 1);
+    }
+
+    #[test]
+    fn prefill_required_before_decode() {
+        let mut b = batcher(1, 10);
+        b.submit(req(0, 8, 1));
+        b.admit();
+        // Without prefill, decode makes no progress.
+        assert!(b.step_decode().is_empty());
+        assert_eq!(b.decoding(), 0);
+        b.complete_prefill();
+        assert_eq!(b.decoding(), 1);
+        assert_eq!(b.step_decode().len(), 1);
+    }
+
+    #[test]
+    fn kv_blocks_released_on_finish() {
+        let mut b = batcher(1, 10);
+        b.submit(req(0, 16, 1));
+        b.admit();
+        b.complete_prefill();
+        assert!(b.allocator().used_blocks() > 0);
+        b.step_decode();
+        assert_eq!(b.allocator().used_blocks(), 0);
+        assert!(b.is_idle());
+    }
+
+    #[test]
+    fn decode_growth_can_stall_then_recover() {
+        // Pool of 3 blocks (48 slots). The long request ends at context
+        // 16 + 20 = 36 -> 3 blocks, so it can only finish after the short
+        // one releases its block: it must stall and then recover.
+        let mut b = batcher(2, 3);
+        b.submit(req(0, 16, 20)); // grows over time
+        b.submit(req(1, 14, 2)); // short
+        b.admit();
+        b.complete_prefill();
+        // Step until the short one finishes; the long one may stall but
+        // must finish eventually.
+        let mut steps = 0;
+        while !b.is_idle() && steps < 200 {
+            b.step_decode();
+            b.admit();
+            b.complete_prefill();
+            steps += 1;
+        }
+        assert!(b.is_idle(), "deadlocked after {steps} steps");
+        assert_eq!(b.finished(), 2);
+    }
+
+    #[test]
+    fn full_pool_triggers_preemption_not_deadlock() {
+        // Two long-running sequences that are co-admitted (2 blocks each,
+        // pool of 6) but together outgrow the pool (4 blocks each at the
+        // end): the scheduler must preempt one (recompute) instead of
+        // deadlocking, and both must eventually finish.
+        let mut b = batcher(2, 6); // 96 slots
+        b.submit(req(0, 16, 40)); // ends at context 56 -> 4 blocks
+        b.submit(req(1, 16, 40)); // same; together they need 8 blocks
+        b.admit();
+        b.complete_prefill();
+        let mut steps = 0;
+        while !b.is_idle() && steps < 500 {
+            b.step_decode();
+            b.admit();
+            b.complete_prefill();
+            steps += 1;
+        }
+        assert!(b.is_idle(), "deadlocked after {steps} steps");
+        assert_eq!(b.finished(), 2);
+        assert!(b.preemptions() >= 1, "expected at least one preemption");
+    }
+
+    #[test]
+    fn last_advanced_counts_progress() {
+        let mut b = batcher(2, 100);
+        b.submit(req(0, 8, 3));
+        b.submit(req(1, 8, 3));
+        b.admit();
+        b.complete_prefill();
+        b.step_decode();
+        assert_eq!(b.last_advanced(), 2);
+    }
+
+    #[test]
+    fn can_advance_reflects_memory() {
+        let mut b = batcher(1, 2); // 32 slots
+        b.submit(req(0, 16, 40));
+        b.admit();
+        b.complete_prefill();
+        assert!(b.can_advance(0)); // first token covered by reserve
+        b.step_decode();
+        // Context now 17; the pool (2 blocks) covers up to 32 tokens, so
+        // the next several tokens still fit.
+        assert!(b.can_advance(0));
+        assert!(!b.can_advance(42), "unknown id");
+    }
+
+    #[test]
+    fn mean_context_tracks_growth() {
+        let mut b = batcher(1, 100);
+        b.submit(req(0, 10, 5));
+        b.admit();
+        b.complete_prefill();
+        let before = b.mean_context();
+        b.step_decode();
+        assert!((b.mean_context() - before - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the serving substrate: allocator conservation
+//! invariants and scheduler liveness under randomized workloads.
+
+use atom_data::Request;
+use atom_serve::{ContinuousBatcher, PagedAllocator};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn allocator_conserves_blocks(
+        ops in proptest::collection::vec((0usize..8, 1usize..40), 1..60),
+        total in 4usize..32,
+    ) {
+        let mut a = PagedAllocator::new(total, 8);
+        let mut registered = std::collections::HashSet::new();
+        for (seq, tokens) in ops {
+            if registered.contains(&seq) {
+                // Randomly grow or release.
+                if tokens % 3 == 0 {
+                    a.release(seq);
+                    registered.remove(&seq);
+                } else {
+                    let _ = a.grow(seq, tokens);
+                }
+            } else {
+                a.register(seq);
+                registered.insert(seq);
+                let _ = a.grow(seq, tokens);
+            }
+            prop_assert_eq!(a.used_blocks() + a.free_blocks(), a.total_blocks());
+            prop_assert!(a.utilization() <= 1.0 + 1e-9);
+            prop_assert!(a.peak_used() <= a.total_blocks());
+        }
+        // Releasing everything returns the pool to pristine state.
+        for seq in registered {
+            a.release(seq);
+        }
+        prop_assert_eq!(a.free_blocks(), a.total_blocks());
+    }
+
+    #[test]
+    fn allocated_blocks_are_disjoint(
+        grows in proptest::collection::vec(1usize..30, 1..8),
+    ) {
+        let mut a = PagedAllocator::new(64, 4);
+        for (seq, &tokens) in grows.iter().enumerate() {
+            a.register(seq);
+            let _ = a.grow(seq, tokens);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for seq in 0..grows.len() {
+            if let Some(t) = a.table(seq) {
+                for &b in t.blocks() {
+                    prop_assert!(seen.insert(b), "block {b} double-allocated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_always_drains(
+        lens in proptest::collection::vec((1usize..60, 1usize..30), 1..20),
+        max_batch in 1usize..6,
+    ) {
+        // Any workload whose largest request fits the pool must drain.
+        let pool_blocks = 16usize; // 256 slots
+        let block = 16usize;
+        let mut b = ContinuousBatcher::new(max_batch, PagedAllocator::new(pool_blocks, block));
+        let mut total = 0usize;
+        for (i, &(prefill, decode)) in lens.iter().enumerate() {
+            // Cap each request under the pool size.
+            let prefill = prefill.min(120);
+            let decode = decode.min(100);
+            b.submit(Request {
+                id: i,
+                arrival_s: 0.0,
+                prefill_tokens: prefill,
+                decode_tokens: decode,
+            });
+            total += 1;
+        }
+        let mut steps = 0usize;
+        while !b.is_idle() && steps < 20_000 {
+            b.admit();
+            b.complete_prefill();
+            b.step_decode();
+            steps += 1;
+        }
+        prop_assert!(b.is_idle(), "scheduler failed to drain after {steps} steps");
+        prop_assert_eq!(b.finished(), total);
+        prop_assert_eq!(b.allocator().used_blocks(), 0);
+    }
+
+    #[test]
+    fn workload_generation_invariants(
+        rate in 0.5f64..100.0,
+        cont in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let spec = atom_data::WorkloadSpec {
+            arrival_rate: rate,
+            continuation_prob: cont,
+            ..atom_data::WorkloadSpec::default()
+        };
+        let trace = spec.generate(50, seed);
+        prop_assert_eq!(trace.len(), 50);
+        for w in trace.windows(2) {
+            prop_assert!(w[0].arrival_s <= w[1].arrival_s);
+        }
+        for r in &trace {
+            prop_assert!(r.prefill_tokens >= 4);
+            prop_assert!(r.decode_tokens >= 1);
+            prop_assert!(r.prefill_tokens <= spec.max_context);
+        }
+    }
+}

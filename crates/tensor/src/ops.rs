@@ -1,0 +1,294 @@
+//! Neural-network primitives used by Llama-family models.
+//!
+//! Everything a decoder-only transformer forward pass needs: numerically
+//! stable softmax, RMSNorm, SiLU/GeLU activations, rotary position embeddings
+//! (RoPE), causal masking, and sampling helpers.
+
+use crate::Matrix;
+
+/// Numerically stable softmax over one slice, in place.
+///
+/// An empty slice is left untouched.
+pub fn softmax_in_place(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Softmax applied independently to each row of `m`.
+pub fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        softmax_in_place(out.row_mut(r));
+    }
+    out
+}
+
+/// Log-softmax of one row, returned as a new vector.
+///
+/// Used by perplexity and zero-shot likelihood scoring.
+pub fn log_softmax(row: &[f32]) -> Vec<f32> {
+    let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let log_sum: f32 = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+    row.iter().map(|&v| v - log_sum).collect()
+}
+
+/// RMSNorm over each row: `x / rms(x) * gain`, with `rms(x) =
+/// sqrt(mean(x^2) + eps)`.
+///
+/// This is the normalization used throughout the Llama family.
+///
+/// # Panics
+///
+/// Panics if `gain.len() != m.cols()`.
+pub fn rmsnorm_rows(m: &Matrix, gain: &[f32], eps: f32) -> Matrix {
+    assert_eq!(gain.len(), m.cols(), "rmsnorm gain length mismatch");
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / row.len() as f32;
+        let inv = 1.0 / (ms + eps).sqrt();
+        for (v, &g) in row.iter_mut().zip(gain.iter()) {
+            *v *= inv * g;
+        }
+    }
+    out
+}
+
+/// SiLU (swish) activation `x * sigmoid(x)`.
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Tanh-approximation GeLU, as used by GPT-style MLPs.
+pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + ((2.0 / std::f32::consts::PI).sqrt() * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Applies rotary position embeddings to each row of `m` in place.
+///
+/// Row `r` is treated as the hidden vector of the token at absolute position
+/// `positions[r]`. Pairs `(2i, 2i+1)` of each `head_dim` segment are rotated
+/// by angle `pos * theta^(-2i/head_dim)`.
+///
+/// # Panics
+///
+/// Panics if `positions.len() != m.rows()`, `head_dim` is zero or odd, or
+/// `m.cols()` is not a multiple of `head_dim`.
+#[allow(clippy::needless_range_loop)] // positions and rows advance together
+pub fn rope_in_place(m: &mut Matrix, positions: &[usize], head_dim: usize, theta: f32) {
+    assert_eq!(positions.len(), m.rows(), "rope positions length mismatch");
+    assert!(head_dim > 0 && head_dim.is_multiple_of(2), "head_dim must be even");
+    assert_eq!(m.cols() % head_dim, 0, "cols must be a multiple of head_dim");
+    let heads = m.cols() / head_dim;
+    for r in 0..m.rows() {
+        let pos = positions[r] as f32;
+        let row = m.row_mut(r);
+        for h in 0..heads {
+            let seg = &mut row[h * head_dim..(h + 1) * head_dim];
+            for i in 0..head_dim / 2 {
+                let freq = theta.powf(-2.0 * i as f32 / head_dim as f32);
+                let angle = pos * freq;
+                let (sin, cos) = angle.sin_cos();
+                let a = seg[2 * i];
+                let b = seg[2 * i + 1];
+                seg[2 * i] = a * cos - b * sin;
+                seg[2 * i + 1] = a * sin + b * cos;
+            }
+        }
+    }
+}
+
+/// Inverse rotation of [`rope_in_place`] (used by the autograd backward pass).
+#[allow(clippy::needless_range_loop)] // positions and rows advance together
+pub fn rope_inverse_in_place(m: &mut Matrix, positions: &[usize], head_dim: usize, theta: f32) {
+    assert_eq!(positions.len(), m.rows(), "rope positions length mismatch");
+    assert!(head_dim > 0 && head_dim.is_multiple_of(2), "head_dim must be even");
+    assert_eq!(m.cols() % head_dim, 0, "cols must be a multiple of head_dim");
+    let heads = m.cols() / head_dim;
+    for r in 0..m.rows() {
+        let pos = positions[r] as f32;
+        let row = m.row_mut(r);
+        for h in 0..heads {
+            let seg = &mut row[h * head_dim..(h + 1) * head_dim];
+            for i in 0..head_dim / 2 {
+                let freq = theta.powf(-2.0 * i as f32 / head_dim as f32);
+                let angle = pos * freq;
+                let (sin, cos) = angle.sin_cos();
+                let a = seg[2 * i];
+                let b = seg[2 * i + 1];
+                // Rotate by -angle.
+                seg[2 * i] = a * cos + b * sin;
+                seg[2 * i + 1] = -a * sin + b * cos;
+            }
+        }
+    }
+}
+
+/// Adds a causal mask to a `q_len x kv_len` score matrix in place: position
+/// `q` may attend to kv positions `0..=q + offset`, everything later is set
+/// to negative infinity.
+///
+/// `offset` is `kv_len - q_len` during incremental decoding (the queries are
+/// the *last* `q_len` positions of the kv sequence).
+///
+/// # Panics
+///
+/// Panics if `scores.cols() < scores.rows() + offset` would make the mask
+/// meaningless (i.e. `offset + scores.rows() > scores.cols()` is allowed only
+/// when it never masks in-range entries; we simply require
+/// `offset + 1 <= scores.cols()` for non-empty matrices).
+pub fn causal_mask_in_place(scores: &mut Matrix, offset: usize) {
+    let (q_len, kv_len) = scores.shape();
+    for q in 0..q_len {
+        let last_visible = q + offset;
+        let row = scores.row_mut(q);
+        for (k, item) in row.iter_mut().enumerate().take(kv_len) {
+            if k > last_visible {
+                *item = f32::NEG_INFINITY;
+            }
+        }
+    }
+}
+
+/// Index of the maximum element (first one on ties).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn argmax(row: &[f32]) -> usize {
+    assert!(!row.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Indices of the `k` largest elements, in descending value order.
+pub fn topk(row: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..row.len()).collect();
+    idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.truncate(k);
+    idx
+}
+
+/// Cross-entropy (nats) of the target index under the logits row.
+///
+/// # Panics
+///
+/// Panics if `target >= logits.len()`.
+pub fn cross_entropy(logits: &[f32], target: usize) -> f32 {
+    assert!(target < logits.len(), "target out of vocabulary");
+    -log_softmax(logits)[target]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut row = vec![1.0, 2.0, 3.0, 4.0];
+        softmax_in_place(&mut row);
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(row.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn softmax_handles_extremes() {
+        let mut row = vec![1000.0, 1000.0];
+        softmax_in_place(&mut row);
+        assert!((row[0] - 0.5).abs() < 1e-6);
+        let mut neg = vec![-1000.0, -999.0];
+        softmax_in_place(&mut neg);
+        assert!(neg.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let row = vec![0.3, -1.2, 2.5];
+        let ls = log_softmax(&row);
+        let mut sm = row.clone();
+        softmax_in_place(&mut sm);
+        for (l, s) in ls.iter().zip(sm.iter()) {
+            assert!((l.exp() - s).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rmsnorm_unit_rows() {
+        let m = Matrix::from_rows(&[&[3.0, 4.0]]);
+        let gain = vec![1.0, 1.0];
+        let n = rmsnorm_rows(&m, &gain, 0.0);
+        let ms: f32 = n.row(0).iter().map(|v| v * v).sum::<f32>() / 2.0;
+        assert!((ms - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rope_preserves_norm_and_inverts() {
+        let mut m = Matrix::from_fn(3, 8, |r, c| (r + c) as f32 * 0.3 - 1.0);
+        let orig = m.clone();
+        let norms: Vec<f32> = (0..3).map(|r| m.row(r).iter().map(|v| v * v).sum()).collect();
+        rope_in_place(&mut m, &[0, 5, 11], 4, 10000.0);
+        for (r, &n0) in norms.iter().enumerate() {
+            let n1: f32 = m.row(r).iter().map(|v| v * v).sum();
+            assert!((n0 - n1).abs() < 1e-3, "rope should preserve norms");
+        }
+        rope_inverse_in_place(&mut m, &[0, 5, 11], 4, 10000.0);
+        for (a, b) in m.as_slice().iter().zip(orig.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn rope_position_zero_is_identity() {
+        let mut m = Matrix::from_fn(1, 8, |_, c| c as f32);
+        let orig = m.clone();
+        rope_in_place(&mut m, &[0], 8, 10000.0);
+        assert_eq!(m, orig);
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        let mut s = Matrix::full(2, 4, 1.0);
+        causal_mask_in_place(&mut s, 2);
+        // Query 0 sees kv 0..=2, query 1 sees all 4.
+        assert_eq!(s.row(0)[3], f32::NEG_INFINITY);
+        assert!(s.row(0)[2].is_finite());
+        assert!(s.row(1).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn argmax_topk_cross_entropy() {
+        let row = vec![0.1, 5.0, -2.0, 3.0];
+        assert_eq!(argmax(&row), 1);
+        assert_eq!(topk(&row, 2), vec![1, 3]);
+        let ce_good = cross_entropy(&row, 1);
+        let ce_bad = cross_entropy(&row, 2);
+        assert!(ce_good < ce_bad);
+    }
+
+    #[test]
+    fn silu_gelu_shapes() {
+        assert!(silu(0.0).abs() < 1e-7);
+        assert!(silu(10.0) > 9.9);
+        assert!(gelu(0.0).abs() < 1e-7);
+        assert!((gelu(10.0) - 10.0).abs() < 1e-3);
+        assert!(gelu(-10.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,355 @@
+//! Per-channel statistics for calibration.
+//!
+//! Atom identifies outlier channels offline by ranking channels of sampled
+//! activation matrices by their square sums (§5.1). This module provides the
+//! accumulators and summaries that calibration, the figures (Fig. 5 / Fig. 9),
+//! and the clipping grid search rely on.
+
+use crate::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Streaming per-channel accumulator over a sequence of activation matrices.
+///
+/// Channels are matrix columns. Feed every calibration batch through
+/// [`ChannelStats::update`] and read the summaries afterwards.
+///
+/// # Example
+///
+/// ```
+/// use atom_tensor::{Matrix, stats::ChannelStats};
+///
+/// let mut stats = ChannelStats::new(3);
+/// stats.update(&Matrix::from_rows(&[&[1.0, 100.0, -1.0]]));
+/// stats.update(&Matrix::from_rows(&[&[2.0, -90.0, 0.5]]));
+/// // Channel 1 dominates the square sums.
+/// assert_eq!(stats.top_square_sum_channels(1), vec![1]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChannelStats {
+    channels: usize,
+    count: u64,
+    sum: Vec<f64>,
+    square_sum: Vec<f64>,
+    abs_max: Vec<f32>,
+    min: Vec<f32>,
+    max: Vec<f32>,
+}
+
+impl ChannelStats {
+    /// Creates an accumulator for matrices with `channels` columns.
+    pub fn new(channels: usize) -> Self {
+        ChannelStats {
+            channels,
+            count: 0,
+            sum: vec![0.0; channels],
+            square_sum: vec![0.0; channels],
+            abs_max: vec![0.0; channels],
+            min: vec![f32::INFINITY; channels],
+            max: vec![f32::NEG_INFINITY; channels],
+        }
+    }
+
+    /// Number of channels this accumulator tracks.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Number of rows (tokens) accumulated so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Accumulates every row of `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.cols() != self.channels()`.
+    pub fn update(&mut self, m: &Matrix) {
+        assert_eq!(m.cols(), self.channels, "channel count mismatch");
+        for row in m.iter_rows() {
+            for (c, &v) in row.iter().enumerate() {
+                self.sum[c] += v as f64;
+                self.square_sum[c] += (v as f64) * (v as f64);
+                if v.abs() > self.abs_max[c] {
+                    self.abs_max[c] = v.abs();
+                }
+                if v < self.min[c] {
+                    self.min[c] = v;
+                }
+                if v > self.max[c] {
+                    self.max[c] = v;
+                }
+            }
+        }
+        self.count += m.rows() as u64;
+    }
+
+    /// Per-channel square sums (Atom's outlier ranking criterion).
+    pub fn square_sums(&self) -> &[f64] {
+        &self.square_sum
+    }
+
+    /// Per-channel maximum absolute values.
+    pub fn abs_maxes(&self) -> &[f32] {
+        &self.abs_max
+    }
+
+    /// Per-channel means; zero when nothing was accumulated.
+    pub fn means(&self) -> Vec<f64> {
+        if self.count == 0 {
+            return vec![0.0; self.channels];
+        }
+        self.sum.iter().map(|s| s / self.count as f64).collect()
+    }
+
+    /// Per-channel root-mean-square values.
+    pub fn rms(&self) -> Vec<f64> {
+        if self.count == 0 {
+            return vec![0.0; self.channels];
+        }
+        self.square_sum
+            .iter()
+            .map(|s| (s / self.count as f64).sqrt())
+            .collect()
+    }
+
+    /// Indices of the `k` channels with the largest square sums, in
+    /// descending order — exactly the paper's outlier-channel selection rule.
+    pub fn top_square_sum_channels(&self, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.channels).collect();
+        idx.sort_by(|&a, &b| {
+            self.square_sum[b]
+                .partial_cmp(&self.square_sum[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    /// Ratio of the largest channel RMS to the median channel RMS — a scalar
+    /// "outlier-ness" measure used by Fig. 5 / Fig. 9 style analyses.
+    pub fn outlier_ratio(&self) -> f64 {
+        let mut rms = self.rms();
+        if rms.is_empty() {
+            return 1.0;
+        }
+        rms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let max = *rms.last().unwrap();
+        let median = rms[rms.len() / 2].max(1e-12);
+        max / median
+    }
+}
+
+/// Summary statistics of one flat slice of values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Smallest value.
+    pub min: f32,
+    /// Largest value.
+    pub max: f32,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Largest absolute value.
+    pub abs_max: f32,
+}
+
+impl Summary {
+    /// Computes summary statistics of `values`.
+    ///
+    /// Returns an all-zero summary for an empty slice.
+    pub fn of(values: &[f32]) -> Summary {
+        if values.is_empty() {
+            return Summary {
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                std: 0.0,
+                abs_max: 0.0,
+            };
+        }
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        let mut sum = 0.0f64;
+        let mut abs_max = 0.0f32;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v as f64;
+            abs_max = abs_max.max(v.abs());
+        }
+        let mean = sum / values.len() as f64;
+        let var = values
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / values.len() as f64;
+        Summary {
+            min,
+            max,
+            mean,
+            std: var.sqrt(),
+            abs_max,
+        }
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi]` used to render value-distribution
+/// figures as text.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f32,
+    hi: f32,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` buckets spanning `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f32, hi: f32, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: f32) {
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let t = (v - self.lo) / (self.hi - self.lo);
+            let bin = ((t * self.counts.len() as f32) as usize).min(self.counts.len() - 1);
+            self.counts[bin] += 1;
+        }
+    }
+
+    /// Records every value of a slice.
+    pub fn record_all(&mut self, values: &[f32]) {
+        for &v in values {
+            self.record(v);
+        }
+    }
+
+    /// Bucket counts (excluding under/overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of values below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of values at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total recorded values including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+/// Exact quantile of a slice (linear interpolation between order statistics).
+///
+/// `q` is clamped to `[0, 1]`. Returns `None` on an empty slice.
+pub fn quantile(values: &[f32], q: f64) -> Option<f32> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = (pos - lo as f64) as f32;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_stats_tracks_square_sums() {
+        let mut s = ChannelStats::new(2);
+        s.update(&Matrix::from_rows(&[&[1.0, 10.0], &[-2.0, -10.0]]));
+        assert_eq!(s.count(), 2);
+        assert!((s.square_sums()[0] - 5.0).abs() < 1e-9);
+        assert!((s.square_sums()[1] - 200.0).abs() < 1e-9);
+        assert_eq!(s.top_square_sum_channels(1), vec![1]);
+        assert_eq!(s.abs_maxes(), &[2.0, 10.0]);
+    }
+
+    #[test]
+    fn outlier_ratio_detects_outliers() {
+        let mut uniform = ChannelStats::new(8);
+        uniform.update(&Matrix::full(4, 8, 1.0));
+        assert!((uniform.outlier_ratio() - 1.0).abs() < 1e-9);
+
+        let mut spiky = ChannelStats::new(8);
+        let mut m = Matrix::full(4, 8, 1.0);
+        for r in 0..4 {
+            m.row_mut(r)[3] = 100.0;
+        }
+        spiky.update(&m);
+        assert!(spiky.outlier_ratio() > 50.0);
+    }
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::of(&[-1.0, 1.0, 3.0]);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 1.0).abs() < 1e-12);
+        assert_eq!(s.abs_max, 3.0);
+        assert!((s.std - (8.0f64 / 3.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.abs_max, 0.0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record_all(&[-1.0, 0.5, 5.5, 9.99, 10.0, 42.0]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(4.0));
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the tensor substrate.
+
+use atom_tensor::f16::{f16_bits_to_f32, f32_to_f16_bits, round_f16};
+use atom_tensor::ops::{log_softmax, softmax_in_place};
+use atom_tensor::stats::{quantile, Summary};
+use atom_tensor::Matrix;
+use proptest::prelude::*;
+
+fn small_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_associates_with_identity(m in small_matrix()) {
+        let i_left = Matrix::eye(m.rows());
+        let i_right = Matrix::eye(m.cols());
+        prop_assert_eq!(i_left.matmul(&m), m.clone());
+        prop_assert_eq!(m.matmul(&i_right), m);
+    }
+
+    #[test]
+    fn transpose_involution(m in small_matrix()) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_nt_equals_naive(
+        a in small_matrix(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = atom_tensor::SeededRng::new(seed);
+        let w = rng.normal_matrix(3, a.cols(), 0.0, 1.0);
+        let fast = a.matmul_nt(&w);
+        let slow = a.matmul(&w.transpose());
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        seed in 0u64..1000,
+    ) {
+        let mut rng = atom_tensor::SeededRng::new(seed);
+        let a = rng.normal_matrix(4, 5, 0.0, 1.0);
+        let b = rng.normal_matrix(4, 5, 0.0, 1.0);
+        let w = rng.normal_matrix(5, 3, 0.0, 1.0);
+        let lhs = a.add(&b).matmul(&w);
+        let rhs = a.matmul(&w).add(&b.matmul(&w));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn permute_cols_preserves_multiset(m in small_matrix(), seed in 0u64..100) {
+        let mut rng = atom_tensor::SeededRng::new(seed);
+        let mut perm: Vec<usize> = (0..m.cols()).collect();
+        rng.shuffle(&mut perm);
+        let p = m.permute_cols(&perm);
+        let mut a: Vec<_> = m.as_slice().iter().map(|v| v.to_bits()).collect();
+        let mut b: Vec<_> = p.as_slice().iter().map(|v| v.to_bits()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn softmax_is_distribution(vals in proptest::collection::vec(-50.0f32..50.0, 1..32)) {
+        let mut row = vals;
+        softmax_in_place(&mut row);
+        let sum: f32 = row.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn softmax_shift_invariant(vals in proptest::collection::vec(-20.0f32..20.0, 2..16), shift in -10.0f32..10.0) {
+        let mut a = vals.clone();
+        let mut b: Vec<f32> = vals.iter().map(|v| v + shift).collect();
+        softmax_in_place(&mut a);
+        softmax_in_place(&mut b);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn log_softmax_exp_sums_to_one(vals in proptest::collection::vec(-30.0f32..30.0, 1..16)) {
+        let ls = log_softmax(&vals);
+        let sum: f32 = ls.iter().map(|v| v.exp()).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn f16_roundtrip_is_idempotent(v in -65000.0f32..65000.0) {
+        let once = round_f16(v);
+        let twice = round_f16(once);
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    #[test]
+    fn f16_monotone(a in -60000.0f32..60000.0, b in -60000.0f32..60000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(round_f16(lo) <= round_f16(hi));
+    }
+
+    #[test]
+    fn f16_relative_error_bound(v in 1e-2f32..6e4) {
+        let r = round_f16(v);
+        prop_assert!(((r - v) / v).abs() <= 2.0f32.powi(-11) + 1e-9);
+    }
+
+    #[test]
+    fn f16_bits_decode_encode(bits in 0u16..0x7C00) {
+        // All positive finite f16 values.
+        let v = f16_bits_to_f32(bits);
+        prop_assert_eq!(f32_to_f16_bits(v), bits);
+    }
+
+    #[test]
+    fn summary_bounds(vals in proptest::collection::vec(-1e3f32..1e3, 1..64)) {
+        let s = Summary::of(&vals);
+        prop_assert!(s.min <= s.max);
+        prop_assert!(s.mean >= s.min as f64 - 1e-6 && s.mean <= s.max as f64 + 1e-6);
+        prop_assert!(s.abs_max >= s.max.abs() - 1e-6);
+        prop_assert!(s.std >= 0.0);
+    }
+
+    #[test]
+    fn quantile_monotone(vals in proptest::collection::vec(-1e3f32..1e3, 1..64)) {
+        let q1 = quantile(&vals, 0.25).unwrap();
+        let q2 = quantile(&vals, 0.75).unwrap();
+        prop_assert!(q1 <= q2);
+    }
+}

@@ -1,0 +1,53 @@
+//! Accuracy sweep: perplexity and zero-shot accuracy across quantization
+//! schemes and bit widths on one model — a miniature of Tables 1 and 2.
+//!
+//! ```sh
+//! cargo run --release -p atom --example accuracy_sweep [tiny|small|base|large]
+//! ```
+
+use atom::pipeline::{AtomScheme, Scheme};
+use atom::Calibration;
+use atom_data::{CorpusStyle, TaskSuite, Tokenizer};
+use atom_nn::{eval, zoo};
+
+fn main() {
+    let id = match std::env::args().nth(1).as_deref() {
+        Some("small") => zoo::ZooId::Small,
+        Some("base") => zoo::ZooId::Base,
+        Some("large") => zoo::ZooId::Large,
+        _ => zoo::ZooId::Tiny,
+    };
+    let model = zoo::trained(id);
+    let calib = Calibration::collect(&model, &zoo::calibration_sequences(128), true, 2);
+    let tokens = zoo::validation_tokens(CorpusStyle::Wiki);
+    let tokens = &tokens[..tokens.len().min(2000)];
+    let suite = TaskSuite::generate(15, 7);
+    let tok = Tokenizer::new();
+
+    println!("model {}: FP32 reference", id.label());
+    let ppl = eval::perplexity(&model, tokens, 96);
+    let (_, acc) = eval::zero_shot_row(&model, &suite, &tok);
+    println!("  ppl {ppl:7.3}   zero-shot avg {:.1}%", acc * 100.0);
+
+    let schemes = [
+        Scheme::Rtn { w_bits: 8, a_bits: 8 },
+        Scheme::Rtn { w_bits: 4, a_bits: 4 },
+        Scheme::SmoothQuant { w_bits: 8, a_bits: 8 },
+        Scheme::SmoothQuant { w_bits: 4, a_bits: 4 },
+        Scheme::WeightOnly { w_bits: 4, group: 16 },
+        Scheme::Atom(AtomScheme::w4a4()),
+        Scheme::Atom(AtomScheme::w3a3()),
+        Scheme::Atom(AtomScheme::fp4()),
+    ];
+    for scheme in schemes {
+        let q = scheme.quantize(&model, &calib);
+        let ppl = q.perplexity(tokens, 96);
+        let (_, acc) = q.zero_shot(&suite, &tok);
+        println!(
+            "{:22}  ppl {:9.3}   zero-shot avg {:.1}%",
+            scheme.label(),
+            ppl,
+            acc * 100.0
+        );
+    }
+}

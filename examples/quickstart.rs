@@ -1,0 +1,56 @@
+//! Quickstart: quantize a trained model to W4A4 with Atom and compare it
+//! against the FP32 reference and the RTN baseline.
+//!
+//! ```sh
+//! cargo run --release -p atom --example quickstart
+//! ```
+//!
+//! The first run trains the model zoo (a few minutes on one core); later
+//! runs load the cached checkpoints.
+
+use atom::pipeline::{AtomScheme, Scheme};
+use atom::Calibration;
+use atom_data::{CorpusStyle, Tokenizer};
+use atom_nn::{eval, zoo};
+use atom_tensor::SeededRng;
+
+fn main() {
+    // 1. A trained Llama-style model with realistic activation outliers.
+    let model = zoo::trained(zoo::ZooId::Tiny);
+    println!(
+        "model: {} ({} parameters, {} linear layers)",
+        zoo::ZooId::Tiny.label(),
+        model.config().param_count(),
+        model.num_linears()
+    );
+
+    // 2. Calibrate on 128 random sentences (paper §5.1), collecting the
+    //    channel statistics for outlier identification and the Gram
+    //    matrices GPTQ needs.
+    let calib = Calibration::collect(&model, &zoo::calibration_sequences(128), true, 2);
+
+    // 3. Quantize: Atom W4A4 (mixed-precision outliers, group 16, GPTQ,
+    //    INT4 KV-cache) vs plain RTN W4A4.
+    let atom = Scheme::Atom(AtomScheme::w4a4()).quantize(&model, &calib);
+    let rtn = Scheme::Rtn { w_bits: 4, a_bits: 4 }.quantize(&model, &calib);
+
+    // 4. Compare perplexity on held-out wiki text.
+    let tokens = zoo::validation_tokens(CorpusStyle::Wiki);
+    let tokens = &tokens[..tokens.len().min(2000)];
+    println!("\nwiki perplexity (lower is better):");
+    println!("  FP32 reference : {:.3}", eval::perplexity(&model, tokens, 96));
+    println!("  Atom W4A4      : {:.3}", atom.perplexity(tokens, 96));
+    println!("  RTN  W4A4      : {:.3}", rtn.perplexity(tokens, 96));
+
+    // 5. Generate a little text from both to see the quality difference.
+    let tok = Tokenizer::new();
+    let prompt = tok.encode("the robin is a ");
+    let mut rng = SeededRng::new(0);
+    let fp = eval::generate(&model, &prompt, 24, 0.0, &mut rng);
+    println!("\ngreedy continuations of \"the robin is a \":");
+    println!("  FP32:      {:?}", tok.decode(&fp));
+    let atom_out = eval::generate(&atom.model, &prompt, 24, 0.0, &mut rng);
+    println!("  Atom W4A4: {:?}", tok.decode(&atom_out));
+    let rtn_out = eval::generate(&rtn.model, &prompt, 24, 0.0, &mut rng);
+    println!("  RTN  W4A4: {:?}", tok.decode(&rtn_out));
+}
