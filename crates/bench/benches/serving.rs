@@ -28,9 +28,10 @@ fn bench_serving(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduler");
     group.bench_function("full_trace_scheduling", |b| {
         b.iter(|| {
-            let mut batcher = ContinuousBatcher::new(16, PagedAllocator::new(100_000, 16));
+            let mut batcher = ContinuousBatcher::new(16, PagedAllocator::new(100_000, 16))
+                .expect("positive max_batch");
             for &r in &trace {
-                batcher.submit(r);
+                batcher.submit(r).expect("fits the pool");
             }
             let mut steps = 0usize;
             while !batcher.is_idle() {
@@ -58,7 +59,7 @@ fn bench_serving(c: &mut Criterion) {
                     scheme,
                     32,
                 );
-                b.iter(|| sim.run(&trace))
+                b.iter(|| sim.run(&trace).expect("non-empty trace"))
             },
         );
     }

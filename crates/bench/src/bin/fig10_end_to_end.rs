@@ -47,7 +47,7 @@ fn main() {
         let mem = MemoryModel::new(cfg, scheme, hw.mem_bytes);
         let max_batch = mem.max_batch(avg_ctx).clamp(1, 256);
         let sim = ServingSimulator::with_device_memory(cfg, hw, scheme, max_batch);
-        let report = sim.run(&trace);
+        let report = sim.run(&trace).expect("non-empty trace");
         tputs.insert(scheme.label(), report.throughput_tps);
         rows_c.push(vec![
             scheme.label().to_string(),

@@ -6,9 +6,29 @@
 //! speed story lives in [`crate::simulate`] — but it proves the entire
 //! serving path works: FCFS admission, prefill, iteration-level decode,
 //! quantized KV caches, block accounting, and retirement.
+//!
+//! # Robustness model
+//!
+//! The engine never panics on traffic. Every submission reaches exactly
+//! one [`Terminal`] state — `Completed`, `Rejected`, `Cancelled`,
+//! `DeadlineExceeded`, or `Failed` — recorded as an [`Outcome`] with
+//! per-request latency accounting. Three mechanisms keep it alive under
+//! hostile conditions:
+//!
+//! - **admission validation**: degenerate or pool-exceeding requests are
+//!   refused at [`CpuEngine::submit`] with a typed [`RejectReason`];
+//! - **graceful degradation**: past configurable [`PressurePolicy`]
+//!   watermarks, new admissions receive a lower-precision (Atom-quantized)
+//!   KV cache and the newest submissions are shed — the paper's KV
+//!   quantization used as a memory-pressure valve;
+//! - **fault tolerance**: a deterministic [`FaultPlan`] can poison block
+//!   allocation or kill an in-flight request at chosen steps; the engine
+//!   absorbs both without leaking blocks or losing terminal events.
 
+use crate::error::{RejectReason, ServeError, Terminal};
+use crate::fault::FaultPlan;
 use crate::paged::PagedAllocator;
-use crate::scheduler::ContinuousBatcher;
+use crate::scheduler::{BatchEvent, ContinuousBatcher};
 use atom_data::Request;
 use atom_nn::{KvStore, LinearLayer, LlamaModel};
 use atom_tensor::ops;
@@ -26,6 +46,103 @@ pub struct Completion {
 /// Factory producing a fresh KV cache per admitted sequence.
 pub type CacheFactory = Box<dyn Fn() -> Box<dyn KvStore>>;
 
+/// Per-request lifecycle accounting, in engine steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestStats {
+    /// Step count at submission.
+    pub submitted_step: usize,
+    /// Step of first admission into the batch (`None`: never admitted).
+    pub admitted_step: Option<usize>,
+    /// Step at which the first token was generated (`None`: none was).
+    pub first_token_step: Option<usize>,
+    /// Times this request was recompute-preempted.
+    pub preemptions: usize,
+    /// Whether admission placed it in a degraded (low-bit) KV cache.
+    pub degraded_kv: bool,
+    /// The step budget the request was submitted with, if any.
+    pub deadline_steps: Option<usize>,
+}
+
+impl RequestStats {
+    /// Steps spent queued before first admission.
+    pub fn queue_steps(&self) -> Option<usize> {
+        self.admitted_step.map(|a| a - self.submitted_step)
+    }
+
+    /// Time-to-first-token in steps (includes queue time).
+    pub fn ttft_steps(&self) -> Option<usize> {
+        self.first_token_step.map(|t| t - self.submitted_step)
+    }
+}
+
+/// The terminal record of one request: exactly one per submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// Request id (submission order; rejected submissions consume one too).
+    pub id: usize,
+    /// How the request ended.
+    pub terminal: Terminal,
+    /// Tokens generated before the terminal state (full generation for
+    /// `Completed`, partial for cancel/deadline/failure, empty otherwise).
+    pub tokens: Vec<u16>,
+    /// Lifecycle accounting.
+    pub stats: RequestStats,
+}
+
+/// Submission parameters beyond the prompt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Tokens to generate.
+    pub max_new: usize,
+    /// Optional step budget: if the request has not completed within this
+    /// many engine steps of submission it terminates `DeadlineExceeded`.
+    pub deadline_steps: Option<usize>,
+}
+
+impl SubmitOptions {
+    /// Options generating `max_new` tokens with no deadline.
+    pub fn new(max_new: usize) -> Self {
+        SubmitOptions {
+            max_new,
+            deadline_steps: None,
+        }
+    }
+
+    /// Sets a step budget (builder style).
+    pub fn with_deadline(mut self, steps: usize) -> Self {
+        self.deadline_steps = Some(steps);
+        self
+    }
+}
+
+/// Load-shedding and graceful-degradation watermarks.
+///
+/// When KV-pool utilization or queue depth crosses these thresholds the
+/// engine (a) hands *new* admissions a degraded (lower-precision) KV cache
+/// if one was configured, and (b) sheds the newest submissions with
+/// [`RejectReason::QueueFull`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PressurePolicy {
+    /// KV-pool utilization fraction (used / total blocks, measured after
+    /// admission) at or above which new admissions degrade. Values above
+    /// 1.0 disable utilization-triggered degradation.
+    pub degrade_kv_at: f64,
+    /// Queue depth at or above which new admissions degrade.
+    pub degrade_queue_depth: Option<usize>,
+    /// Queue depth at which new submissions are shed.
+    pub shed_queue_depth: Option<usize>,
+}
+
+impl Default for PressurePolicy {
+    fn default() -> Self {
+        PressurePolicy {
+            degrade_kv_at: 2.0, // disabled
+            degrade_queue_depth: None,
+            shed_queue_depth: None,
+        }
+    }
+}
+
 struct SeqState {
     cache: Box<dyn KvStore>,
     generated: Vec<u16>,
@@ -36,71 +153,251 @@ struct SeqState {
 pub struct CpuEngine<L: LinearLayer> {
     model: LlamaModel<L>,
     new_cache: CacheFactory,
+    degraded_cache: Option<CacheFactory>,
+    policy: PressurePolicy,
+    fault: FaultPlan,
     batcher: ContinuousBatcher,
     prompts: HashMap<usize, Vec<u16>>,
     states: HashMap<usize, SeqState>,
+    meta: HashMap<usize, RequestStats>,
+    outcomes: Vec<Outcome>,
     completions: Vec<Completion>,
     next_id: usize,
+    clock: usize,
     decode_steps: usize,
+    degraded_admissions: usize,
+    rejected: usize,
 }
 
 impl<L: LinearLayer> CpuEngine<L> {
+    /// Consecutive no-progress steps after which in-flight requests are
+    /// failed instead of looping forever (livelock circuit breaker; with
+    /// validated admission it should never trip outside pathological
+    /// fault plans).
+    const STALL_LIMIT: usize = 10_000;
+
     /// Creates an engine with a batch cap and a KV pool of `kv_pool_tokens`
     /// token slots (16-token blocks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] if `max_batch == 0` or the
+    /// pool cannot hold a single block.
     pub fn new(
         model: LlamaModel<L>,
         new_cache: CacheFactory,
         max_batch: usize,
         kv_pool_tokens: usize,
-    ) -> Self {
+    ) -> Result<Self, ServeError> {
+        if kv_pool_tokens < 16 {
+            return Err(ServeError::InvalidConfig(
+                "kv pool must hold at least one 16-token block",
+            ));
+        }
         let allocator = PagedAllocator::new(kv_pool_tokens / 16, 16);
-        CpuEngine {
+        Ok(CpuEngine {
             model,
             new_cache,
-            batcher: ContinuousBatcher::new(max_batch, allocator),
+            degraded_cache: None,
+            policy: PressurePolicy::default(),
+            fault: FaultPlan::none(),
+            batcher: ContinuousBatcher::new(max_batch, allocator)?,
             prompts: HashMap::new(),
             states: HashMap::new(),
+            meta: HashMap::new(),
+            outcomes: Vec::new(),
             completions: Vec::new(),
             next_id: 0,
+            clock: 0,
             decode_steps: 0,
-        }
+            degraded_admissions: 0,
+            rejected: 0,
+        })
+    }
+
+    /// Installs the degraded KV-cache factory used for admissions under
+    /// memory pressure (typically an Atom INT4 quantized cache).
+    pub fn with_degraded_cache(mut self, factory: CacheFactory) -> Self {
+        self.degraded_cache = Some(factory);
+        self
+    }
+
+    /// Installs the load-shedding / degradation watermarks.
+    pub fn with_policy(mut self, policy: PressurePolicy) -> Self {
+        self.policy = policy;
+        self.batcher.set_queue_limit(policy.shed_queue_depth);
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan (chaos testing).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
     }
 
     /// Submits a prompt for generation of `max_new` tokens; returns the
     /// request id.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the prompt is empty or `max_new == 0`.
-    pub fn submit(&mut self, prompt: Vec<u16>, max_new: usize) -> usize {
-        assert!(!prompt.is_empty(), "empty prompt");
-        assert!(max_new > 0, "must generate at least one token");
-        let id = self.next_id;
-        self.next_id += 1;
-        self.batcher.submit(Request {
-            id,
-            arrival_s: 0.0,
-            prefill_tokens: prompt.len(),
-            decode_tokens: max_new,
-        });
-        self.prompts.insert(id, prompt);
-        id
+    /// Returns the typed [`RejectReason`] when the request cannot be
+    /// served (empty prompt, zero tokens, exceeds the KV pool, or the
+    /// queue shed watermark was reached). Rejected submissions still
+    /// consume an id and leave a [`Terminal::Rejected`] outcome.
+    pub fn submit(&mut self, prompt: Vec<u16>, max_new: usize) -> Result<usize, RejectReason> {
+        self.submit_with(prompt, SubmitOptions::new(max_new))
     }
 
-    /// Runs one serving iteration: admit, prefill the newly admitted, then
-    /// advance every decoding sequence by one token. Returns `false` when
-    /// everything is finished.
+    /// [`Self::submit`] with explicit options (deadline support).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::submit`].
+    pub fn submit_with(
+        &mut self,
+        prompt: Vec<u16>,
+        options: SubmitOptions,
+    ) -> Result<usize, RejectReason> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let stats = RequestStats {
+            submitted_step: self.clock,
+            deadline_steps: options.deadline_steps,
+            ..RequestStats::default()
+        };
+        let reason = if prompt.is_empty() {
+            Some(RejectReason::EmptyPrompt)
+        } else if options.max_new == 0 {
+            Some(RejectReason::ZeroDecodeTokens)
+        } else {
+            self.batcher
+                .submit(Request {
+                    id,
+                    arrival_s: 0.0,
+                    prefill_tokens: prompt.len(),
+                    decode_tokens: options.max_new,
+                })
+                .err()
+        };
+        if let Some(reason) = reason {
+            self.rejected += 1;
+            self.outcomes.push(Outcome {
+                id,
+                terminal: Terminal::Rejected(reason),
+                tokens: Vec::new(),
+                stats,
+            });
+            return Err(reason);
+        }
+        self.prompts.insert(id, prompt);
+        self.meta.insert(id, stats);
+        Ok(id)
+    }
+
+    /// Cancels an in-flight (queued or active) request. Its KV blocks are
+    /// released and it terminates [`Terminal::Cancelled`] with whatever
+    /// tokens it had generated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownRequest`] if the id was never
+    /// submitted or is already terminal.
+    pub fn cancel(&mut self, id: usize) -> Result<(), ServeError> {
+        if !self.meta.contains_key(&id) {
+            return Err(ServeError::UnknownRequest(id));
+        }
+        self.terminalize(id, Terminal::Cancelled);
+        Ok(())
+    }
+
+    /// Moves a live request to a terminal state: removes every trace of it
+    /// from the scheduler, allocator, and engine maps, then records the
+    /// outcome. The single funnel through which every non-completed
+    /// request exits guarantees the exactly-once terminal property.
+    fn terminalize(&mut self, id: usize, terminal: Terminal) {
+        let Some(stats) = self.meta.remove(&id) else {
+            debug_assert!(false, "terminalize on unknown request {id}");
+            return;
+        };
+        self.batcher.cancel(id);
+        self.prompts.remove(&id);
+        let tokens = self
+            .states
+            .remove(&id)
+            .map(|s| s.generated)
+            .unwrap_or_default();
+        self.outcomes.push(Outcome {
+            id,
+            terminal,
+            tokens,
+            stats,
+        });
+    }
+
+    /// Runs one serving iteration: expire deadlines, inject scheduled
+    /// faults, admit, prefill the newly admitted, then advance every
+    /// decoding sequence by one token. Returns `false` when everything is
+    /// finished.
     pub fn step(&mut self) -> bool {
         if self.batcher.is_idle() {
             return false;
         }
-        self.batcher.admit();
+        self.clock += 1;
+
+        // Deadline sweep: a request whose step budget elapsed terminates
+        // before it can consume another iteration.
+        let expired: Vec<usize> = self
+            .meta
+            .iter()
+            .filter(|(_, s)| {
+                s.deadline_steps
+                    .is_some_and(|d| self.clock > s.submitted_step + d)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            self.terminalize(id, Terminal::DeadlineExceeded);
+        }
+
+        // Injected allocator fault: poison block growth for this step.
+        if self.fault.alloc_fault(self.clock) {
+            self.batcher.arm_alloc_fault();
+        }
+
+        for event in self.batcher.admit() {
+            if let BatchEvent::Admitted(req) = event {
+                if let Some(stats) = self.meta.get_mut(&req.id) {
+                    stats.admitted_step.get_or_insert(self.clock);
+                }
+            }
+        }
 
         // Prefill phase for the newly admitted sequences. Prompts stay
-        // stored so a preempted sequence can be recomputed later.
+        // stored so a preempted sequence can be recomputed later. Under
+        // pressure, new admissions receive the degraded KV cache.
+        let util = self.batcher.allocator().used_blocks() as f64
+            / self.batcher.allocator().total_blocks().max(1) as f64;
+        let pressured = util >= self.policy.degrade_kv_at
+            || self
+                .policy
+                .degrade_queue_depth
+                .is_some_and(|d| self.batcher.queued() >= d);
         for req in self.batcher.complete_prefill() {
-            let prompt = self.prompts.get(&req.id).expect("prompt stored").clone();
-            let mut cache = (self.new_cache)();
+            let Some(prompt) = self.prompts.get(&req.id).cloned() else {
+                debug_assert!(false, "prefill without stored prompt");
+                continue;
+            };
+            let degraded = pressured && self.degraded_cache.is_some();
+            let mut cache = match (&self.degraded_cache, degraded) {
+                (Some(factory), true) => factory(),
+                _ => (self.new_cache)(),
+            };
+            if degraded {
+                self.degraded_admissions += 1;
+                if let Some(stats) = self.meta.get_mut(&req.id) {
+                    stats.degraded_kv = true;
+                }
+            }
             let logits = self.model.forward(&prompt, cache.as_mut());
             let first = ops::argmax(logits.row(logits.rows() - 1)) as u16;
             self.states.insert(
@@ -113,69 +410,121 @@ impl<L: LinearLayer> CpuEngine<L> {
             );
         }
 
-        // Decode phase: one token for every sequence the scheduler will
-        // actually advance (mirrors step_decode's block accounting so the
-        // real KV caches never outrun the paged bookkeeping).
-        let active_ids: Vec<usize> = self
-            .batcher
-            .active()
-            .iter()
-            .filter(|s| s.prefilled && self.batcher.can_advance(s.request.id))
-            .map(|s| s.request.id)
-            .collect();
-        for id in &active_ids {
-            let state = self.states.get_mut(id).expect("state exists");
+        // Injected forward fault: kill one in-flight sequence, surfacing a
+        // typed failure instead of poisoning the batch.
+        if let Some(slot) = self.fault.forward_fault(self.clock) {
+            let live: Vec<usize> = self
+                .batcher
+                .active()
+                .iter()
+                .filter(|s| s.prefilled)
+                .map(|s| s.request.id)
+                .collect();
+            if !live.is_empty() {
+                let victim = live[slot % live.len()];
+                self.terminalize(
+                    victim,
+                    Terminal::Failed {
+                        reason: format!("injected forward fault at step {}", self.clock),
+                    },
+                );
+            }
+        }
+
+        // Decode phase: let the scheduler commit its block accounting first,
+        // then run the model for exactly the sequences it advanced. (A
+        // sequence can advance even when the pool looked full beforehand —
+        // another sequence finishing in the same step frees its blocks — so
+        // predicting the advanced set from a pre-step snapshot drops tokens.)
+        let events = self.batcher.step_decode();
+        let advanced = self.batcher.last_advanced_ids().to_vec();
+        for id in &advanced {
+            let Some(state) = self.states.get_mut(id) else {
+                debug_assert!(false, "decoding sequence {id} without state");
+                continue;
+            };
             // The token chosen last iteration becomes output + next input.
             state.generated.push(state.next_input);
+            if let Some(stats) = self.meta.get_mut(id) {
+                stats.first_token_step.get_or_insert(self.clock);
+            }
             let logits = self
                 .model
                 .forward(&[state.next_input], state.cache.as_mut());
             state.next_input = ops::argmax(logits.row(0)) as u16;
         }
-        if !active_ids.is_empty() {
+        if !advanced.is_empty() {
             self.decode_steps += 1;
         }
-        for event in self.batcher.step_decode() {
+        for event in events {
             match event {
-                crate::scheduler::BatchEvent::Finished(req) => {
-                    let state = self.states.remove(&req.id).expect("state exists");
+                BatchEvent::Finished(req) => {
+                    let tokens = self
+                        .states
+                        .remove(&req.id)
+                        .map(|s| s.generated)
+                        .unwrap_or_default();
                     self.prompts.remove(&req.id);
+                    let stats = self.meta.remove(&req.id).unwrap_or_default();
                     self.completions.push(Completion {
                         id: req.id,
-                        tokens: state.generated,
+                        tokens: tokens.clone(),
+                    });
+                    self.outcomes.push(Outcome {
+                        id: req.id,
+                        terminal: Terminal::Completed,
+                        tokens,
+                        stats,
                     });
                 }
-                crate::scheduler::BatchEvent::Preempted(req) => {
+                BatchEvent::Preempted(req) => {
                     // Recompute preemption: drop the state; the request is
                     // back in the queue and will prefill again from its
                     // stored prompt.
                     self.states.remove(&req.id);
+                    if let Some(stats) = self.meta.get_mut(&req.id) {
+                        stats.preemptions += 1;
+                    }
                 }
-                crate::scheduler::BatchEvent::Admitted(_) => {}
+                BatchEvent::Admitted(_) => {}
             }
         }
+        self.batcher.disarm_alloc_fault();
         true
     }
 
-    /// Runs until all submitted requests complete.
+    /// Runs until every submitted request reaches a terminal state.
     ///
-    /// # Panics
-    ///
-    /// Panics if the scheduler stops making progress (a request larger than
-    /// the KV pool).
+    /// Progress is guaranteed for validated admissions; as a last line of
+    /// defense a livelock circuit breaker fails all in-flight requests
+    /// (typed `Failed`, blocks released) instead of spinning forever.
     pub fn run_to_completion(&mut self) -> &[Completion] {
-        let mut stalls = 0;
+        let mut quiet = 0usize;
         while !self.batcher.is_idle() {
-            let before = self.completions.len() + self.decode_steps;
+            let before = self.progress_mark();
             self.step();
-            if self.completions.len() + self.decode_steps == before {
-                stalls += 1;
-                assert!(stalls < 8, "engine stalled: request exceeds KV pool");
+            if self.progress_mark() == before {
+                quiet += 1;
+                if quiet > Self::STALL_LIMIT {
+                    let stuck: Vec<usize> = self.meta.keys().copied().collect();
+                    for id in stuck {
+                        self.terminalize(
+                            id,
+                            Terminal::Failed {
+                                reason: "livelock circuit breaker".to_string(),
+                            },
+                        );
+                    }
+                }
             } else {
-                stalls = 0;
+                quiet = 0;
             }
         }
         &self.completions
+    }
+
+    fn progress_mark(&self) -> usize {
+        self.outcomes.len() + self.decode_steps + self.batcher.preemptions()
     }
 
     /// Completions so far (submission order not guaranteed).
@@ -183,9 +532,35 @@ impl<L: LinearLayer> CpuEngine<L> {
         &self.completions
     }
 
+    /// Terminal records so far, in terminalization order — exactly one per
+    /// submitted id once the engine is idle.
+    pub fn outcomes(&self) -> &[Outcome] {
+        &self.outcomes
+    }
+
+    /// The terminal record of `id`, if it has reached one.
+    pub fn outcome_of(&self, id: usize) -> Option<&Outcome> {
+        self.outcomes.iter().find(|o| o.id == id)
+    }
+
     /// Decode iterations executed.
     pub fn decode_steps(&self) -> usize {
         self.decode_steps
+    }
+
+    /// Serving iterations executed (admission + decode).
+    pub fn steps(&self) -> usize {
+        self.clock
+    }
+
+    /// Admissions that received the degraded KV cache.
+    pub fn degraded_admissions(&self) -> usize {
+        self.degraded_admissions
+    }
+
+    /// Submissions rejected with a typed reason.
+    pub fn rejected(&self) -> usize {
+        self.rejected
     }
 
     /// The underlying batcher (for memory/queue introspection).
@@ -200,15 +575,19 @@ mod tests {
     use atom_nn::kv::Fp32KvCache;
     use atom_nn::{DenseLinear, ModelConfig};
 
-    fn tiny_engine(max_batch: usize, pool: usize) -> CpuEngine<DenseLinear> {
-        let config = ModelConfig {
+    fn tiny_config() -> ModelConfig {
+        ModelConfig {
             dim: 32,
             layers: 1,
             heads: 4,
             kv_heads: 4,
             ffn_dim: 48,
             ..ModelConfig::default()
-        };
+        }
+    }
+
+    fn tiny_engine(max_batch: usize, pool: usize) -> CpuEngine<DenseLinear> {
+        let config = tiny_config();
         let model = LlamaModel::random_init(config, 3);
         CpuEngine::new(
             model,
@@ -216,33 +595,37 @@ mod tests {
             max_batch,
             pool,
         )
+        .expect("valid config")
     }
 
     #[test]
     fn serves_all_requests() {
         let mut e = tiny_engine(2, 1024);
-        let a = e.submit(vec![1, 2, 3], 4);
-        let b = e.submit(vec![4, 5], 3);
-        let c = e.submit(vec![6], 2);
+        let a = e.submit(vec![1, 2, 3], 4).unwrap();
+        let b = e.submit(vec![4, 5], 3).unwrap();
+        let c = e.submit(vec![6], 2).unwrap();
         let done = e.run_to_completion().to_vec();
         assert_eq!(done.len(), 3);
         let by_id = |id| done.iter().find(|c| c.id == id).unwrap();
         assert_eq!(by_id(a).tokens.len(), 4);
         assert_eq!(by_id(b).tokens.len(), 3);
         assert_eq!(by_id(c).tokens.len(), 2);
+        // Every submission has exactly one terminal record, all Completed.
+        assert_eq!(e.outcomes().len(), 3);
+        assert!(e.outcomes().iter().all(|o| o.terminal.is_completed()));
     }
 
     #[test]
     fn batched_serving_matches_solo_generation() {
         // Continuous batching must not change each request's output.
         let mut solo = tiny_engine(1, 1024);
-        solo.submit(vec![10, 20, 30], 5);
+        solo.submit(vec![10, 20, 30], 5).unwrap();
         let solo_out = solo.run_to_completion()[0].tokens.clone();
 
         let mut batched = tiny_engine(3, 1024);
-        batched.submit(vec![10, 20, 30], 5);
-        batched.submit(vec![42, 17], 5);
-        batched.submit(vec![7, 8, 9, 10], 5);
+        batched.submit(vec![10, 20, 30], 5).unwrap();
+        batched.submit(vec![42, 17], 5).unwrap();
+        batched.submit(vec![7, 8, 9, 10], 5).unwrap();
         let batched_all = batched.run_to_completion().to_vec();
         let same = batched_all.iter().find(|c| c.id == 0).unwrap();
         assert_eq!(same.tokens, solo_out);
@@ -254,18 +637,152 @@ mod tests {
         // served in waves rather than concurrently.
         let mut e = tiny_engine(4, 96);
         for _ in 0..3 {
-            e.submit(vec![5; 40], 4);
+            e.submit(vec![5; 40], 4).unwrap();
         }
         let done = e.run_to_completion().len();
         assert_eq!(done, 3);
+        assert_eq!(e.batcher().allocator().used_blocks(), 0);
     }
 
     #[test]
     fn generated_tokens_in_vocabulary() {
         let mut e = tiny_engine(2, 512);
-        e.submit(vec![50, 60], 6);
+        e.submit(vec![50, 60], 6).unwrap();
         for c in e.run_to_completion() {
             assert!(c.tokens.iter().all(|&t| (t as usize) < 96));
         }
+    }
+
+    #[test]
+    fn bad_submissions_rejected_with_terminal_outcomes() {
+        let mut e = tiny_engine(2, 64);
+        assert_eq!(e.submit(vec![], 4), Err(RejectReason::EmptyPrompt));
+        assert_eq!(e.submit(vec![1], 0), Err(RejectReason::ZeroDecodeTokens));
+        // 64-slot pool: a request ending at 70 tokens can never be served.
+        let err = e.submit(vec![2; 60], 10).unwrap_err();
+        assert!(matches!(err, RejectReason::ExceedsKvPool { .. }));
+        assert_eq!(e.rejected(), 3);
+        assert_eq!(e.outcomes().len(), 3, "rejections leave terminal records");
+        assert!(e
+            .outcomes()
+            .iter()
+            .all(|o| matches!(o.terminal, Terminal::Rejected(_))));
+        // The engine remains perfectly serviceable afterwards.
+        e.submit(vec![1, 2], 3).unwrap();
+        assert_eq!(e.run_to_completion().len(), 1);
+    }
+
+    #[test]
+    fn zero_max_batch_is_invalid_config() {
+        let config = tiny_config();
+        let model = LlamaModel::random_init(config, 3);
+        let err = CpuEngine::new(
+            model,
+            Box::new(move || {
+                Box::new(Fp32KvCache::new(config.layers, config.kv_dim())) as Box<dyn KvStore>
+            }),
+            0,
+            1024,
+        )
+        .err()
+        .expect("invalid");
+        assert!(matches!(err, ServeError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn cancel_queued_and_active_requests() {
+        let mut e = tiny_engine(1, 1024);
+        let a = e.submit(vec![1, 2, 3], 8).unwrap();
+        let b = e.submit(vec![4, 5], 8).unwrap();
+        e.step(); // a admitted + first token; b queued
+        e.cancel(a).unwrap();
+        e.cancel(b).unwrap();
+        assert!(matches!(e.cancel(a), Err(ServeError::UnknownRequest(_))));
+        assert!(matches!(e.cancel(99), Err(ServeError::UnknownRequest(_))));
+        e.run_to_completion();
+        assert_eq!(e.completions().len(), 0);
+        assert_eq!(e.outcomes().len(), 2);
+        assert!(e
+            .outcomes()
+            .iter()
+            .all(|o| o.terminal == Terminal::Cancelled));
+        assert_eq!(e.batcher().allocator().used_blocks(), 0);
+    }
+
+    #[test]
+    fn deadline_exceeded_is_terminal_with_partial_tokens() {
+        let mut e = tiny_engine(1, 1024);
+        let slow = e
+            .submit_with(vec![1, 2, 3], SubmitOptions::new(50).with_deadline(5))
+            .unwrap();
+        let fast = e.submit(vec![4, 5], 3).unwrap();
+        e.run_to_completion();
+        let slow_out = e.outcome_of(slow).expect("terminal").clone();
+        assert_eq!(slow_out.terminal, Terminal::DeadlineExceeded);
+        assert!(
+            slow_out.tokens.len() < 50,
+            "deadline cut generation short ({} tokens)",
+            slow_out.tokens.len()
+        );
+        assert_eq!(
+            e.outcome_of(fast).unwrap().terminal,
+            Terminal::Completed,
+            "the fast request is unaffected"
+        );
+        assert_eq!(e.batcher().allocator().used_blocks(), 0);
+    }
+
+    #[test]
+    fn queue_shedding_under_policy() {
+        let mut e = tiny_engine(1, 1024).with_policy(PressurePolicy {
+            shed_queue_depth: Some(3),
+            ..PressurePolicy::default()
+        });
+        e.submit(vec![1], 2).unwrap();
+        e.submit(vec![2], 2).unwrap();
+        e.submit(vec![3], 2).unwrap();
+        let err = e.submit(vec![4], 2).unwrap_err();
+        assert!(matches!(err, RejectReason::QueueFull { .. }));
+        assert_eq!(e.run_to_completion().len(), 3);
+        assert_eq!(e.outcomes().len(), 4);
+    }
+
+    #[test]
+    fn per_request_stats_track_lifecycle() {
+        let mut e = tiny_engine(1, 1024);
+        let a = e.submit(vec![1, 2, 3], 2).unwrap();
+        let b = e.submit(vec![4, 5], 2).unwrap();
+        e.run_to_completion();
+        let sa = e.outcome_of(a).unwrap().stats;
+        let sb = e.outcome_of(b).unwrap().stats;
+        assert_eq!(sa.queue_steps(), Some(1), "first request admitted at once");
+        assert!(sb.queue_steps().unwrap() > sa.queue_steps().unwrap());
+        assert!(sa.ttft_steps().unwrap() <= sb.ttft_steps().unwrap());
+        assert_eq!(sa.preemptions, 0);
+        assert!(!sa.degraded_kv);
+    }
+
+    #[test]
+    fn injected_faults_surface_as_typed_terminals() {
+        let plan = FaultPlan::none()
+            .with_alloc_fault(2)
+            .with_alloc_fault(3)
+            .with_forward_fault(4, 0);
+        let mut e = tiny_engine(2, 1024).with_fault_plan(plan);
+        let ids: Vec<usize> = (0..3)
+            .map(|i| e.submit(vec![i as u16 + 1, 7], 6).unwrap())
+            .collect();
+        e.run_to_completion();
+        assert_eq!(e.outcomes().len(), 3, "exactly one terminal per request");
+        let failed = e
+            .outcomes()
+            .iter()
+            .filter(|o| matches!(o.terminal, Terminal::Failed { .. }))
+            .count();
+        assert_eq!(failed, 1, "the forward fault killed exactly one request");
+        for id in ids {
+            assert!(e.outcome_of(id).is_some());
+        }
+        assert_eq!(e.batcher().allocator().used_blocks(), 0);
     }
 }

@@ -1,0 +1,142 @@
+//! Deterministic fault injection for chaos-testing the serving stack.
+//!
+//! A [`FaultPlan`] is a precomputed, seeded schedule of faults over a
+//! finite step horizon. The engine consults it at the top of every serving
+//! iteration:
+//!
+//! - **allocator-grow faults** make every KV-block allocation fail for
+//!   that one step (a transient memory stall: fragmentation, a competing
+//!   tenant, a delayed free), exercising the stall/preemption machinery;
+//! - **forward faults** kill one in-flight request at that step (a kernel
+//!   fault, a numerical blow-up), which must surface as a typed
+//!   [`Terminal::Failed`](crate::error::Terminal::Failed) state rather
+//!   than poisoning the batch.
+//!
+//! Plans are pure data built from a seed, so every chaos run is exactly
+//! reproducible: same seed, same faults, same outcome.
+
+use atom_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A finite, deterministic schedule of injected faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    alloc_steps: BTreeSet<usize>,
+    forward_steps: BTreeMap<usize, usize>,
+    horizon: usize,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults ever fire).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Generates a seeded plan over `horizon` steps: each step
+    /// independently carries an allocator-grow fault with probability
+    /// `alloc_rate` and a forward fault with probability `forward_rate`.
+    ///
+    /// Rates are clamped to `[0, 1]`; the plan is a pure function of its
+    /// arguments.
+    pub fn seeded(seed: u64, horizon: usize, alloc_rate: f64, forward_rate: f64) -> Self {
+        let alloc_rate = alloc_rate.clamp(0.0, 1.0) as f32;
+        let forward_rate = forward_rate.clamp(0.0, 1.0) as f32;
+        let mut rng = SeededRng::new(seed ^ 0xFA_07_FA_07);
+        let mut plan = FaultPlan {
+            horizon,
+            ..FaultPlan::default()
+        };
+        for step in 0..horizon {
+            if rng.uniform_f32() < alloc_rate {
+                plan.alloc_steps.insert(step);
+            }
+            if rng.uniform_f32() < forward_rate {
+                // Victim slot is resolved modulo the live batch size at
+                // fire time, so any slot value is meaningful.
+                plan.forward_steps.insert(step, rng.below(64));
+            }
+        }
+        plan
+    }
+
+    /// Adds an allocator-grow fault at `step` (builder style).
+    pub fn with_alloc_fault(mut self, step: usize) -> Self {
+        self.alloc_steps.insert(step);
+        self.horizon = self.horizon.max(step + 1);
+        self
+    }
+
+    /// Adds a forward fault at `step` killing the request in batch slot
+    /// `slot % batch_len` (builder style).
+    pub fn with_forward_fault(mut self, step: usize, slot: usize) -> Self {
+        self.forward_steps.insert(step, slot);
+        self.horizon = self.horizon.max(step + 1);
+        self
+    }
+
+    /// Whether allocator growth is poisoned at `step`.
+    pub fn alloc_fault(&self, step: usize) -> bool {
+        self.alloc_steps.contains(&step)
+    }
+
+    /// The victim slot of a forward fault at `step`, if one fires.
+    pub fn forward_fault(&self, step: usize) -> Option<usize> {
+        self.forward_steps.get(&step).copied()
+    }
+
+    /// Steps covered by the plan; beyond this, no faults fire.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Total faults scheduled.
+    pub fn fault_count(&self) -> usize {
+        self.alloc_steps.len() + self.forward_steps.len()
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.alloc_steps.is_empty() && self.forward_steps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(7, 200, 0.3, 0.1);
+        let b = FaultPlan::seeded(7, 200, 0.3, 0.1);
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded(8, 200, 0.3, 0.1);
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn rates_bound_fault_density() {
+        let none = FaultPlan::seeded(1, 500, 0.0, 0.0);
+        assert!(none.is_empty());
+        assert_eq!(none.fault_count(), 0);
+        let all = FaultPlan::seeded(1, 100, 1.0, 1.0);
+        assert_eq!(all.fault_count(), 200);
+        for step in 0..100 {
+            assert!(all.alloc_fault(step));
+            assert!(all.forward_fault(step).is_some());
+        }
+        assert!(!all.alloc_fault(100), "nothing fires past the horizon");
+    }
+
+    #[test]
+    fn builder_extends_horizon() {
+        let plan = FaultPlan::none()
+            .with_alloc_fault(3)
+            .with_forward_fault(10, 1);
+        assert_eq!(plan.horizon(), 11);
+        assert!(plan.alloc_fault(3));
+        assert!(!plan.alloc_fault(4));
+        assert_eq!(plan.forward_fault(10), Some(1));
+        assert_eq!(plan.forward_fault(3), None);
+    }
+}

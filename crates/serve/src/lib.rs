@@ -13,12 +13,22 @@
 //! - [`engine`] — a *real* CPU serving engine running the trained zoo
 //!   models with Atom-quantized weights and KV caches end to end, proving
 //!   the full stack functions (scheduling, paging, quantized decode).
+//! - [`error`] — the typed failure model: every runtime condition (bad
+//!   input, memory pressure, faults) surfaces as a [`ServeError`] or a
+//!   per-request [`Terminal`] state, never a panic.
+//! - [`fault`] — deterministic, seeded fault injection ([`FaultPlan`])
+//!   driving the chaos tests.
 
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod paged;
 pub mod scheduler;
 pub mod simulate;
 
+pub use engine::{Completion, CpuEngine, Outcome, PressurePolicy, RequestStats, SubmitOptions};
+pub use error::{RejectReason, ServeError, Terminal};
+pub use fault::FaultPlan;
 pub use paged::{BlockTable, PagedAllocator};
 pub use scheduler::{BatchEvent, ContinuousBatcher, RequestState};
 pub use simulate::{ServingReport, ServingSimulator};

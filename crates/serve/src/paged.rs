@@ -52,6 +52,12 @@ pub struct PagedAllocator {
     tables: HashMap<SeqId, BlockTable>,
     total_blocks: usize,
     peak_used: usize,
+    /// While armed, every growth that needs a fresh block fails (used by
+    /// the deterministic fault injector to simulate transient memory
+    /// stalls). Cleared explicitly by the caller.
+    fault_armed: bool,
+    /// Block allocations refused because a fault was armed.
+    injected_failures: usize,
 }
 
 /// Error returned when the block pool is exhausted.
@@ -83,6 +89,8 @@ impl PagedAllocator {
             tables: HashMap::new(),
             total_blocks,
             peak_used: 0,
+            fault_armed: false,
+            injected_failures: 0,
         }
     }
 
@@ -142,6 +150,27 @@ impl PagedAllocator {
         tokens.div_ceil(self.block_size)
     }
 
+    /// Arms the fault injector: until [`Self::disarm_fault`], every growth
+    /// that needs a fresh block fails with [`OutOfBlocks`].
+    pub fn arm_fault(&mut self) {
+        self.fault_armed = true;
+    }
+
+    /// Clears an armed fault.
+    pub fn disarm_fault(&mut self) {
+        self.fault_armed = false;
+    }
+
+    /// Whether an injected allocation fault is currently armed.
+    pub fn fault_armed(&self) -> bool {
+        self.fault_armed
+    }
+
+    /// Block allocations refused by the fault injector so far.
+    pub fn injected_failures(&self) -> usize {
+        self.injected_failures
+    }
+
     /// Whether growing `seq` by `new_tokens` would fit right now.
     pub fn can_grow(&self, seq: SeqId, new_tokens: usize) -> bool {
         let table = match self.tables.get(&seq) {
@@ -149,6 +178,9 @@ impl PagedAllocator {
             None => return false,
         };
         let needed = self.blocks_for(table.tokens + new_tokens) - table.blocks.len();
+        if needed > 0 && self.fault_armed {
+            return false;
+        }
         needed <= self.free.len()
     }
 
@@ -169,6 +201,10 @@ impl PagedAllocator {
             .unwrap_or_else(|| panic!("sequence {seq} not registered"));
         let target_blocks = self.blocks_for(table.tokens + new_tokens);
         let needed = target_blocks - table.blocks.len();
+        if needed > 0 && self.fault_armed {
+            self.injected_failures += 1;
+            return Err(OutOfBlocks { short_by: needed });
+        }
         if needed > self.free.len() {
             return Err(OutOfBlocks {
                 short_by: needed - self.free.len(),
@@ -288,6 +324,22 @@ mod tests {
         a.release(1);
         assert_eq!(a.used_blocks(), 0);
         assert_eq!(a.peak_used(), 4);
+    }
+
+    #[test]
+    fn armed_fault_refuses_fresh_blocks_only() {
+        let mut a = PagedAllocator::new(4, 4);
+        a.register(1);
+        a.grow(1, 3).unwrap(); // one block, one slot spare
+        a.arm_fault();
+        assert!(a.can_grow(1, 1), "in-block growth survives the fault");
+        a.grow(1, 1).unwrap();
+        assert!(!a.can_grow(1, 1), "fresh-block growth is refused");
+        assert!(a.grow(1, 1).is_err());
+        assert_eq!(a.injected_failures(), 1);
+        a.disarm_fault();
+        a.grow(1, 1).unwrap();
+        assert_eq!(a.used_blocks(), 2);
     }
 
     #[test]

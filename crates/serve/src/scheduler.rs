@@ -5,6 +5,7 @@
 //! on-the-fly batch is refilled from the queue at the *next iteration*
 //! boundary — the continuous batching of §5.3.2.
 
+use crate::error::{RejectReason, ServeError};
 use crate::paged::PagedAllocator;
 use atom_data::Request;
 use serde::{Deserialize, Serialize};
@@ -68,32 +69,109 @@ pub struct ContinuousBatcher {
     max_batch: usize,
     allocator: PagedAllocator,
     finished: usize,
-    last_advanced: usize,
+    advanced_ids: Vec<usize>,
     preemptions: usize,
+    queue_limit: Option<usize>,
+    shed: usize,
 }
 
 impl ContinuousBatcher {
     /// Creates a batcher with a batch-size cap and a KV block pool.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `max_batch == 0`.
-    pub fn new(max_batch: usize, allocator: PagedAllocator) -> Self {
-        assert!(max_batch > 0, "max_batch must be positive");
-        ContinuousBatcher {
+    /// Returns [`ServeError::InvalidConfig`] if `max_batch == 0`.
+    pub fn new(max_batch: usize, allocator: PagedAllocator) -> Result<Self, ServeError> {
+        if max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be positive"));
+        }
+        Ok(ContinuousBatcher {
             queue: VecDeque::new(),
             active: Vec::new(),
             max_batch,
             allocator,
             finished: 0,
-            last_advanced: 0,
+            advanced_ids: Vec::new(),
             preemptions: 0,
-        }
+            queue_limit: None,
+            shed: 0,
+        })
     }
 
-    /// Enqueues a request (FCFS order).
-    pub fn submit(&mut self, request: Request) {
+    /// Caps the waiting queue: submissions past `limit` are shed with
+    /// [`RejectReason::QueueFull`]. `None` disables shedding.
+    pub fn set_queue_limit(&mut self, limit: Option<usize>) {
+        self.queue_limit = limit;
+    }
+
+    /// Enqueues a request (FCFS order) after validating that it can be
+    /// served at all.
+    ///
+    /// # Errors
+    ///
+    /// - [`RejectReason::EmptyPrompt`] / [`RejectReason::ZeroDecodeTokens`]
+    ///   for degenerate requests;
+    /// - [`RejectReason::ExceedsKvPool`] if the request's final context
+    ///   would not fit the pool even running alone — admitting it would
+    ///   eventually stall the scheduler forever, so it is refused here;
+    /// - [`RejectReason::QueueFull`] when the shed watermark is reached.
+    pub fn submit(&mut self, request: Request) -> Result<(), RejectReason> {
+        if request.prefill_tokens == 0 {
+            return Err(RejectReason::EmptyPrompt);
+        }
+        if request.decode_tokens == 0 {
+            return Err(RejectReason::ZeroDecodeTokens);
+        }
+        let needed = self.allocator.blocks_for(request.total_context());
+        if needed > self.allocator.total_blocks() {
+            return Err(RejectReason::ExceedsKvPool {
+                needed_blocks: needed,
+                total_blocks: self.allocator.total_blocks(),
+            });
+        }
+        if let Some(limit) = self.queue_limit {
+            if self.queue.len() >= limit {
+                self.shed += 1;
+                return Err(RejectReason::QueueFull {
+                    depth: self.queue.len(),
+                    limit,
+                });
+            }
+        }
         self.queue.push_back(request);
+        Ok(())
+    }
+
+    /// Removes a request wherever it lives (queue or active batch),
+    /// releasing any KV blocks it holds. Returns `false` if the id is
+    /// unknown (already finished, never submitted, or previously removed).
+    pub fn cancel(&mut self, id: usize) -> bool {
+        if let Some(pos) = self.queue.iter().position(|r| r.id == id) {
+            self.queue.remove(pos);
+            self.allocator.release(id);
+            return true;
+        }
+        if let Some(pos) = self.active.iter().position(|s| s.request.id == id) {
+            self.active.remove(pos);
+            self.allocator.release(id);
+            return true;
+        }
+        false
+    }
+
+    /// Requests shed at submission by the queue limit.
+    pub fn shed(&self) -> usize {
+        self.shed
+    }
+
+    /// Arms the allocator's injected-fault fuse for the coming step.
+    pub fn arm_alloc_fault(&mut self) {
+        self.allocator.arm_fault();
+    }
+
+    /// Clears the allocator's injected-fault fuse.
+    pub fn disarm_alloc_fault(&mut self) {
+        self.allocator.disarm_fault();
     }
 
     /// Number of queued (not yet admitted) requests.
@@ -132,6 +210,9 @@ impl ContinuousBatcher {
     pub fn admit(&mut self) -> Vec<BatchEvent> {
         let mut events = Vec::new();
         while self.active.len() < self.max_batch {
+            if self.allocator.fault_armed() {
+                break; // injected memory stall: no admissions this step
+            }
             let Some(front) = self.queue.front() else {
                 break;
             };
@@ -151,7 +232,9 @@ impl ContinuousBatcher {
             if !self.allocator.contains(id) {
                 self.allocator.register(id);
             }
-            self.allocator.grow(id, reserve).expect("checked headroom");
+            if self.allocator.grow(id, reserve).is_err() {
+                break; // unreachable given the headroom check; stay safe
+            }
             let request = self.queue.pop_front().expect("front exists");
             events.push(BatchEvent::Admitted(request));
             self.active.push(ActiveSeq {
@@ -186,16 +269,16 @@ impl ContinuousBatcher {
     /// released and it re-enters the head of the queue for recompute), so
     /// the batch can never deadlock on memory — the same policy vLLM uses.
     ///
-    /// # Panics
-    ///
-    /// Panics if a single stalled sequence is alone in the batch with an
-    /// empty pool: such a request exceeds the KV pool and can never be
-    /// served.
+    /// Preemption is skipped while an injected allocation fault is armed
+    /// (the stall is transient and eviction would only burn recompute) and
+    /// when the stalled sequence is alone with an empty queue — a state
+    /// [`Self::submit`]'s footprint validation makes unreachable, since a
+    /// lone admitted request always fits the pool.
     pub fn step_decode(&mut self) -> Vec<BatchEvent> {
         let mut events = Vec::new();
         let mut kept = Vec::with_capacity(self.active.len());
-        let mut advanced = 0usize;
         let mut stalled_ids = Vec::new();
+        self.advanced_ids.clear();
         for mut seq in std::mem::take(&mut self.active) {
             if !seq.prefilled {
                 kept.push(seq);
@@ -210,7 +293,7 @@ impl ContinuousBatcher {
                     continue;
                 }
             seq.decoded += 1;
-            advanced += 1;
+            self.advanced_ids.push(seq.request.id);
             if seq.done() {
                 self.allocator.release(seq.request.id);
                 self.finished += 1;
@@ -220,32 +303,47 @@ impl ContinuousBatcher {
             }
         }
         self.active = kept;
-        self.last_advanced = advanced;
-        if advanced == 0 && !stalled_ids.is_empty() {
-            assert!(
-                self.active.len() > 1 || !self.queue.is_empty() || stalled_ids.len() > 1,
-                "request {} exceeds the KV pool and can never be served",
-                stalled_ids[0]
-            );
-            // Preempt the youngest stalled sequence.
-            let victim_id = *stalled_ids.last().expect("non-empty");
-            let pos = self
-                .active
-                .iter()
-                .rposition(|s| s.request.id == victim_id)
-                .expect("victim active");
-            let victim = self.active.remove(pos);
-            self.allocator.release(victim.request.id);
-            self.queue.push_front(victim.request);
-            self.preemptions += 1;
-            events.push(BatchEvent::Preempted(victim.request));
+        if self.advanced_ids.is_empty() && !stalled_ids.is_empty() && !self.allocator.fault_armed() {
+            // Evicting only helps if someone else can use the freed blocks.
+            if self.active.len() > 1 || !self.queue.is_empty() {
+                // Preempt the youngest stalled sequence.
+                let victim_id = *stalled_ids.last().expect("non-empty");
+                let pos = self
+                    .active
+                    .iter()
+                    .rposition(|s| s.request.id == victim_id)
+                    .expect("victim active");
+                let victim = self.active.remove(pos);
+                self.allocator.release(victim.request.id);
+                self.queue.push_front(victim.request);
+                self.preemptions += 1;
+                events.push(BatchEvent::Preempted(victim.request));
+            } else {
+                // A lone stalled sequence with an empty queue would mean a
+                // request larger than the pool slipped past submission
+                // validation.
+                debug_assert!(
+                    false,
+                    "request {} stalled alone with an empty queue",
+                    stalled_ids[0]
+                );
+            }
         }
         events
     }
 
     /// How many sequences produced a token in the last [`Self::step_decode`].
     pub fn last_advanced(&self) -> usize {
-        self.last_advanced
+        self.advanced_ids.len()
+    }
+
+    /// The sequences that actually grew by one token in the last
+    /// [`Self::step_decode`], in batch order. A sequence can advance even if
+    /// the pool looked full beforehand (another sequence finishing earlier
+    /// in the same step frees its blocks), so compute that mirrors the
+    /// scheduler must consume this list rather than predict it.
+    pub fn last_advanced_ids(&self) -> &[usize] {
+        &self.advanced_ids
     }
 
     /// Total recompute preemptions so far.
@@ -290,14 +388,96 @@ mod tests {
     }
 
     fn batcher(max_batch: usize, blocks: usize) -> ContinuousBatcher {
-        ContinuousBatcher::new(max_batch, PagedAllocator::new(blocks, 16))
+        ContinuousBatcher::new(max_batch, PagedAllocator::new(blocks, 16)).expect("valid config")
+    }
+
+    #[test]
+    fn zero_max_batch_is_invalid_config() {
+        let err = ContinuousBatcher::new(0, PagedAllocator::new(4, 16)).unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn degenerate_requests_rejected_at_submit() {
+        let mut b = batcher(2, 4);
+        assert_eq!(b.submit(req(0, 0, 4)), Err(RejectReason::EmptyPrompt));
+        assert_eq!(b.submit(req(1, 4, 0)), Err(RejectReason::ZeroDecodeTokens));
+        // 4 blocks of 16 = 64 slots; 60 + 10 = 70 tokens can never fit.
+        assert_eq!(
+            b.submit(req(2, 60, 10)),
+            Err(RejectReason::ExceedsKvPool {
+                needed_blocks: 5,
+                total_blocks: 4
+            })
+        );
+        assert!(b.is_idle(), "rejected requests never enter the queue");
+    }
+
+    #[test]
+    fn queue_limit_sheds_newest() {
+        let mut b = batcher(1, 100);
+        b.set_queue_limit(Some(2));
+        b.submit(req(0, 8, 1)).unwrap();
+        b.submit(req(1, 8, 1)).unwrap();
+        let err = b.submit(req(2, 8, 1)).unwrap_err();
+        assert_eq!(err, RejectReason::QueueFull { depth: 2, limit: 2 });
+        assert_eq!(b.shed(), 1);
+        assert_eq!(b.queued(), 2);
+    }
+
+    #[test]
+    fn cancel_releases_queue_and_active() {
+        let mut b = batcher(2, 100);
+        b.submit(req(0, 16, 4)).unwrap();
+        b.submit(req(1, 16, 4)).unwrap();
+        b.admit();
+        b.complete_prefill();
+        b.submit(req(2, 16, 4)).unwrap();
+        assert!(b.cancel(0), "active request cancels");
+        assert!(b.cancel(2), "queued request cancels");
+        assert!(!b.cancel(0), "double cancel reports unknown");
+        assert!(!b.cancel(99), "never-submitted id reports unknown");
+        // Only request 1 remains; drain it.
+        let mut steps = 0;
+        while !b.is_idle() && steps < 50 {
+            b.step_decode();
+            steps += 1;
+        }
+        assert_eq!(b.finished(), 1);
+        assert_eq!(b.allocator().used_blocks(), 0);
+    }
+
+    #[test]
+    fn armed_fault_pauses_without_preempting() {
+        let mut b = batcher(2, 4);
+        b.submit(req(0, 30, 30)).unwrap(); // final context 60 -> 4 blocks
+        b.admit();
+        b.complete_prefill();
+        // Decode past the reserve so further tokens need real growth.
+        for _ in 0..2 {
+            b.step_decode();
+        }
+        b.arm_alloc_fault();
+        let before = b.active()[0].decoded;
+        let events = b.step_decode();
+        assert!(events.is_empty(), "no preemption under injected fault");
+        assert_eq!(b.active()[0].decoded, before, "sequence stalled in place");
+        assert_eq!(b.last_advanced(), 0);
+        b.disarm_alloc_fault();
+        let mut steps = 0;
+        while !b.is_idle() && steps < 200 {
+            b.step_decode();
+            steps += 1;
+        }
+        assert!(b.is_idle(), "recovers after the fault clears");
+        assert_eq!(b.finished(), 1);
     }
 
     #[test]
     fn fcfs_admission_and_refill() {
         let mut b = batcher(2, 100);
         for i in 0..4 {
-            b.submit(req(i, 16, 2));
+            b.submit(req(i, 16, 2)).unwrap();
         }
         let admitted = b.admit();
         assert_eq!(admitted.len(), 2);
@@ -323,8 +503,8 @@ mod tests {
     fn memory_limits_admission() {
         // 4 blocks of 16 = 64 token slots; each request needs 33 -> 3 blocks.
         let mut b = batcher(8, 4);
-        b.submit(req(0, 32, 4));
-        b.submit(req(1, 32, 4));
+        b.submit(req(0, 32, 4)).unwrap();
+        b.submit(req(1, 32, 4)).unwrap();
         let events = b.admit();
         assert_eq!(events.len(), 1, "only one request fits");
         assert_eq!(b.queued(), 1);
@@ -340,7 +520,7 @@ mod tests {
     #[test]
     fn prefill_required_before_decode() {
         let mut b = batcher(1, 10);
-        b.submit(req(0, 8, 1));
+        b.submit(req(0, 8, 1)).unwrap();
         b.admit();
         // Without prefill, decode makes no progress.
         assert!(b.step_decode().is_empty());
@@ -353,7 +533,7 @@ mod tests {
     #[test]
     fn kv_blocks_released_on_finish() {
         let mut b = batcher(1, 10);
-        b.submit(req(0, 16, 1));
+        b.submit(req(0, 16, 1)).unwrap();
         b.admit();
         b.complete_prefill();
         assert!(b.allocator().used_blocks() > 0);
@@ -368,8 +548,8 @@ mod tests {
         // 16 + 20 = 36 -> 3 blocks, so it can only finish after the short
         // one releases its block: it must stall and then recover.
         let mut b = batcher(2, 3);
-        b.submit(req(0, 16, 20)); // grows over time
-        b.submit(req(1, 14, 2)); // short
+        b.submit(req(0, 16, 20)).unwrap(); // grows over time
+        b.submit(req(1, 14, 2)).unwrap(); // short
         b.admit();
         b.complete_prefill();
         // Step until the short one finishes; the long one may stall but
@@ -392,8 +572,8 @@ mod tests {
         // end): the scheduler must preempt one (recompute) instead of
         // deadlocking, and both must eventually finish.
         let mut b = batcher(2, 6); // 96 slots
-        b.submit(req(0, 16, 40)); // ends at context 56 -> 4 blocks
-        b.submit(req(1, 16, 40)); // same; together they need 8 blocks
+        b.submit(req(0, 16, 40)).unwrap(); // ends at context 56 -> 4 blocks
+        b.submit(req(1, 16, 40)).unwrap(); // same; together they need 8 blocks
         b.admit();
         b.complete_prefill();
         let mut steps = 0;
@@ -411,8 +591,8 @@ mod tests {
     #[test]
     fn last_advanced_counts_progress() {
         let mut b = batcher(2, 100);
-        b.submit(req(0, 8, 3));
-        b.submit(req(1, 8, 3));
+        b.submit(req(0, 8, 3)).unwrap();
+        b.submit(req(1, 8, 3)).unwrap();
         b.admit();
         b.complete_prefill();
         b.step_decode();
@@ -422,7 +602,7 @@ mod tests {
     #[test]
     fn can_advance_reflects_memory() {
         let mut b = batcher(1, 2); // 32 slots
-        b.submit(req(0, 16, 40));
+        b.submit(req(0, 16, 16)).unwrap(); // final context 32 -> exactly fits
         b.admit();
         b.complete_prefill();
         assert!(b.can_advance(0)); // first token covered by reserve
@@ -431,12 +611,20 @@ mod tests {
         // the next several tokens still fit.
         assert!(b.can_advance(0));
         assert!(!b.can_advance(42), "unknown id");
+        // An injected fault blocks fresh-block growth but not in-block
+        // growth; once the table needs a new block, can_advance flips.
+        b.arm_alloc_fault();
+        assert!(b.can_advance(0), "still inside the reserved block");
+        for _ in 0..15 {
+            b.step_decode(); // fill the second block (context 32)
+        }
+        assert!(b.is_idle(), "in-block tokens finish the request");
     }
 
     #[test]
     fn mean_context_tracks_growth() {
         let mut b = batcher(1, 100);
-        b.submit(req(0, 10, 5));
+        b.submit(req(0, 10, 5)).unwrap();
         b.admit();
         b.complete_prefill();
         let before = b.mean_context();

@@ -6,6 +6,7 @@
 //! latency per token (queuing excluded, §5.3.2) — plus memory statistics
 //! for the fixed-memory comparison of Fig. 10c.
 
+use crate::error::ServeError;
 use crate::paged::PagedAllocator;
 use crate::scheduler::ContinuousBatcher;
 use atom_data::Request;
@@ -35,6 +36,10 @@ pub struct ServingReport {
     /// Mean prefill-iteration latency (the time-to-first-token a request
     /// pays once admitted, queuing excluded), seconds.
     pub avg_prefill_latency_s: f64,
+    /// Requests rejected at submission (oversized for the KV pool).
+    pub rejected: usize,
+    /// Recompute preemptions over the run.
+    pub preemptions: usize,
 }
 
 /// Discrete-iteration serving simulator.
@@ -78,15 +83,26 @@ impl ServingSimulator {
     /// Runs the trace to completion (offline throughput protocol: all
     /// requests available, FCFS, continuous refill — §5.3.2).
     ///
-    /// # Panics
+    /// Requests whose final context exceeds the KV pool are rejected at
+    /// submission and counted in [`ServingReport::rejected`] rather than
+    /// stalling the run.
     ///
-    /// Panics if the trace is empty or a single request exceeds the KV
-    /// pool.
-    pub fn run(&self, trace: &[Request]) -> ServingReport {
-        assert!(!trace.is_empty(), "empty trace");
-        let mut batcher = ContinuousBatcher::new(self.max_batch, self.build_allocator());
+    /// # Errors
+    ///
+    /// Returns [`ServeError::EmptyTrace`] for an empty trace,
+    /// [`ServeError::InvalidConfig`] for a zero batch cap, and
+    /// [`ServeError::Stalled`] if the scheduler ever stops making progress
+    /// (an internal invariant breach, unreachable for validated traces).
+    pub fn run(&self, trace: &[Request]) -> Result<ServingReport, ServeError> {
+        if trace.is_empty() {
+            return Err(ServeError::EmptyTrace);
+        }
+        let mut batcher = ContinuousBatcher::new(self.max_batch, self.build_allocator())?;
+        let mut rejected = 0usize;
         for &r in trace {
-            batcher.submit(r);
+            if batcher.submit(r).is_err() {
+                rejected += 1;
+            }
         }
 
         let mut busy_s = 0.0f64;
@@ -94,8 +110,10 @@ impl ServingSimulator {
         let mut decode_latencies: Vec<f64> = Vec::new();
         let mut prefill_latencies: Vec<f64> = Vec::new();
         let mut stall_guard = 0usize;
+        let mut step = 0usize;
 
         while !batcher.is_idle() {
+            step += 1;
             batcher.admit();
             // Prefill the newly admitted requests (batched prefill phase).
             let fresh = batcher.complete_prefill();
@@ -138,14 +156,15 @@ impl ServingSimulator {
                     // Memory pressure: the batcher preempted a sequence
                     // (recompute-style); the iteration still took time.
                     stall_guard += 1;
-                    assert!(stall_guard < 64, "scheduler thrashing on preemptions");
                 }
             } else {
                 stall_guard += 1;
-                assert!(
-                    stall_guard < 8,
-                    "scheduler made no progress: a request exceeds the KV pool"
-                );
+            }
+            // Admission validation makes true stalls unreachable; if one
+            // ever appears it is an invariant breach, surfaced as a typed
+            // error instead of a panic or an infinite loop.
+            if stall_guard >= 10_000 {
+                return Err(ServeError::Stalled { step });
             }
         }
 
@@ -157,17 +176,19 @@ impl ServingSimulator {
             .unwrap_or(0.0);
         let avg_prefill = prefill_latencies.iter().sum::<f64>()
             / prefill_latencies.len().max(1) as f64;
-        ServingReport {
+        Ok(ServingReport {
             scheme: self.scheme.label(),
             max_batch: self.max_batch,
             throughput_tps: decode_tokens as f64 / busy_s,
             avg_decode_latency_s: avg,
             p99_decode_latency_s: p99,
-            finished: trace.len() - batcher.queued() - batcher.active().len(),
+            finished: batcher.finished(),
             busy_s,
             peak_kv_blocks: batcher.allocator().peak_used(),
             avg_prefill_latency_s: avg_prefill,
-        }
+            rejected,
+            preemptions: batcher.preemptions(),
+        })
     }
 
     /// Analytic steady-state point (used for the dashed extrapolated lines
@@ -212,7 +233,7 @@ mod tests {
     #[test]
     fn all_requests_finish() {
         let trace = small_trace(24);
-        let report = sim(SimScheme::AtomW4A4, 8).run(&trace);
+        let report = sim(SimScheme::AtomW4A4, 8).run(&trace).unwrap();
         assert_eq!(report.finished, 24);
         assert!(report.throughput_tps > 0.0);
         assert!(report.avg_decode_latency_s > 0.0);
@@ -226,7 +247,7 @@ mod tests {
     fn atom_beats_baselines_in_throughput() {
         // Fig. 10a ordering at a fixed batch.
         let trace = small_trace(32);
-        let tput = |scheme| sim(scheme, 16).run(&trace).throughput_tps;
+        let tput = |scheme| sim(scheme, 16).run(&trace).unwrap().throughput_tps;
         let fp16 = tput(SimScheme::Fp16);
         let w4a16 = tput(SimScheme::W4A16);
         let w8a8 = tput(SimScheme::W8A8);
@@ -239,8 +260,8 @@ mod tests {
     #[test]
     fn throughput_grows_with_batch() {
         let trace = small_trace(64);
-        let t8 = sim(SimScheme::AtomW4A4, 8).run(&trace).throughput_tps;
-        let t32 = sim(SimScheme::AtomW4A4, 32).run(&trace).throughput_tps;
+        let t8 = sim(SimScheme::AtomW4A4, 8).run(&trace).unwrap().throughput_tps;
+        let t32 = sim(SimScheme::AtomW4A4, 32).run(&trace).unwrap().throughput_tps;
         assert!(t32 > 1.5 * t8, "batching effect missing: {t8} -> {t32}");
     }
 
@@ -267,7 +288,7 @@ mod tests {
             let mem = MemoryModel::new(LlamaGpuConfig::llama7b(), scheme, HardwareProfile::rtx4090().mem_bytes);
             let ctx = 700; // ShareGPT-like mean context
             let batch = mem.max_batch(ctx).clamp(1, 256);
-            sim(scheme, batch).run(&trace).throughput_tps
+            sim(scheme, batch).run(&trace).unwrap().throughput_tps
         };
         let fp16 = run_at_max(SimScheme::Fp16);
         let w8a8 = run_at_max(SimScheme::W8A8);
@@ -276,6 +297,28 @@ mod tests {
         let vs_w8a8 = atom / w8a8;
         assert!((4.0..12.0).contains(&vs_fp16), "Atom vs FP16: {vs_fp16}");
         assert!((1.7..3.5).contains(&vs_w8a8), "Atom vs W8A8: {vs_w8a8}");
+    }
+
+    #[test]
+    fn empty_trace_is_typed_error() {
+        let err = sim(SimScheme::AtomW4A4, 8).run(&[]).unwrap_err();
+        assert_eq!(err, ServeError::EmptyTrace);
+    }
+
+    #[test]
+    fn oversized_requests_rejected_not_stalled() {
+        // A trace containing a request far beyond any KV pool must not
+        // hang the simulator: it is rejected and reported.
+        let mut trace = small_trace(8);
+        trace.push(Request {
+            id: trace.len(),
+            arrival_s: 0.0,
+            prefill_tokens: 50_000_000,
+            decode_tokens: 1_000,
+        });
+        let report = sim(SimScheme::AtomW4A4, 8).run(&trace).unwrap();
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.finished, 8);
     }
 
     #[test]

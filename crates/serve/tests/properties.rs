@@ -65,7 +65,8 @@ proptest! {
         // Any workload whose largest request fits the pool must drain.
         let pool_blocks = 16usize; // 256 slots
         let block = 16usize;
-        let mut b = ContinuousBatcher::new(max_batch, PagedAllocator::new(pool_blocks, block));
+        let mut b = ContinuousBatcher::new(max_batch, PagedAllocator::new(pool_blocks, block))
+            .expect("positive max_batch");
         let mut total = 0usize;
         for (i, &(prefill, decode)) in lens.iter().enumerate() {
             // Cap each request under the pool size.
@@ -76,7 +77,8 @@ proptest! {
                 arrival_s: 0.0,
                 prefill_tokens: prefill,
                 decode_tokens: decode,
-            });
+            })
+            .expect("capped under the pool size");
             total += 1;
         }
         let mut steps = 0usize;

@@ -24,7 +24,9 @@ fn main() {
     for scheme in SimScheme::all() {
         let mem = MemoryModel::new(cfg, scheme, hw.mem_bytes);
         let batch = mem.max_batch(700).clamp(1, 256);
-        let report = ServingSimulator::with_device_memory(cfg, hw, scheme, batch).run(&trace);
+        let report = ServingSimulator::with_device_memory(cfg, hw, scheme, batch)
+            .run(&trace)
+            .expect("non-empty trace");
         println!(
             "  {:10}  max batch {:>3}  {:>6.0} tok/s  {:>6.1} ms/token",
             scheme.label(),
@@ -52,7 +54,8 @@ fn main() {
         }),
         4,    // max batch
         4096, // KV pool tokens
-    );
+    )
+    .expect("valid engine config");
 
     let tok = Tokenizer::new();
     let prompts = [
@@ -63,7 +66,7 @@ fn main() {
         "one wolf howls while two wolf",
     ];
     for p in prompts {
-        engine.submit(tok.encode(p), 20);
+        engine.submit(tok.encode(p), 20).expect("prompt fits the pool");
     }
     let start = std::time::Instant::now();
     let completions = engine.run_to_completion().to_vec();

@@ -165,7 +165,7 @@ fn workload_trace_feeds_scheduler_and_simulator_consistently() {
         SimScheme::AtomW4A4,
         8,
     );
-    let report = sim.run(&trace);
+    let report = sim.run(&trace).expect("non-empty trace");
     assert_eq!(report.finished, trace.len());
     // Total decode tokens must equal the trace's decode budget.
     let decode_total: usize = trace.iter().map(|r| r.decode_tokens).sum();

@@ -120,11 +120,12 @@ fn quantized_model_serves_real_requests() {
         }),
         2,
         2048,
-    );
+    )
+    .expect("valid engine config");
     let tok = Tokenizer::new();
-    engine.submit(tok.encode("the robin "), 8);
-    engine.submit(tok.encode("the mill "), 8);
-    engine.submit(tok.encode("is the wolf a "), 6);
+    engine.submit(tok.encode("the robin "), 8).unwrap();
+    engine.submit(tok.encode("the mill "), 8).unwrap();
+    engine.submit(tok.encode("is the wolf a "), 6).unwrap();
     let done = engine.run_to_completion();
     assert_eq!(done.len(), 3);
     for c in done {
