@@ -16,18 +16,19 @@ use atom_serve::engine::CpuEngine;
 use atom_serve::{FaultPlan, PressurePolicy, SubmitOptions, Terminal};
 use std::fmt::Write as _;
 
-const SEED: u64 = 0xC4A0;
+const DEFAULT_SEED: u64 = 0xC4A0;
 const REQUESTS: usize = 24;
 const KV_POOL_TOKENS: usize = 160; // 10 blocks — deliberately tight
 const MAX_BATCH: usize = 4;
 
 fn main() {
+    let seed = atom_bench::arg_u64("seed", DEFAULT_SEED);
     let model = zoo::trained(zoo::ZooId::Tiny);
     let calib = Calibration::collect(&model, &zoo::calibration_sequences(64), true, 2);
     let quantized = Scheme::Atom(AtomScheme::w4a4()).quantize(&model, &calib);
     let config = *quantized.model.config();
 
-    let plan = FaultPlan::seeded(SEED, 600, 0.25, 0.02);
+    let plan = FaultPlan::seeded(seed, 600, 0.25, 0.02);
     let planned_faults = plan.fault_count();
     let mut engine = CpuEngine::new(
         quantized.model,
@@ -96,12 +97,33 @@ fn main() {
     let injected = engine.batcher().allocator().injected_failures();
     let leaked = engine.batcher().allocator().used_blocks();
 
-    assert_eq!(
-        engine.outcomes().len(),
-        submitted,
-        "every submission must reach exactly one terminal state"
-    );
-    assert_eq!(leaked, 0, "idle engine must hold zero KV blocks");
+    // Invariant checks: collect every violation so a broken run reports all
+    // of them, then fail with a non-zero exit (CI gates on this).
+    let mut violations: Vec<String> = Vec::new();
+    if engine.outcomes().len() != submitted {
+        violations.push(format!(
+            "expected exactly one terminal state per submission: {} outcomes for {submitted} submissions",
+            engine.outcomes().len()
+        ));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for o in engine.outcomes() {
+        if !seen.insert(o.id) {
+            violations.push(format!("request {} has more than one terminal record", o.id));
+        }
+    }
+    if leaked != 0 {
+        violations.push(format!("idle engine still holds {leaked} KV blocks"));
+    }
+    if completed == 0 {
+        violations.push("no request completed under the fault plan".to_string());
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("INVARIANT VIOLATED: {v}");
+        }
+        std::process::exit(1);
+    }
 
     let rows = vec![
         row("submitted", submitted),
@@ -122,7 +144,7 @@ fn main() {
     let mut content = String::new();
     let _ = writeln!(
         content,
-        "Chaos serving — Atom W4A4 7B* engine, seed {SEED:#x}, {KV_POOL_TOKENS}-token KV pool,\n\
+        "Chaos serving — Atom W4A4 7B* engine, seed {seed:#x}, {KV_POOL_TOKENS}-token KV pool,\n\
          max batch {MAX_BATCH}, degrade at 50% pool / queue depth 4, shed at depth 18.\n\n{table}"
     );
     let _ = writeln!(
@@ -134,7 +156,7 @@ fn main() {
     // JSON twin of the table for downstream tooling (hand-rolled: the
     // workspace deliberately has no JSON dependency).
     let json = format!(
-        "{{\n  \"seed\": {SEED},\n  \"kv_pool_tokens\": {KV_POOL_TOKENS},\n  \"max_batch\": {MAX_BATCH},\n  \
+        "{{\n  \"seed\": {seed},\n  \"kv_pool_tokens\": {KV_POOL_TOKENS},\n  \"max_batch\": {MAX_BATCH},\n  \
          \"submitted\": {submitted},\n  \"completed\": {completed},\n  \"rejected\": {rejected},\n  \
          \"cancelled\": {cancelled},\n  \"deadline_exceeded\": {expired},\n  \"failed\": {failed},\n  \
          \"preemptions\": {preemptions},\n  \"degraded_admissions\": {degraded},\n  \

@@ -14,7 +14,8 @@ use std::fmt::Write as _;
 fn main() {
     let hw = HardwareProfile::rtx4090();
     let cfg = LlamaGpuConfig::llama7b();
-    let trace = WorkloadSpec::default().generate(192, 0x51E9);
+    let seed = atom_bench::arg_u64("seed", 0x51E9);
+    let trace = WorkloadSpec::default().generate(192, seed);
     let avg_ctx: usize = trace
         .iter()
         .map(|r| r.prefill_tokens + r.decode_tokens / 2)
@@ -70,7 +71,7 @@ fn main() {
     let _ = writeln!(
         content,
         "Fig. 10 — end-to-end serving (Llama-7B, RTX 4090 model, ShareGPT-like trace,\n\
-         mean context ~{avg_ctx} tokens)\n\n(a)+(b) throughput and decode latency vs batch size:\n\n{table_ab}"
+         seed {seed:#x}, mean context ~{avg_ctx} tokens)\n\n(a)+(b) throughput and decode latency vs batch size:\n\n{table_ab}"
     );
     let _ = writeln!(
         content,

@@ -80,6 +80,41 @@ pub fn results_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
 }
 
+/// Reads a `--<name> <value>` or `--<name>=<value>` u64 flag from the
+/// command line, falling back to `default`. Accepts decimal or `0x`-prefixed
+/// hex. Bench binaries use this for reproducible seeds (`--seed 42`).
+///
+/// Exits with status 2 on a malformed value — a bad seed silently replaced
+/// by the default would un-reproduce the run it was meant to reproduce.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let flag = format!("--{name}");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let value = if a == flag {
+            args.next()
+        } else if let Some(rest) = a.strip_prefix(&flag) {
+            rest.strip_prefix('=').map(str::to_string)
+        } else {
+            None
+        };
+        if let Some(v) = value {
+            return parse_u64(&v).unwrap_or_else(|| {
+                eprintln!("invalid {flag} value: {v:?} (expected u64, decimal or 0x-hex)");
+                std::process::exit(2);
+            });
+        }
+    }
+    default
+}
+
+/// Parses a u64 from decimal or `0x`-prefixed hex.
+fn parse_u64(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
 /// Loads a zoo model together with its calibration (Gram matrices
 /// included), using the paper's 128 calibration sentences.
 pub fn calibrated(id: zoo::ZooId) -> (LlamaModel<DenseLinear>, Calibration) {
@@ -136,5 +171,20 @@ mod tests {
     #[test]
     fn pct_formatting() {
         assert_eq!(fmt_pct(0.7737), "77.37");
+    }
+
+    #[test]
+    fn u64_parsing_accepts_decimal_and_hex() {
+        assert_eq!(parse_u64("42"), Some(42));
+        assert_eq!(parse_u64("0xC4A0"), Some(0xC4A0));
+        assert_eq!(parse_u64("0X51e9"), Some(0x51E9));
+        assert_eq!(parse_u64("nope"), None);
+        assert_eq!(parse_u64("-3"), None);
+    }
+
+    #[test]
+    fn arg_u64_falls_back_to_default() {
+        // The test binary's argv carries no --seed flag.
+        assert_eq!(arg_u64("seed", 7), 7);
     }
 }

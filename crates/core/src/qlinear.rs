@@ -18,6 +18,7 @@ use crate::gptq::{gptq_quantize, rtn_quantize, GptqConfig, QuantizedWeight};
 use atom_kernels::gemm::mixed_gemm;
 use atom_kernels::{GroupQuantized, QuantSpec};
 use atom_nn::{DenseLinear, LinearLayer};
+use atom_telemetry::{names, span, Telemetry};
 use atom_tensor::f16::round_f16;
 use atom_tensor::Matrix;
 
@@ -252,6 +253,13 @@ enum Region {
     Outlier,
 }
 
+/// Quantized outlier operand handed from the epilogue to the GEMM stage.
+enum OutlierOperand {
+    None,
+    Int8(GroupQuantized),
+    Fp16(Matrix),
+}
+
 fn slice_gram(g: &[f64], k: usize, take: usize) -> Vec<f64> {
     let mut out = vec![0.0f64; take * take];
     for i in 0..take {
@@ -264,34 +272,52 @@ impl LinearLayer for QuantizedLinear {
     fn forward(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.in_features, "input width mismatch");
         // Fused epilogue of the previous operator in the paper: reorder the
-        // channels, then dynamically quantize each region.
+        // channels, then dynamically quantize each region. The epilogue is
+        // timed separately from the GEMM it feeds (Fig. 3's "dequant"
+        // slice), so the quantization work finishes — and the timer stops —
+        // before the fused GEMM starts.
+        let t = Telemetry::global();
+        let quant_timer = t.timer(names::OP_QUANT_WALL_NS);
+        let quant_span = span!("quant_epilogue", rows = x.rows());
+        t.counter_add(names::OP_QUANT_CALLS, 1);
         let xp = self.plan.reorder_activation(x);
         let n_out = self.plan.n_outliers();
         let k_normal = self.in_features - n_out;
 
-        match self.outlier_mode {
-            OutlierMode::None => {
-                let qa = self.quantize_act(&xp, Region::Normal);
-                mixed_gemm(&qa, &self.weight.normal, None).expect("shape-checked")
-            }
+        let (qa_n, outlier) = match self.outlier_mode {
+            OutlierMode::None => (self.quantize_act(&xp, Region::Normal), OutlierOperand::None),
             OutlierMode::Int8 => {
                 let x_n = xp.slice_cols(0, k_normal);
                 let qa_n = self.quantize_act(&x_n, Region::Normal);
                 if n_out == 0 {
-                    return mixed_gemm(&qa_n, &self.weight.normal, None).expect("shape-checked");
+                    (qa_n, OutlierOperand::None)
+                } else {
+                    let x_o = xp.slice_cols(k_normal, self.in_features);
+                    (qa_n, OutlierOperand::Int8(self.quantize_act(&x_o, Region::Outlier)))
                 }
-                let x_o = xp.slice_cols(k_normal, self.in_features);
-                let qa_o = self.quantize_act(&x_o, Region::Outlier);
-                let w_o = self.weight.outlier.as_ref().expect("outlier weights");
-                mixed_gemm(&qa_n, &self.weight.normal, Some((&qa_o, w_o))).expect("shape-checked")
             }
             OutlierMode::Fp16 => {
                 let x_n = xp.slice_cols(0, k_normal);
                 let qa_n = self.quantize_act(&x_n, Region::Normal);
-                let mut out =
-                    mixed_gemm(&qa_n, &self.weight.normal, None).expect("shape-checked");
                 let mut x_o = xp.slice_cols(k_normal, self.in_features);
                 x_o.map_in_place(round_f16);
+                (qa_n, OutlierOperand::Fp16(x_o))
+            }
+        };
+        drop(quant_span);
+        quant_timer.stop();
+
+        match outlier {
+            OutlierOperand::None => {
+                mixed_gemm(&qa_n, &self.weight.normal, None).expect("shape-checked")
+            }
+            OutlierOperand::Int8(qa_o) => {
+                let w_o = self.weight.outlier.as_ref().expect("outlier weights");
+                mixed_gemm(&qa_n, &self.weight.normal, Some((&qa_o, w_o))).expect("shape-checked")
+            }
+            OutlierOperand::Fp16(x_o) => {
+                let mut out =
+                    mixed_gemm(&qa_n, &self.weight.normal, None).expect("shape-checked");
                 let w_fp = self.weight_fp_outlier.as_ref().expect("fp outlier weights");
                 out.add_scaled_in_place(&x_o.matmul_nt(w_fp), 1.0);
                 out

@@ -25,6 +25,7 @@ pub mod cost;
 pub mod graph;
 pub mod hardware;
 pub mod memory;
+pub mod record;
 pub mod roofline;
 pub mod tp;
 
@@ -32,4 +33,5 @@ pub use cost::{op_time, Op, OpTime};
 pub use graph::{iteration_breakdown, iteration_ops, Breakdown, LlamaGpuConfig, OpClass, Phase, SimScheme};
 pub use hardware::HardwareProfile;
 pub use memory::MemoryModel;
+pub use record::record_iteration;
 pub use tp::TpConfig;

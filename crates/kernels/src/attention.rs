@@ -7,6 +7,7 @@
 //! self-attention speedup of Fig. 11(b) comes from.
 
 use crate::asym::AsymQuantized;
+use atom_telemetry::{names, span, Telemetry};
 use atom_tensor::{ops, Matrix};
 
 /// One attention head's quantized KV block.
@@ -65,6 +66,13 @@ pub fn attention_quant_kv(q: &Matrix, kv: &QuantizedKvHead, scale: f32) -> Matri
     let kv_len = kv.len();
     assert!(q.rows() <= kv_len, "queries exceed cached tokens");
     let offset = kv_len - q.rows();
+
+    let bytes = kv.packed_bytes() as u64;
+    let t = Telemetry::global();
+    let _timer = t.timer(names::OP_ATTENTION_WALL_NS);
+    let _span = span!("attention_quant_kv", bytes = bytes, kv_len = kv_len);
+    t.counter_add(names::OP_ATTENTION_BYTES, bytes);
+    t.counter_add(names::OP_ATTENTION_CALLS, 1);
 
     // Dequantize-on-load: each K/V row is expanded to FP as it streams in.
     let mut scores = Matrix::zeros(q.rows(), kv_len);

@@ -14,6 +14,7 @@
 
 use crate::group::GroupQuantized;
 use crate::KernelError;
+use atom_telemetry::{names, span, Telemetry};
 use atom_tensor::Matrix;
 
 /// Plain integer GEMM with i32 accumulation: `a (m x k) @ b_t (n x k)^T`,
@@ -71,6 +72,14 @@ pub fn fused_group_gemm(a: &GroupQuantized, w: &GroupQuantized) -> Result<Matrix
     let (m, n, k) = (a.rows(), w.rows(), a.cols());
     let group = group_a;
     let n_groups = a.scales().cols();
+
+    let bytes = (a.packed_bytes() + w.packed_bytes()) as u64;
+    let t = Telemetry::global();
+    let _timer = t.timer(names::OP_GEMM_WALL_NS);
+    let _span = span!("gemm_w4a4", bytes = bytes, rows = m);
+    t.counter_add(names::OP_GEMM_BYTES, bytes);
+    t.counter_add(names::OP_GEMM_ROWS, m as u64);
+    t.counter_add(names::OP_GEMM_CALLS, 1);
 
     // Unpack both operands once (the GPU kernel streams packed data through
     // shared memory; on CPU a one-shot unpack plays the same role).

@@ -5,6 +5,7 @@
 //! share every line of attention/MLP plumbing: quantization swaps only the
 //! linear operator (exactly as the paper swaps GEMM kernels, Fig. 6).
 
+use atom_telemetry::{names, Telemetry};
 use atom_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -66,6 +67,15 @@ impl DenseLinear {
 
 impl LinearLayer for DenseLinear {
     fn forward(&self, x: &Matrix) -> Matrix {
+        let t = Telemetry::global();
+        let _timer = t.timer(names::OP_GEMM_WALL_NS);
+        // FP32 operands: 4 bytes per element of x and W.
+        t.counter_add(
+            names::OP_GEMM_BYTES,
+            4 * (x.rows() * x.cols() + self.weight.rows() * self.weight.cols()) as u64,
+        );
+        t.counter_add(names::OP_GEMM_ROWS, x.rows() as u64);
+        t.counter_add(names::OP_GEMM_CALLS, 1);
         x.matmul_nt(&self.weight)
     }
 

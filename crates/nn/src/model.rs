@@ -10,6 +10,7 @@
 use crate::config::ModelConfig;
 use crate::kv::KvStore;
 use crate::linear::{DenseLinear, LinearLayer};
+use atom_telemetry::{names, span, Telemetry};
 use atom_tensor::{ops, Matrix, SeededRng};
 use serde::{Deserialize, Serialize};
 
@@ -487,6 +488,8 @@ impl<L: LinearLayer> LlamaModel<L> {
         obs: &mut dyn ForwardObserver,
     ) -> Matrix {
         assert!(!tokens.is_empty(), "forward of empty token slice");
+        let _timer = Telemetry::global().timer(names::MODEL_FORWARD_WALL_NS);
+        let _span = span!("model_forward", tokens = tokens.len());
         let c = &self.config;
         let start = cache.len(0);
         let positions: Vec<usize> = (start..start + tokens.len()).collect();
@@ -536,11 +539,24 @@ impl<L: LinearLayer> LlamaModel<L> {
         ops::rope_in_place(&mut q, positions, hd, c.rope_theta);
         ops::rope_in_place(&mut k, positions, hd, c.rope_theta);
 
+        // The timed attention section covers cache append + materialization
+        // (dequantize-on-load for quantized stores) and the per-head
+        // score/softmax/mix arithmetic — everything except the four linear
+        // projections, which account under the GEMM metric.
+        let t = Telemetry::global();
+        let attn_timer = t.timer(names::OP_ATTENTION_WALL_NS);
+        let attn_span = span!("attention", layer = layer);
         cache.append(layer, &k, &v);
         let keys = cache.keys(layer);
         let values = cache.values(layer);
         let kv_len = keys.rows();
         let offset = kv_len - x.rows();
+        t.counter_add(
+            names::OP_ATTENTION_BYTES,
+            // Materialized FP32 keys + values.
+            (4 * 2 * kv_len * keys.cols()) as u64,
+        );
+        t.counter_add(names::OP_ATTENTION_CALLS, 1);
 
         let scale = 1.0 / (hd as f32).sqrt();
         let mut heads = Vec::with_capacity(c.heads);
@@ -559,6 +575,8 @@ impl<L: LinearLayer> LlamaModel<L> {
         for h in &heads[1..] {
             concat = concat.hstack(h);
         }
+        drop(attn_span);
+        attn_timer.stop();
         obs.observe(LinearId::new(layer, Proj::O), &concat);
         block.attn.wo.forward(&concat)
     }

@@ -31,8 +31,10 @@ use crate::paged::PagedAllocator;
 use crate::scheduler::{BatchEvent, ContinuousBatcher};
 use atom_data::Request;
 use atom_nn::{KvStore, LinearLayer, LlamaModel};
+use atom_telemetry::{names, Telemetry};
 use atom_tensor::ops;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A completed generation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +63,9 @@ pub struct RequestStats {
     pub degraded_kv: bool,
     /// The step budget the request was submitted with, if any.
     pub deadline_steps: Option<usize>,
+    /// Step at which the request reached its terminal state (`None` while
+    /// in flight).
+    pub finished_step: Option<usize>,
 }
 
 impl RequestStats {
@@ -72,6 +77,18 @@ impl RequestStats {
     /// Time-to-first-token in steps (includes queue time).
     pub fn ttft_steps(&self) -> Option<usize> {
         self.first_token_step.map(|t| t - self.submitted_step)
+    }
+
+    /// Time-per-output-token in milli-steps (1000 = one step per token),
+    /// averaged over the decode span for `tokens` generated tokens. `None`
+    /// until the request is terminal or when fewer than two tokens came out.
+    pub fn tpot_millisteps(&self, tokens: usize) -> Option<u64> {
+        let first = self.first_token_step?;
+        let finished = self.finished_step?;
+        if tokens < 2 {
+            return None;
+        }
+        Some(((finished - first) * 1000 / (tokens - 1)) as u64)
     }
 }
 
@@ -149,6 +166,33 @@ struct SeqState {
     next_input: u16,
 }
 
+/// Where engine metrics go: the process-global telemetry instance, or an
+/// engine-owned one (tests and benches that need isolation).
+#[derive(Clone)]
+enum TelemetrySink {
+    Global,
+    Owned(Arc<Telemetry>),
+}
+
+impl TelemetrySink {
+    fn get(&self) -> &Telemetry {
+        match self {
+            TelemetrySink::Global => Telemetry::global(),
+            TelemetrySink::Owned(t) => t,
+        }
+    }
+}
+
+fn terminal_metric(terminal: &Terminal) -> &'static str {
+    match terminal {
+        Terminal::Completed => names::ENGINE_TERMINAL_COMPLETED,
+        Terminal::Rejected(_) => names::ENGINE_TERMINAL_REJECTED,
+        Terminal::Cancelled => names::ENGINE_TERMINAL_CANCELLED,
+        Terminal::DeadlineExceeded => names::ENGINE_TERMINAL_DEADLINE,
+        Terminal::Failed { .. } => names::ENGINE_TERMINAL_FAILED,
+    }
+}
+
 /// CPU serving engine: continuous batching over a real model.
 pub struct CpuEngine<L: LinearLayer> {
     model: LlamaModel<L>,
@@ -167,6 +211,7 @@ pub struct CpuEngine<L: LinearLayer> {
     decode_steps: usize,
     degraded_admissions: usize,
     rejected: usize,
+    telemetry: TelemetrySink,
 }
 
 impl<L: LinearLayer> CpuEngine<L> {
@@ -212,7 +257,15 @@ impl<L: LinearLayer> CpuEngine<L> {
             decode_steps: 0,
             degraded_admissions: 0,
             rejected: 0,
+            telemetry: TelemetrySink::Global,
         })
+    }
+
+    /// Routes this engine's metrics into `telemetry` instead of the process
+    /// global. Used by tests and benches that need an isolated registry.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = TelemetrySink::Owned(telemetry);
+        self
     }
 
     /// Installs the degraded KV-cache factory used for admissions under
@@ -281,11 +334,17 @@ impl<L: LinearLayer> CpuEngine<L> {
         };
         if let Some(reason) = reason {
             self.rejected += 1;
+            self.telemetry
+                .get()
+                .counter_add(names::ENGINE_TERMINAL_REJECTED, 1);
             self.outcomes.push(Outcome {
                 id,
                 terminal: Terminal::Rejected(reason),
                 tokens: Vec::new(),
-                stats,
+                stats: RequestStats {
+                    finished_step: Some(self.clock),
+                    ..stats
+                },
             });
             return Err(reason);
         }
@@ -315,10 +374,12 @@ impl<L: LinearLayer> CpuEngine<L> {
     /// outcome. The single funnel through which every non-completed
     /// request exits guarantees the exactly-once terminal property.
     fn terminalize(&mut self, id: usize, terminal: Terminal) {
-        let Some(stats) = self.meta.remove(&id) else {
+        let Some(mut stats) = self.meta.remove(&id) else {
             debug_assert!(false, "terminalize on unknown request {id}");
             return;
         };
+        stats.finished_step = Some(self.clock);
+        self.telemetry.get().counter_add(terminal_metric(&terminal), 1);
         self.batcher.cancel(id);
         self.prompts.remove(&id);
         let tokens = self
@@ -342,6 +403,10 @@ impl<L: LinearLayer> CpuEngine<L> {
         if self.batcher.is_idle() {
             return false;
         }
+        let sink = self.telemetry.clone();
+        let tel = sink.get();
+        let _step_timer = tel.timer(names::ENGINE_STEP_WALL_NS);
+        let _step_span = tel.span("engine_step", &[]);
         self.clock += 1;
 
         // Deadline sweep: a request whose step budget elapsed terminates
@@ -362,6 +427,7 @@ impl<L: LinearLayer> CpuEngine<L> {
         // Injected allocator fault: poison block growth for this step.
         if self.fault.alloc_fault(self.clock) {
             self.batcher.arm_alloc_fault();
+            tel.counter_add(names::ENGINE_FAULTS, 1);
         }
 
         for event in self.batcher.admit() {
@@ -375,8 +441,16 @@ impl<L: LinearLayer> CpuEngine<L> {
         // Prefill phase for the newly admitted sequences. Prompts stay
         // stored so a preempted sequence can be recomputed later. Under
         // pressure, new admissions receive the degraded KV cache.
-        let util = self.batcher.allocator().used_blocks() as f64
-            / self.batcher.allocator().total_blocks().max(1) as f64;
+        let used = self.batcher.allocator().used_blocks();
+        let total = self.batcher.allocator().total_blocks();
+        let util = used as f64 / total.max(1) as f64;
+        tel.record(names::ENGINE_QUEUE_DEPTH, self.batcher.queued() as u64);
+        tel.gauge_set(names::ENGINE_KV_USED_BLOCKS, used as i64);
+        tel.gauge_set(names::ENGINE_KV_TOTAL_BLOCKS, total as i64);
+        tel.record(
+            names::ENGINE_KV_OCCUPANCY_PERMILLE,
+            (util * 1000.0).round() as u64,
+        );
         let pressured = util >= self.policy.degrade_kv_at
             || self
                 .policy
@@ -394,6 +468,7 @@ impl<L: LinearLayer> CpuEngine<L> {
             };
             if degraded {
                 self.degraded_admissions += 1;
+                tel.counter_add(names::ENGINE_DEGRADED_ADMISSIONS, 1);
                 if let Some(stats) = self.meta.get_mut(&req.id) {
                     stats.degraded_kv = true;
                 }
@@ -422,6 +497,7 @@ impl<L: LinearLayer> CpuEngine<L> {
                 .collect();
             if !live.is_empty() {
                 let victim = live[slot % live.len()];
+                tel.counter_add(names::ENGINE_FAULTS, 1);
                 self.terminalize(
                     victim,
                     Terminal::Failed {
@@ -465,7 +541,15 @@ impl<L: LinearLayer> CpuEngine<L> {
                         .map(|s| s.generated)
                         .unwrap_or_default();
                     self.prompts.remove(&req.id);
-                    let stats = self.meta.remove(&req.id).unwrap_or_default();
+                    let mut stats = self.meta.remove(&req.id).unwrap_or_default();
+                    stats.finished_step = Some(self.clock);
+                    tel.counter_add(names::ENGINE_TERMINAL_COMPLETED, 1);
+                    if let Some(ttft) = stats.ttft_steps() {
+                        tel.record(names::ENGINE_TTFT_STEPS, ttft as u64);
+                    }
+                    if let Some(tpot) = stats.tpot_millisteps(tokens.len()) {
+                        tel.record(names::ENGINE_TPOT_MILLISTEPS, tpot);
+                    }
                     self.completions.push(Completion {
                         id: req.id,
                         tokens: tokens.clone(),
@@ -482,6 +566,7 @@ impl<L: LinearLayer> CpuEngine<L> {
                     // back in the queue and will prefill again from its
                     // stored prompt.
                     self.states.remove(&req.id);
+                    tel.counter_add(names::ENGINE_PREEMPTIONS, 1);
                     if let Some(stats) = self.meta.get_mut(&req.id) {
                         stats.preemptions += 1;
                     }
@@ -566,6 +651,12 @@ impl<L: LinearLayer> CpuEngine<L> {
     /// The underlying batcher (for memory/queue introspection).
     pub fn batcher(&self) -> &ContinuousBatcher {
         &self.batcher
+    }
+
+    /// The telemetry instance this engine records into (the process global
+    /// unless [`Self::with_telemetry`] installed an owned one).
+    pub fn telemetry(&self) -> &Telemetry {
+        self.telemetry.get()
     }
 }
 

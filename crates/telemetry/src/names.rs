@@ -1,0 +1,80 @@
+//! Canonical metric names.
+//!
+//! The measured path (CPU kernels + serve engine) and the simulated path
+//! (gpu-sim cost model) record into **the same names** so their breakdowns
+//! are directly comparable; the only difference is which registry instance
+//! holds them. Naming scheme: `<subsystem>.<entity>.<unit>`, with `_ns`
+//! histograms for wall time, `.bytes`/`.rows`/`.calls` counters for volume,
+//! and `_steps` histograms for scheduler-clock latencies.
+
+/// Wall time per GEMM call (histogram, ns). Covers the fused group-dequant
+/// INT4/INT8 GEMM and the dense FP32 reference path.
+pub const OP_GEMM_WALL_NS: &str = "op.gemm.wall_ns";
+/// Bytes of operand data moved per GEMM call (counter).
+pub const OP_GEMM_BYTES: &str = "op.gemm.bytes";
+/// Activation rows processed by GEMM (counter).
+pub const OP_GEMM_ROWS: &str = "op.gemm.rows";
+/// GEMM invocations (counter).
+pub const OP_GEMM_CALLS: &str = "op.gemm.calls";
+
+/// Wall time per attention call (histogram, ns), including KV
+/// dequantize-on-load.
+pub const OP_ATTENTION_WALL_NS: &str = "op.attention.wall_ns";
+/// Bytes of KV-cache data read per attention call (counter).
+pub const OP_ATTENTION_BYTES: &str = "op.attention.bytes";
+/// Attention invocations (counter).
+pub const OP_ATTENTION_CALLS: &str = "op.attention.calls";
+
+/// Wall time spent in runtime (de)quantization epilogues — Atom §4.3's
+/// dynamic per-group activation quantization plus channel reordering
+/// (histogram, ns).
+pub const OP_QUANT_WALL_NS: &str = "op.quant.wall_ns";
+/// Quantization epilogue invocations (counter).
+pub const OP_QUANT_CALLS: &str = "op.quant.calls";
+
+/// Wall time of everything in an iteration that is neither GEMM, attention,
+/// nor quantization — norms, activations, embeddings (histogram, ns). Only
+/// the simulated path records this directly; the measured path derives it
+/// as `model.forward − (gemm + attention + quant)`.
+pub const OP_OTHER_WALL_NS: &str = "op.other.wall_ns";
+
+/// Wall time per full model forward (histogram, ns).
+pub const MODEL_FORWARD_WALL_NS: &str = "model.forward.wall_ns";
+
+/// Wall time per engine scheduling step, inclusive of forwards (histogram,
+/// ns).
+pub const ENGINE_STEP_WALL_NS: &str = "engine.step.wall_ns";
+/// Waiting-queue depth sampled once per step (histogram).
+pub const ENGINE_QUEUE_DEPTH: &str = "engine.queue.depth";
+/// KV pool blocks in use right now (gauge).
+pub const ENGINE_KV_USED_BLOCKS: &str = "engine.kv.used_blocks";
+/// KV pool capacity in blocks (gauge).
+pub const ENGINE_KV_TOTAL_BLOCKS: &str = "engine.kv.total_blocks";
+/// KV pool occupancy per step, in tenths of a percent 0..=1000
+/// (histogram).
+pub const ENGINE_KV_OCCUPANCY_PERMILLE: &str = "engine.kv.occupancy_permille";
+
+/// Time to first token per finished request, in scheduler steps
+/// (histogram).
+pub const ENGINE_TTFT_STEPS: &str = "engine.request.ttft_steps";
+/// Time per output token per finished request, in milli-steps (histogram;
+/// 1000 = one step per token).
+pub const ENGINE_TPOT_MILLISTEPS: &str = "engine.request.tpot_millisteps";
+
+/// Preemption events (counter).
+pub const ENGINE_PREEMPTIONS: &str = "engine.preemptions";
+/// Admissions downgraded to quantized KV under pressure (counter).
+pub const ENGINE_DEGRADED_ADMISSIONS: &str = "engine.degraded_admissions";
+/// Faults injected into the engine that were observed by a request
+/// (counter).
+pub const ENGINE_FAULTS: &str = "engine.faults";
+/// Terminal events by outcome (counters).
+pub const ENGINE_TERMINAL_COMPLETED: &str = "engine.terminal.completed";
+/// Requests that exceeded their deadline.
+pub const ENGINE_TERMINAL_DEADLINE: &str = "engine.terminal.deadline_exceeded";
+/// Requests cancelled by the client.
+pub const ENGINE_TERMINAL_CANCELLED: &str = "engine.terminal.cancelled";
+/// Requests that failed on an exhausted fault-retry budget.
+pub const ENGINE_TERMINAL_FAILED: &str = "engine.terminal.failed";
+/// Requests rejected at admission.
+pub const ENGINE_TERMINAL_REJECTED: &str = "engine.terminal.rejected";

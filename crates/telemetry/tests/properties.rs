@@ -1,0 +1,110 @@
+//! Property tests of the histogram: the merge algebra (associative,
+//! commutative, equivalent to recording into one histogram) and the
+//! quantile estimator's error bound (exact below 8, within one bucket —
+//! ≤ 12.5% relative — above).
+
+use atom_telemetry::metrics::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Samples spread across many octaves: a small mantissa shifted into an
+/// arbitrary octave, so identity buckets and mid/high octaves all get
+/// exercised. Magnitudes stay below 2^52 so debug-mode `sum`/`merge`
+/// arithmetic cannot overflow over a whole vector.
+fn samples(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        (0u64..1 << 12, 0u32..40).prop_map(|(m, shift)| m << shift),
+        1..max_len,
+    )
+}
+
+fn hist_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::default();
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+fn merged(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #[test]
+    fn bucket_index_within_bounds(v in (0u64..1 << 20, 0u32..44).prop_map(|(m, s)| m << s)) {
+        let idx = bucket_index(v);
+        let (lo, hi) = bucket_bounds(idx);
+        prop_assert!(lo <= v && v <= hi, "v={v} idx={idx} lo={lo} hi={hi}");
+        // Relative bucket width bounds the quantile error.
+        if v >= 8 {
+            prop_assert!(hi - lo <= lo / 8, "bucket {idx} wider than 12.5%");
+        } else {
+            prop_assert_eq!(lo, hi);
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in samples(40),
+        b in samples(40),
+        c in samples(40),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        prop_assert_eq!(merged(&merged(&ha, &hb), &hc), merged(&ha, &merged(&hb, &hc)));
+        prop_assert_eq!(merged(&ha, &hb), merged(&hb, &ha));
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one(
+        all in samples(120),
+        split in 0usize..1 << 16,
+    ) {
+        // Partition by an arbitrary bitmask-driven rule, then merge back.
+        let (mut left, mut right) = (Vec::new(), Vec::new());
+        for (i, &v) in all.iter().enumerate() {
+            if (split >> (i % 16)) & 1 == 0 {
+                left.push(v);
+            } else {
+                right.push(v);
+            }
+        }
+        prop_assert_eq!(merged(&hist_of(&left), &hist_of(&right)), hist_of(&all));
+    }
+
+    #[test]
+    fn quantile_within_bucket_resolution(
+        all in samples(120),
+        q in 0.0f64..1.0,
+    ) {
+        let snap = hist_of(&all);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        // The estimator targets the 1-based rank ceil(q·n); compare against
+        // the true sample at that rank.
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        let truth = sorted[rank - 1];
+        let est = snap.quantile(q).expect("non-empty");
+        prop_assert!(est >= truth, "estimate {est} below true sample {truth}");
+        if truth < 8 {
+            prop_assert_eq!(est, truth, "identity buckets must be exact");
+        } else {
+            prop_assert!(
+                est - truth <= truth / 8,
+                "estimate {est} off true sample {truth} by more than 12.5%"
+            );
+        }
+        // And always inside the observed range.
+        prop_assert!(est >= snap.min && est <= snap.max);
+    }
+
+    #[test]
+    fn summary_stats_are_exact(all in samples(120)) {
+        let snap = hist_of(&all);
+        prop_assert_eq!(snap.count, all.len() as u64);
+        prop_assert_eq!(snap.sum, all.iter().sum::<u64>());
+        prop_assert_eq!(snap.min, *all.iter().min().expect("non-empty"));
+        prop_assert_eq!(snap.max, *all.iter().max().expect("non-empty"));
+    }
+}

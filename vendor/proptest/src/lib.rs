@@ -1,0 +1,142 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace's property tests use a small slice of proptest: the
+//! `proptest!` macro, range and tuple strategies, `collection::vec`,
+//! `prop_map`/`prop_flat_map`/`prop_filter`, `ProptestConfig::with_cases`,
+//! and the `prop_assert*` macros. This crate implements exactly that slice
+//! with a deterministic splitmix64-driven runner and **no shrinking**: a
+//! failing case panics with the generated inputs' debug output instead of a
+//! minimized counterexample. Test semantics (what passes and what fails)
+//! are otherwise the same.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports property tests expect (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `ProptestConfig::cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                $crate::test_runner::run(&__config, stringify!($name), |__rng| {
+                    $(
+                        let $arg = match $crate::strategy::Strategy::generate(&($strat), __rng) {
+                            ::core::option::Option::Some(v) => v,
+                            ::core::option::Option::None => {
+                                return ::core::result::Result::Err(
+                                    $crate::test_runner::TestCaseError::Reject,
+                                );
+                            }
+                        };
+                    )+
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body; on failure the case fails
+/// with the formatted message (no process abort, so the runner can report
+/// the case index).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(::std::format!(
+                            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                            __l,
+                            __r
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(::std::format!(
+                            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                            __l,
+                            __r,
+                            ::std::format!($($fmt)+)
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(::std::format!(
+                            "assertion failed: `(left != right)`\n  both: `{:?}`",
+                            __l
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}

@@ -1,0 +1,235 @@
+//! The `Strategy` trait, combinators, and range/tuple strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value` (subset of
+/// `proptest::strategy::Strategy`).
+///
+/// `generate` returns `None` when a `prop_filter` rejects the drawn value;
+/// the runner retries with fresh randomness.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value, or `None` if the value was filtered out.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, then generates from the strategy it
+    /// maps to (for dependent inputs, e.g. dims then matching data).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects generated values failing the predicate; `whence` labels the
+    /// filter in exhaustion errors.
+    fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            _whence: whence.into(),
+            f,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(self),
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T::Value> {
+        let mid = self.inner.generate(rng)?;
+        (self.f)(mid).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    _whence: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// See [`Strategy::boxed`]: a type-erased, cheaply clonable strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        self.inner.generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value (stand-in for
+/// `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                Some((self.start as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return Some(rng.next_u64() as $t);
+                }
+                Some((lo as i128 + rng.below(span + 1) as i128) as $t)
+            }
+        }
+    )*};
+}
+int_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.unit_f64() as $t;
+                Some(self.start + u * (self.end - self.start))
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($s,)+) = self;
+                Some(($($s.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let v = (3usize..9).generate(&mut rng).unwrap();
+            assert!((3..9).contains(&v));
+            let f = (-2.0f32..4.0).generate(&mut rng).unwrap();
+            assert!((-2.0..4.0).contains(&f));
+            let i = (0i32..=5).generate(&mut rng).unwrap();
+            assert!((0..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let strat = (1usize..4, 1usize..4)
+            .prop_flat_map(|(r, c)| {
+                crate::collection::vec(0u32..10, r * c).prop_map(move |v| (r, c, v))
+            })
+            .prop_filter("non-trivial", |(r, c, _)| r * c > 1);
+        let mut rng = TestRng::new(2);
+        let mut accepted = 0;
+        for _ in 0..200 {
+            if let Some((r, c, v)) = strat.generate(&mut rng) {
+                assert_eq!(v.len(), r * c);
+                assert!(r * c > 1);
+                accepted += 1;
+            }
+        }
+        assert!(accepted > 50);
+    }
+}

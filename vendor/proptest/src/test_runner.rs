@@ -1,0 +1,160 @@
+//! Deterministic case runner and RNG for the proptest stand-in.
+
+/// How many cases each property runs (subset of `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps whole-engine properties fast
+        // while still exercising a meaningful input distribution.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The strategy (a `prop_filter`) rejected the input; the runner retries
+    /// without counting the case.
+    Reject,
+    /// A `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection (input filtered out).
+    pub fn reject(_msg: impl Into<String>) -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Deterministic splitmix64 generator driving strategy generation.
+///
+/// Seeded from the test's name so every property gets an independent but
+/// reproducible stream; there is no `PROPTEST_SEED`-style perturbation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5851_F42D_4C95_7F2D,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `u64` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is undefined");
+        self.next_u64() % n
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs one property: keeps generating inputs until `config.cases` cases
+/// pass, retrying (bounded) on filter rejections and panicking on the first
+/// failure.
+pub fn run<F>(config: &ProptestConfig, name: &str, f: F)
+where
+    F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::new(fnv1a(name));
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    let max_rejects = config.cases as u64 * 64 + 1024;
+    while passed < config.cases {
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "property `{name}`: strategy rejected {rejected} inputs \
+                     before reaching {} passing cases — filter too strict",
+                    config.cases
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` failed at case {passed}: {msg}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(9);
+        let mut b = TestRng::new(9);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn run_counts_cases() {
+        let mut calls = 0u32;
+        let calls_ptr = std::cell::Cell::new(0u32);
+        run(&ProptestConfig::with_cases(10), "counting", |_rng| {
+            calls_ptr.set(calls_ptr.get() + 1);
+            Ok(())
+        });
+        calls += calls_ptr.get();
+        assert_eq!(calls, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn run_panics_on_failure() {
+        run(&ProptestConfig::with_cases(5), "failing", |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

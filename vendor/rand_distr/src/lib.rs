@@ -1,0 +1,159 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides the `Distribution` trait plus `Normal` and `LogNormal` — the
+//! only distributions this workspace samples — implemented with the
+//! Box-Muller transform over the vendored `rand` generator.
+
+use rand::{Rng, RngCore};
+
+/// Types that can draw samples from an RNG (subset of
+/// `rand_distr::Distribution`).
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// Mean was non-finite.
+    MeanTooSmall,
+    /// Standard deviation was negative or non-finite.
+    BadVariance,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::MeanTooSmall => write!(f, "mean is invalid"),
+            NormalError::BadVariance => write!(f, "standard deviation is invalid"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Float types Box-Muller sampling is implemented for.
+pub trait BoxMullerFloat: Copy {
+    /// One standard-normal draw.
+    fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    /// `self * b + c`.
+    fn mul_add_(self, b: Self, c: Self) -> Self;
+    /// `exp(self)`.
+    fn exp_(self) -> Self;
+    /// Whether the value is finite.
+    fn finite(self) -> bool;
+    /// Whether the value is `>= 0`.
+    fn non_negative(self) -> bool;
+}
+
+macro_rules! box_muller_float {
+    ($t:ty) => {
+        impl BoxMullerFloat for $t {
+            fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                // Box-Muller: u1 in (0, 1] so ln(u1) is finite.
+                let u1: f64 = 1.0 - rng.gen::<f64>();
+                let u2: f64 = rng.gen::<f64>();
+                ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as $t
+            }
+            fn mul_add_(self, b: Self, c: Self) -> Self {
+                self * b + c
+            }
+            fn exp_(self) -> Self {
+                self.exp()
+            }
+            fn finite(self) -> bool {
+                self.is_finite()
+            }
+            fn non_negative(self) -> bool {
+                self >= 0.0
+            }
+        }
+    };
+}
+box_muller_float!(f32);
+box_muller_float!(f64);
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: BoxMullerFloat> Normal<F> {
+    /// Creates a normal distribution; errors on negative or non-finite
+    /// standard deviation.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if !mean.finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !(std_dev.finite() && std_dev.non_negative()) {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl<F: BoxMullerFloat> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        F::standard_normal(rng).mul_add_(self.std_dev, self.mean)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F> {
+    norm: Normal<F>,
+}
+
+impl<F: BoxMullerFloat> LogNormal<F> {
+    /// Creates a log-normal distribution from the parameters of the
+    /// underlying normal; errors on negative or non-finite `sigma`.
+    pub fn new(mu: F, sigma: F) -> Result<Self, NormalError> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl<F: BoxMullerFloat> Distribution<F> for LogNormal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        self.norm.sample(rng).exp_()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = Normal::new(3.0f64, 2.0).unwrap();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dist = LogNormal::new(0.0f64, 1.0).unwrap();
+        for _ in 0..1000 {
+            assert!(dist.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(0.0f32, f32::NAN).is_err());
+        assert!(LogNormal::new(0.0f64, -0.5).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only ever writes `use serde::{Deserialize, Serialize}` and
+//! derives the pair; no serde data format is in the dependency tree, so the
+//! traits here are markers with blanket implementations and the re-exported
+//! derives (from the vendored `serde_derive`) expand to nothing. Swapping
+//! the real serde back in requires no source changes — only removing the
+//! `[patch.crates-io]` entries.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization-side items (`serde::de`).
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

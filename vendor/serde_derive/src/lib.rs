@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde_derive` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and result
+//! structs but never serializes them through a serde format crate (results
+//! are written with hand-rolled JSON in `atom-bench`). These derives
+//! therefore emit no code; the vendored `serde` crate provides blanket
+//! implementations of the marker traits so bounds still hold.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
