@@ -8,6 +8,7 @@
 //! zero leaked KV blocks) and emits both an aligned text table and a JSON
 //! report to `results/`.
 
+#![forbid(unsafe_code)]
 use atom::pipeline::{AtomScheme, Scheme};
 use atom::{Calibration, QuantizedKvCache};
 use atom_nn::kv::Fp32KvCache;
@@ -63,7 +64,7 @@ fn main() {
         } else {
             SubmitOptions::new(max_new).with_deadline(12 + i)
         };
-        let prompt: Vec<u16> = (0..len).map(|t| ((i * 31 + t * 7) % 96) as u16).collect();
+        let prompt: Vec<u16> = (0..len).map(|t| atom_tensor::cast::usize_to_u16_saturating((i * 31 + t * 7) % 96)).collect();
         let _ = engine.submit_with(prompt, opts);
         submitted += 1;
     }

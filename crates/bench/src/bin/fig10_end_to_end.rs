@@ -6,6 +6,7 @@
 //! up to 7.73x FP16 and 2.53x W8A8 throughput while staying under the
 //! 100 ms/token latency target even at batch 256.
 
+#![forbid(unsafe_code)]
 use atom_data::WorkloadSpec;
 use atom_gpu_sim::{HardwareProfile, LlamaGpuConfig, MemoryModel, SimScheme};
 use atom_serve::ServingSimulator;

@@ -7,6 +7,7 @@
 //! INT8; attention throughput scales ~linearly with KV compression, 3.5x
 //! FP16 and 1.8x INT8 at batch 128.
 
+#![forbid(unsafe_code)]
 use atom_gpu_sim::cost::{op_time, ComputeKind, Op};
 use atom_gpu_sim::{HardwareProfile, SimScheme};
 use std::fmt::Write as _;

@@ -16,6 +16,7 @@
 //! Exits non-zero if the breakdown components cover less than 95% of the
 //! measured wall time (the instrumentation would be missing a hot path).
 
+#![forbid(unsafe_code)]
 use atom::pipeline::{AtomScheme, Scheme};
 use atom::{AnyLinear, Calibration};
 use atom_gpu_sim::{HardwareProfile, LlamaGpuConfig, Phase, SimScheme};
@@ -51,7 +52,7 @@ fn run_workload(model: LlamaModel<AnyLinear>) -> RunStats {
     for i in 0..REQUESTS {
         let len = 8 + (i * 5) % 17;
         let max_new = 8 + (i * 3) % 9;
-        let prompt: Vec<u16> = (0..len).map(|t| ((i * 13 + t * 7) % 96) as u16).collect();
+        let prompt: Vec<u16> = (0..len).map(|t| atom_tensor::cast::usize_to_u16_saturating((i * 13 + t * 7) % 96)).collect();
         engine.submit(prompt, max_new).expect("admission under a roomy pool");
     }
     let start = Instant::now();

@@ -24,6 +24,7 @@
 //! measure the *real CPU kernels* (packed GEMM, quantized-KV attention,
 //! dynamic quantization, serving-simulator steps).
 
+#![forbid(unsafe_code)]
 use atom::Calibration;
 use atom_nn::{zoo, DenseLinear, LlamaModel};
 use std::fmt::Write as _;

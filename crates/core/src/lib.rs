@@ -46,6 +46,7 @@
 //! assert!(ppl.is_finite());
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod baselines;
 pub mod calibrate;
 pub mod clip;

@@ -278,7 +278,7 @@ impl LinearLayer for QuantizedLinear {
         // before the fused GEMM starts.
         let t = Telemetry::global();
         let quant_timer = t.timer(names::OP_QUANT_WALL_NS);
-        let quant_span = span!("quant_epilogue", rows = x.rows());
+        let quant_span = span!(names::SPAN_QUANT_EPILOGUE, rows = x.rows());
         t.counter_add(names::OP_QUANT_CALLS, 1);
         let xp = self.plan.reorder_activation(x);
         let n_out = self.plan.n_outliers();

@@ -29,6 +29,7 @@
 //! assert_eq!(tok.decode(&ids), corpus.text());
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod corpus;
 pub mod tasks;
 pub mod tokenizer;

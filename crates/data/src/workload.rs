@@ -7,6 +7,7 @@
 //! parametric model: log-normal single-round lengths (the published ShareGPT
 //! fits), a geometric number of conversation rounds, and Poisson arrivals.
 
+use atom_tensor::cast;
 use atom_tensor::SeededRng;
 use serde::{Deserialize, Serialize};
 
@@ -93,7 +94,7 @@ impl WorkloadSpec {
             let base_prefill = (rng.lognormal_f64(self.prefill_mu, self.prefill_sigma) as usize).max(4);
             let decode = (rng.lognormal_f64(self.decode_mu, self.decode_sigma) as usize).clamp(1, self.max_context / 2);
             let mut prefill = base_prefill;
-            if !history.is_empty() && rng.uniform_f32() < self.continuation_prob as f32 {
+            if !history.is_empty() && rng.uniform_f32() < cast::f64_to_f32(self.continuation_prob) {
                 // Concatenate all previous prompts and responses (§5.3.2).
                 let prior = history[rng.below(history.len())];
                 prefill += prior;

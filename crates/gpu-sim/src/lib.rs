@@ -20,6 +20,7 @@
 //!
 //! Everything is deterministic arithmetic; no randomness, no wall clocks.
 
+#![forbid(unsafe_code)]
 pub mod ablation;
 pub mod cost;
 pub mod graph;

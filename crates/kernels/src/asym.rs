@@ -112,12 +112,10 @@ impl AsymQuantized {
         let mut out = Matrix::zeros(self.rows(), self.cols());
         let mut buf = vec![0i8; self.cols()];
         let bias = (1i16 << (self.bits - 1)) as f32;
-        for r in 0..self.rows() {
+        for (r, (&s, &lo)) in self.scales.iter().zip(self.mins.iter()).enumerate() {
             self.codes.unpack_row(r, &mut buf);
-            let s = self.scales[r];
-            let lo = self.mins[r];
             for (d, &q) in out.row_mut(r).iter_mut().zip(buf.iter()) {
-                *d = lo + s * (q as f32 + bias);
+                *d = lo + s * (f32::from(q) + bias);
             }
         }
         out
@@ -128,16 +126,21 @@ impl AsymQuantized {
     ///
     /// # Panics
     ///
-    /// Panics if `out.len() != self.cols()`.
+    /// Panics if `out.len() != self.cols()`. A row index out of range is a
+    /// caller bug: it trips a debug assertion under test and writes zeros in
+    /// release builds.
     pub fn dequantize_row_into(&self, r: usize, out: &mut [f32]) {
         assert_eq!(out.len(), self.cols(), "buffer size mismatch");
+        let (Some(&s), Some(&lo)) = (self.scales.get(r), self.mins.get(r)) else {
+            debug_assert!(false, "row {r} out of range");
+            out.fill(0.0);
+            return;
+        };
         let mut buf = vec![0i8; self.cols()];
         self.codes.unpack_row(r, &mut buf);
         let bias = (1i16 << (self.bits - 1)) as f32;
-        let s = self.scales[r];
-        let lo = self.mins[r];
         for (d, &q) in out.iter_mut().zip(buf.iter()) {
-            *d = lo + s * (q as f32 + bias);
+            *d = lo + s * (f32::from(q) + bias);
         }
     }
 

@@ -70,7 +70,7 @@ pub fn attention_quant_kv(q: &Matrix, kv: &QuantizedKvHead, scale: f32) -> Matri
     let bytes = kv.packed_bytes() as u64;
     let t = Telemetry::global();
     let _timer = t.timer(names::OP_ATTENTION_WALL_NS);
-    let _span = span!("attention_quant_kv", bytes = bytes, kv_len = kv_len);
+    let _span = span!(names::SPAN_ATTENTION_QUANT_KV, bytes = bytes, kv_len = kv_len);
     t.counter_add(names::OP_ATTENTION_BYTES, bytes);
     t.counter_add(names::OP_ATTENTION_CALLS, 1);
 
@@ -84,6 +84,7 @@ pub fn attention_quant_kv(q: &Matrix, kv: &QuantizedKvHead, scale: f32) -> Matri
             for (a, b) in q.row(i).iter().zip(krow.iter()) {
                 dot += a * b;
             }
+            // lint: allow(panic-freedom) — i < q.rows() and t < kv_len are exactly the dimensions `scores` was constructed with
             scores[(i, t)] = dot * scale;
         }
     }
@@ -95,6 +96,7 @@ pub fn attention_quant_kv(q: &Matrix, kv: &QuantizedKvHead, scale: f32) -> Matri
     for t in 0..kv_len {
         kv.values.dequantize_row_into(t, &mut vrow);
         for i in 0..q.rows() {
+            // lint: allow(panic-freedom) — probs is softmax(scores) and shares its constructed dimensions
             let p = probs[(i, t)];
             if p == 0.0 {
                 continue;

@@ -27,16 +27,17 @@ use atom_tensor::Matrix;
 pub fn int_gemm_i32(a: &[i8], b_t: &[i8], m: usize, n: usize, k: usize) -> Vec<i32> {
     assert_eq!(a.len(), m * k, "a size mismatch");
     assert_eq!(b_t.len(), n * k, "b size mismatch");
+    // `chunks_exact` walks the row-major operands without bounds checks;
+    // `k.max(1)` keeps the chunk size legal when k == 0 (both inputs are
+    // then empty and the all-zero output is already correct).
     let mut out = vec![0i32; m * n];
-    for i in 0..m {
-        let ar = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let br = &b_t[j * k..(j + 1) * k];
-            let mut acc = 0i32;
-            for (&x, &w) in ar.iter().zip(br.iter()) {
-                acc += x as i32 * w as i32;
-            }
-            out[i * n + j] = acc;
+    for (ar, out_row) in a.chunks_exact(k.max(1)).zip(out.chunks_mut(n.max(1))) {
+        for (br, o) in b_t.chunks_exact(k.max(1)).zip(out_row.iter_mut()) {
+            *o = ar
+                .iter()
+                .zip(br)
+                .map(|(&x, &w)| i32::from(x) * i32::from(w))
+                .sum();
         }
     }
     out
@@ -71,12 +72,11 @@ pub fn fused_group_gemm(a: &GroupQuantized, w: &GroupQuantized) -> Result<Matrix
     }
     let (m, n, k) = (a.rows(), w.rows(), a.cols());
     let group = group_a;
-    let n_groups = a.scales().cols();
 
     let bytes = (a.packed_bytes() + w.packed_bytes()) as u64;
     let t = Telemetry::global();
     let _timer = t.timer(names::OP_GEMM_WALL_NS);
-    let _span = span!("gemm_w4a4", bytes = bytes, rows = m);
+    let _span = span!(names::SPAN_GEMM_W4A4, bytes = bytes, rows = m);
     t.counter_add(names::OP_GEMM_BYTES, bytes);
     t.counter_add(names::OP_GEMM_ROWS, m as u64);
     t.counter_add(names::OP_GEMM_CALLS, 1);
@@ -88,26 +88,36 @@ pub fn fused_group_gemm(a: &GroupQuantized, w: &GroupQuantized) -> Result<Matrix
     let a_scales = a.scales();
     let w_scales = w.scales();
 
+    // The loop nest walks both operands as K-sized rows and both scale
+    // matrices as group-aligned rows; `chunks`/`zip` make every access
+    // bounds-check-free and total (`scales` has one column per K-group, so
+    // the group walk is bounded exactly as before).
+    let group = group.max(1);
     let mut out = Matrix::zeros(m, n);
-    for i in 0..m {
-        let ar = &av[i * k..(i + 1) * k];
+    for (i, ar) in av.chunks_exact(k.max(1)).enumerate().take(m) {
+        let sa = a_scales.row(i);
         let out_row = out.row_mut(i);
-        for j in 0..n {
-            let br = &wv[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for g in 0..n_groups {
-                let start = g * group;
-                let end = (start + group).min(k);
-                // Step 1: low-bit integer MMA with i32 accumulation.
-                let mut iacc = 0i32;
-                for idx in start..end {
-                    iacc += ar[idx] as i32 * br[idx] as i32;
-                }
-                // Steps 2+3: dequantize the group's partial result and
-                // accumulate in FP32, in place.
-                acc += iacc as f32 * a_scales[(i, g)] * w_scales[(j, g)];
-            }
-            out_row[j] = acc;
+        for ((br, sw_row), o) in wv
+            .chunks_exact(k.max(1))
+            .zip(w_scales.iter_rows())
+            .zip(out_row.iter_mut())
+        {
+            *o = ar
+                .chunks(group)
+                .zip(br.chunks(group))
+                .zip(sa.iter().zip(sw_row))
+                .map(|((ga, gw), (&scale_a, &scale_w))| {
+                    // Step 1: low-bit integer MMA with i32 accumulation.
+                    let iacc: i32 = ga
+                        .iter()
+                        .zip(gw)
+                        .map(|(&x, &w)| i32::from(x) * i32::from(w))
+                        .sum();
+                    // Steps 2+3: dequantize the group's partial result and
+                    // accumulate in FP32, in place.
+                    iacc as f32 * scale_a * scale_w
+                })
+                .sum();
         }
     }
     Ok(out)

@@ -105,6 +105,7 @@ impl GroupQuantized {
     ///
     /// Panics if the spec is invalid.
     pub fn quantize(x: &Matrix, spec: QuantSpec) -> Self {
+        // lint: allow(panic-freedom) — documented `# Panics` contract: an invalid spec is a programmer error, not a data condition
         spec.validate().expect("invalid quant spec");
         let (rows, cols) = x.shape();
         let group = spec.group.min(cols.max(1));
@@ -116,24 +117,22 @@ impl GroupQuantized {
         let mut values = PackedMatrix::zeros(rows, cols, spec.bits);
         let mut scales = Matrix::zeros(rows, n_groups);
         for r in 0..rows {
+            // `chunks(group)` walks exactly the `n_groups` per-row groups
+            // (final chunk ragged), so the group index never leaves range.
             let row = x.row(r);
-            for g in 0..n_groups {
-                let start = g * group;
-                let end = (start + group).min(cols);
-                let amax = row[start..end]
-                    .iter()
-                    .fold(0.0f32, |m, &v| m.max(v.abs()));
+            let scale_row = scales.row_mut(r);
+            for (g, (chunk, s_out)) in row.chunks(group).zip(scale_row.iter_mut()).enumerate() {
+                let amax = chunk.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
                 // Paper §2: s = 2 max|X| c / (2^n - 1).
                 let mut s = 2.0 * amax * spec.clip / levels;
                 if s <= 0.0 {
                     s = 1.0; // all-zero group: any scale decodes to zeros
                 }
                 s = round_f16(s).max(f32::MIN_POSITIVE);
-                scales[(r, g)] = s;
-                #[allow(clippy::needless_range_loop)] // c also indexes the payload
-                for c in start..end {
-                    let q = (row[c] / s).round().clamp(qmin, qmax_pos) as i8;
-                    values.set(r, c, q);
+                *s_out = s;
+                for (off, &v) in chunk.iter().enumerate() {
+                    let q = (v / s).round().clamp(qmin, qmax_pos) as i8;
+                    values.set(r, g * group + off, q);
                 }
             }
         }
@@ -176,6 +175,7 @@ impl GroupQuantized {
     ///
     /// Panics if shapes disagree with the spec.
     pub fn from_parts(spec: QuantSpec, values: PackedMatrix, scales: Matrix) -> Self {
+        // lint: allow(panic-freedom) — documented `# Panics` contract: an invalid spec is a programmer error, not a data condition
         spec.validate().expect("invalid quant spec");
         assert_eq!(values.bits(), spec.bits, "payload bit width mismatch");
         assert_eq!(scales.rows(), values.rows(), "scale rows mismatch");
@@ -200,6 +200,7 @@ impl GroupQuantized {
     /// Panics if `scales.len()` does not match the group count or contains
     /// non-positive values.
     pub fn quantize_with_shared_scales(x: &Matrix, spec: QuantSpec, shared: &[f32]) -> Self {
+        // lint: allow(panic-freedom) — documented `# Panics` contract: an invalid spec is a programmer error, not a data condition
         spec.validate().expect("invalid quant spec");
         let (rows, cols) = x.shape();
         let group = spec.group.min(cols.max(1));
@@ -212,15 +213,18 @@ impl GroupQuantized {
         let mut scales = Matrix::zeros(rows, n_groups);
         for r in 0..rows {
             let row = x.row(r);
-            for g in 0..n_groups {
-                let s = round_f16(shared[g]).max(f32::MIN_POSITIVE);
-                scales[(r, g)] = s;
-                let start = g * group;
-                let end = (start + group).min(cols);
-                #[allow(clippy::needless_range_loop)] // c also indexes the payload
-                for c in start..end {
-                    let q = (row[c] / s).round().clamp(qmin, qmax_pos) as i8;
-                    values.set(r, c, q);
+            let scale_row = scales.row_mut(r);
+            for (g, ((chunk, s_out), &shared_s)) in row
+                .chunks(group)
+                .zip(scale_row.iter_mut())
+                .zip(shared)
+                .enumerate()
+            {
+                let s = round_f16(shared_s).max(f32::MIN_POSITIVE);
+                *s_out = s;
+                for (off, &v) in chunk.iter().enumerate() {
+                    let q = (v / s).round().clamp(qmin, qmax_pos) as i8;
+                    values.set(r, g * group + off, q);
                 }
             }
         }
@@ -239,17 +243,17 @@ impl GroupQuantized {
         let group = spec.group.min(cols.max(1));
         let n_groups = spec.groups_for(cols);
         let levels = ((1i32 << spec.bits) - 1) as f32;
-        (0..n_groups)
-            .map(|g| {
-                let start = g * group;
-                let end = (start + group).min(cols);
-                let mut amax = 0.0f32;
-                for r in 0..sample.rows() {
-                    for &v in &sample.row(r)[start..end] {
-                        amax = amax.max(v.abs());
-                    }
+        let mut amax = vec![0.0f32; n_groups];
+        for row in sample.iter_rows() {
+            for (m, chunk) in amax.iter_mut().zip(row.chunks(group.max(1))) {
+                for &v in chunk {
+                    *m = m.max(v.abs());
                 }
-                let s = 2.0 * amax * spec.clip / levels;
+            }
+        }
+        amax.into_iter()
+            .map(|a| {
+                let s = 2.0 * a * spec.clip / levels;
                 round_f16(if s > 0.0 { s } else { 1.0 }).max(f32::MIN_POSITIVE)
             })
             .collect()
@@ -264,9 +268,15 @@ impl GroupQuantized {
         for r in 0..rows {
             self.values.unpack_row(r, &mut buf);
             let dst = out.row_mut(r);
-            for (c, (&q, d)) in buf.iter().zip(dst.iter_mut()).enumerate() {
-                let s = self.scales[(r, c / group)];
-                *d = q as f32 * s;
+            let scale_row = self.scales.row(r);
+            for ((qchunk, dchunk), &s) in buf
+                .chunks(group)
+                .zip(dst.chunks_mut(group))
+                .zip(scale_row)
+            {
+                for (&q, d) in qchunk.iter().zip(dchunk) {
+                    *d = f32::from(q) * s;
+                }
             }
         }
         out

@@ -21,6 +21,7 @@
 //! the quantization *algorithms* (outlier selection, reordering, GPTQ,
 //! clipping search) live in the `atom` crate and produce these containers.
 
+#![forbid(unsafe_code)]
 pub mod asym;
 pub mod attention;
 pub mod gemm;

@@ -68,9 +68,9 @@ impl PackedMatrix {
     pub fn from_values(rows: usize, cols: usize, bits: u8, values: &[i8]) -> Self {
         assert_eq!(values.len(), rows * cols, "value count mismatch");
         let mut m = Self::zeros(rows, cols, bits);
-        for r in 0..rows {
-            for c in 0..cols {
-                m.set(r, c, values[r * cols + c]);
+        for (r, row) in values.chunks(cols.max(1)).enumerate().take(rows) {
+            for (c, &v) in row.iter().enumerate() {
+                m.set(r, c, v);
             }
         }
         m
@@ -117,10 +117,11 @@ impl PackedMatrix {
         let bit_off = c * bits;
         let byte = r * self.row_stride + bit_off / 8;
         let shift = bit_off % 8;
-        // Read up to 16 bits covering the window.
-        let lo = self.data[byte] as u16;
+        // Read up to 16 bits covering the window. The asserted index bounds
+        // plus the row-stride allocation keep the window inside `data`.
+        let lo = self.data[byte] as u16; // lint: allow(panic-freedom) — byte = r*stride + c*bits/8 < data.len() by the asserted bounds
         let hi = if shift + bits > 8 {
-            self.data[byte + 1] as u16
+            self.data[byte + 1] as u16 // lint: allow(panic-freedom) — a straddling window implies the stride has a following byte
         } else {
             0
         };
@@ -148,14 +149,14 @@ impl PackedMatrix {
         let byte = r * self.row_stride + bit_off / 8;
         let shift = bit_off % 8;
         let mask = ((1u16 << bits) - 1) << shift;
-        let mut window = self.data[byte] as u16;
+        let mut window = self.data[byte] as u16; // lint: allow(panic-freedom) — byte = r*stride + c*bits/8 < data.len() by the asserted bounds
         if shift + bits > 8 {
-            window |= (self.data[byte + 1] as u16) << 8;
+            window |= (self.data[byte + 1] as u16) << 8; // lint: allow(panic-freedom) — a straddling window implies the stride has a following byte
         }
         window = (window & !mask) | (raw << shift);
-        self.data[byte] = (window & 0xFF) as u8;
+        self.data[byte] = (window & 0xFF) as u8; // lint: allow(panic-freedom) — same window as the read above
         if shift + bits > 8 {
-            self.data[byte + 1] = (window >> 8) as u8;
+            self.data[byte + 1] = (window >> 8) as u8; // lint: allow(panic-freedom) — same window as the read above
         }
     }
 
@@ -166,25 +167,39 @@ impl PackedMatrix {
     ///
     /// # Panics
     ///
-    /// Panics if `out.len() != self.cols()`.
+    /// Panics if `out.len() != self.cols()`. A row index out of range is a
+    /// caller bug: it trips a debug assertion under test and writes zeros in
+    /// release builds.
     pub fn unpack_row(&self, r: usize, out: &mut [i8]) {
         assert_eq!(out.len(), self.cols, "unpack buffer size mismatch");
         let bits = self.bits as usize;
         let bias = 1i16 << (bits - 1);
         let mask = (1u16 << bits) - 1;
-        let row = &self.data[r * self.row_stride..(r + 1) * self.row_stride];
+        let Some(row) = self
+            .data
+            .get(r * self.row_stride..(r + 1) * self.row_stride)
+        else {
+            debug_assert!(false, "row {r} out of range");
+            out.fill(0);
+            return;
+        };
         match bits {
             8 => {
-                for (c, o) in out.iter_mut().enumerate() {
-                    *o = (row[c] as i16 - bias) as i8;
+                // One byte per value; a straight zip compiles to a
+                // bounds-check-free sweep.
+                for (o, &b) in out.iter_mut().zip(row) {
+                    *o = (i16::from(b) - bias) as i8;
                 }
             }
             4 => {
                 // Two values per byte: the canonical INT4 nibble layout.
-                for (c, o) in out.iter_mut().enumerate() {
-                    let b = row[c / 2];
-                    let raw = if c % 2 == 0 { b & 0x0F } else { b >> 4 };
-                    *o = (raw as i16 - bias) as i8;
+                // Each output pair draws from one row byte (the final chunk
+                // is a single element when `cols` is odd).
+                for (pair, &b) in out.chunks_mut(2).zip(row) {
+                    for (k, o) in pair.iter_mut().enumerate() {
+                        let raw = if k == 0 { b & 0x0F } else { b >> 4 };
+                        *o = (i16::from(raw) - bias) as i8;
+                    }
                 }
             }
             _ => {
@@ -192,9 +207,9 @@ impl PackedMatrix {
                     let bit_off = c * bits;
                     let byte = bit_off / 8;
                     let shift = bit_off % 8;
-                    let lo = row[byte] as u16;
+                    let lo = u16::from(row[byte]); // lint: allow(panic-freedom) — byte = c*bits/8 < row_stride because c < cols
                     let hi = if shift + bits > 8 {
-                        row[byte + 1] as u16
+                        u16::from(row[byte + 1]) // lint: allow(panic-freedom) — a straddling window implies the stride has a following byte
                     } else {
                         0
                     };
@@ -208,8 +223,12 @@ impl PackedMatrix {
     /// Unpacks the whole matrix into a row-major i8 buffer.
     pub fn unpack(&self) -> Vec<i8> {
         let mut out = vec![0i8; self.rows * self.cols];
-        for r in 0..self.rows {
-            self.unpack_row(r, &mut out[r * self.cols..(r + 1) * self.cols]);
+        for (r, chunk) in out
+            .chunks_mut(self.cols.max(1))
+            .enumerate()
+            .take(self.rows)
+        {
+            self.unpack_row(r, chunk);
         }
         out
     }

@@ -1,0 +1,18 @@
+//! Known-bad fixture for the `lint-directive` meta-rule: directives that
+//! are malformed, name unknown rules, or suppress nothing. Expected
+//! findings are asserted line-by-line in `tests/golden.rs`.
+
+pub fn missing_reason(v: &[u32]) -> u32 {
+    // lint: allow(panic-freedom)
+    v[0]
+}
+
+pub fn unknown_rule(v: &[u32]) -> u32 {
+    // lint: allow(no-such-rule) — the rule name is wrong
+    v.get(0).copied().unwrap_or(0)
+}
+
+pub fn stale_directive(v: &[u32]) -> u32 {
+    // lint: allow(panic-freedom) — this access is checked, so the directive is stale
+    v.get(0).copied().unwrap_or(0)
+}

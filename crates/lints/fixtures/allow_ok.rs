@@ -1,0 +1,16 @@
+//! Fixture exercising well-formed `lint: allow` directives: every
+//! violation below carries a justification, so the file must lint clean.
+
+pub fn justified_trailing(v: &[u32]) -> u32 {
+    v[0] // lint: allow(panic-freedom) — callers guarantee non-empty input by construction
+}
+
+pub fn justified_preceding(x: Option<u32>) -> u32 {
+    // lint: allow(panic-freedom) — invariant: x is Some by the state machine above
+    x.expect("state machine invariant")
+}
+
+pub fn justified_cast(n: usize) -> f32 {
+    // lint: allow(lossy-cast) — n is a bounded loop counter under 1000
+    n as f32
+}

@@ -1,0 +1,22 @@
+//! Known-bad fixture for the `lossy-cast` rule. Expected findings are
+//! asserted line-by-line in `tests/golden.rs` — keep line numbers stable.
+
+pub fn truncating(x: i64) -> i8 {
+    x as i8
+}
+
+pub fn rounding(n: usize) -> f32 {
+    n as f32
+}
+
+pub fn widening_is_fine(x: i8) -> i64 {
+    x as i64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fixture_casts_are_exempt() {
+        assert_eq!(300i64 as u16, 300u16);
+    }
+}

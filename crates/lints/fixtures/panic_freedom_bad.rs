@@ -1,0 +1,36 @@
+//! Known-bad fixture for the `panic-freedom` rule. Expected findings are
+//! asserted line-by-line in `tests/golden.rs` — keep line numbers stable.
+
+pub fn unwrap_site(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn expect_site(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn panic_site() {
+    panic!("boom");
+}
+
+pub fn todo_site() {
+    todo!()
+}
+
+pub fn index_site(v: &[u32], i: usize) -> u32 {
+    v[i]
+}
+
+pub fn checked_ok(v: &[u32], i: usize) -> u32 {
+    // Checked access and matches are fine.
+    v.get(i).copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), v[0]);
+    }
+}

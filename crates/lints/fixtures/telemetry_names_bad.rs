@@ -1,0 +1,19 @@
+//! Known-bad fixture for the `telemetry-names` rule. Expected findings are
+//! asserted line-by-line in `tests/golden.rs` — keep line numbers stable.
+//! The test supplies a names table declaring only `GOOD`.
+
+pub fn literal_metric(t: &atom_telemetry::Telemetry) {
+    t.counter_add("requests.total", 1);
+}
+
+pub fn literal_span() {
+    let _s = span!("decode_step", step = 1);
+}
+
+pub fn undeclared_const(t: &atom_telemetry::Telemetry) {
+    t.counter_add(names::NOT_DECLARED, 1);
+}
+
+pub fn proper_const(t: &atom_telemetry::Telemetry) {
+    t.counter_add(names::GOOD, 1);
+}

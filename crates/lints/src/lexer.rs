@@ -1,0 +1,451 @@
+//! A minimal Rust lexer: just enough token structure for line-oriented
+//! static checks.
+//!
+//! The lexer's one job is to make the rule passes immune to the classic
+//! text-scan failure modes: patterns inside string literals, inside
+//! comments, or split across lines. It produces a flat token stream (with
+//! line numbers) plus the comment list, and deliberately does **not** build
+//! a syntax tree — every rule in this crate is expressible over tokens,
+//! and a real parser would be a maintenance liability in a zero-dependency
+//! crate.
+
+/// Token classes the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `as`, `let`, ...).
+    Ident,
+    /// String literal of any flavor (`"..."`, `r#"..."#`, `b"..."`),
+    /// including the quotes.
+    StrLit,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    CharLit,
+    /// Numeric literal.
+    NumLit,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// Single punctuation character (`[`, `!`, `:`...). Multi-character
+    /// operators arrive as consecutive tokens.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+/// One comment (line or block, doc or plain) with the 1-based line it
+/// starts on and whether any code token shares that line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: usize,
+    pub text: String,
+}
+
+/// A lexed source file: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Whether any code token sits on `line`.
+    pub fn has_code_on(&self, line: usize) -> bool {
+        // Tokens are in line order; a binary search would work, but files
+        // are small enough that the scan never shows up in profiles.
+        self.tokens.iter().any(|t| t.line == line)
+    }
+
+    /// The first line at or after `line` that holds a code token.
+    pub fn next_code_line(&self, line: usize) -> Option<usize> {
+        self.tokens.iter().map(|t| t.line).find(|&l| l >= line)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens and comments. Unterminated constructs are
+/// tolerated (the remainder of the file is consumed) — the lint must never
+/// crash on the code it is judging.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = chars.len();
+
+    let bump_lines = |s: &[char]| s.iter().filter(|&&c| c == '\n').count();
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers /// and //! doc comments).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: chars[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Block comment, possibly nested (Rust nests them).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            line += bump_lines(&chars[start..i.min(n)]);
+            out.comments.push(Comment {
+                line: start_line,
+                text: chars[start..i.min(n)].iter().collect(),
+            });
+            continue;
+        }
+        // Raw / byte string prefixes: r"..", r#".."#, br"..", b"..".
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (prefix_len, is_raw) = match (c, chars[i + 1]) {
+                ('r', '"') | ('r', '#') => (1, true),
+                ('b', '"') => (1, false),
+                ('b', 'r') if i + 2 < n && (chars[i + 2] == '"' || chars[i + 2] == '#') => {
+                    (2, true)
+                }
+                ('b', '\'') => {
+                    // Byte char literal b'x'.
+                    let start = i;
+                    i += 2;
+                    while i < n && chars[i] != '\'' {
+                        if chars[i] == '\\' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    i = (i + 1).min(n);
+                    out.tokens.push(Token {
+                        kind: TokKind::CharLit,
+                        text: chars[start..i.min(n)].iter().collect(),
+                        line,
+                    });
+                    continue;
+                }
+                _ => (0, false),
+            };
+            if prefix_len > 0 {
+                let start = i;
+                let start_line = line;
+                i += prefix_len;
+                if is_raw {
+                    let mut hashes = 0;
+                    while i < n && chars[i] == '#' {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if i < n && chars[i] == '"' {
+                        i += 1;
+                        'raw: while i < n {
+                            if chars[i] == '"' {
+                                let mut j = i + 1;
+                                let mut seen = 0;
+                                while j < n && chars[j] == '#' && seen < hashes {
+                                    seen += 1;
+                                    j += 1;
+                                }
+                                if seen == hashes {
+                                    i = j;
+                                    break 'raw;
+                                }
+                            }
+                            i += 1;
+                        }
+                        line += bump_lines(&chars[start..i.min(n)]);
+                        out.tokens.push(Token {
+                            kind: TokKind::StrLit,
+                            text: chars[start..i.min(n)].iter().collect(),
+                            line: start_line,
+                        });
+                        continue;
+                    }
+                    // `r#ident` raw identifier or lone r/b: rewind and fall
+                    // through to the identifier path.
+                    i = start;
+                } else {
+                    // b"..." cooked byte string.
+                    i += 1; // opening quote
+                    while i < n && chars[i] != '"' {
+                        if chars[i] == '\\' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    i = (i + 1).min(n);
+                    line += bump_lines(&chars[start..i.min(n)]);
+                    out.tokens.push(Token {
+                        kind: TokKind::StrLit,
+                        text: chars[start..i.min(n)].iter().collect(),
+                        line: start_line,
+                    });
+                    continue;
+                }
+            }
+        }
+        // Plain string literal.
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < n && chars[i] != '"' {
+                if chars[i] == '\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i = (i + 1).min(n);
+            line += bump_lines(&chars[start..i.min(n)]);
+            out.tokens.push(Token {
+                kind: TokKind::StrLit,
+                text: chars[start..i.min(n)].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Lifetime, loop label, or char literal.
+        if c == '\'' {
+            // 'a' is a char literal; 'a (no closing quote) is a lifetime.
+            let is_char = if i + 1 < n && chars[i + 1] == '\\' {
+                true
+            } else {
+                i + 2 < n && is_ident_continue(chars[i + 1]) && {
+                    // Scan the identifier; a closing quote right after makes
+                    // it a char literal ('x'), otherwise it is a lifetime.
+                    let mut j = i + 1;
+                    while j < n && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    j < n && chars[j] == '\''
+                }
+            };
+            let start = i;
+            if is_char {
+                i += 1;
+                while i < n && chars[i] != '\'' {
+                    if chars[i] == '\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                out.tokens.push(Token {
+                    kind: TokKind::CharLit,
+                    text: chars[start..i.min(n)].iter().collect(),
+                    line,
+                });
+            } else {
+                i += 1;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Identifier or keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Number. A `.` joins only when followed by a digit, so `0..n`
+        // lexes as `0`, `.`, `.`, `n`.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n
+                && (is_ident_continue(chars[i])
+                    || (chars[i] == '.' && i + 1 < n && chars[i + 1].is_ascii_digit()))
+            {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::NumLit,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Everything else: one punctuation character per token.
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Line ranges (inclusive) covered by `#[cfg(test)]` items — test modules
+/// and test-only items the rules must skip.
+pub fn cfg_test_ranges(lexed: &Lexed) -> Vec<(usize, usize)> {
+    let toks = &lexed.tokens;
+    let mut ranges = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].text != "cfg" || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let prev_ok = i >= 2 && toks[i - 1].text == "[" && toks[i - 2].text == "#";
+        let next_ok = i + 3 < toks.len()
+            && toks[i + 1].text == "("
+            && toks[i + 2].text == "test"
+            && toks[i + 3].text == ")";
+        if !prev_ok || !next_ok {
+            continue;
+        }
+        let start_line = toks[i].line;
+        // Scan past the attribute's `]`, then to the item's first `{` or a
+        // terminating `;` (for brace-less items like `use`).
+        let mut j = i + 4;
+        while j < toks.len() && toks[j].text != "]" {
+            j += 1;
+        }
+        let mut end_line = start_line;
+        let mut depth = 0usize;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "{" => {
+                    depth += 1;
+                }
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end_line = toks[j].line;
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    end_line = toks[j].line;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= toks.len() {
+            end_line = toks.last().map(|t| t.line).unwrap_or(start_line);
+        }
+        ranges.push((start_line, end_line));
+    }
+    ranges
+}
+
+/// Whether `line` falls inside any of `ranges`.
+pub fn in_ranges(ranges: &[(usize, usize)], line: usize) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let lexed = lex(r#"let x = "unwrap() [0] // not code"; // real.unwrap()"#);
+        assert!(!lexed.tokens.iter().any(|t| t.text == "unwrap"));
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("real.unwrap()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::CharLit));
+    }
+
+    #[test]
+    fn ranges_lex_as_separate_numbers() {
+        let lexed = lex("for i in 0..10 {}");
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::NumLit)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10"]);
+    }
+
+    #[test]
+    fn cfg_test_module_span_detected() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() {}\n}\nfn c() {}\n";
+        let lexed = lex(src);
+        let ranges = cfg_test_ranges(&lexed);
+        assert_eq!(ranges, vec![(2, 5)]);
+        assert!(in_ranges(&ranges, 4));
+        assert!(!in_ranges(&ranges, 6));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let lexed = lex(r##"let s = r#"a "quoted" [x.unwrap()]"#;"##);
+        assert!(!lexed.tokens.iter().any(|t| t.text == "unwrap"));
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::StrLit)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let lexed = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert!(lexed.tokens.iter().any(|t| t.text == "fn"));
+        assert!(!lexed.tokens.iter().any(|t| t.text == "inner"));
+    }
+}

@@ -1,0 +1,64 @@
+//! `cargo run -p atom-lint` — walk the workspace, enforce the repo
+//! invariants, print findings as `file:line: rule: message`, and exit
+//! non-zero if anything is wrong.
+//!
+//! Usage: `atom-lint [--root <workspace-root>]` (the root is auto-detected
+//! from the current directory otherwise).
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("atom-lint [--root <workspace-root>]");
+                println!("rules: {}", atom_lint::ALL_RULES.join(", "));
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("atom-lint: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| atom_lint::find_workspace_root(&d))
+    });
+    let Some(root) = root else {
+        eprintln!("atom-lint: could not locate the workspace root (no Cargo.toml with [workspace])");
+        return ExitCode::FAILURE;
+    };
+
+    match atom_lint::lint_workspace(&root) {
+        Ok(report) => {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            if report.findings.is_empty() {
+                eprintln!(
+                    "atom-lint: workspace clean ({} files checked)",
+                    report.files_checked
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "atom-lint: {} finding(s) across {} files",
+                    report.findings.len(),
+                    report.files_checked
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("atom-lint: I/O error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Rule `lossy-cast`: truncating / sign-changing `as` casts are confined to
+//! the audited quantizer modules.
+//!
+//! Atom's accuracy story depends on bit-exact integer behavior: a stray
+//! `as i8` that silently truncates, or an `as f32` that rounds a count, is
+//! exactly the kind of bug that shifts a perplexity table by a tenth of a
+//! point with no test failing. The quantizer modules *must* perform such
+//! casts — that is their job — so they are allowlisted below after audit;
+//! everywhere else, code goes through the checked helpers in
+//! `atom_tensor::cast`, which encode the numeric contract (saturate, clamp,
+//! or debug-assert losslessness).
+//!
+//! Detection is textual (token `as` followed by a banned target type), so
+//! float→`usize`/`i64` casts are out of reach — the banned list covers the
+//! narrow targets where truncation bites in this codebase. Test code is
+//! exempt: fabricating fixtures with `(i % 96) as u16` is fine.
+
+use crate::lexer::{in_ranges, Lexed, TokKind};
+use crate::{FileCtx, Finding, RULE_LOSSY_CAST};
+
+/// Cast targets that can truncate or change signedness.
+const BANNED_TARGETS: &[&str] = &["i8", "u8", "i16", "u16", "i32", "f32"];
+
+/// Audited quantizer modules where low-bit casts are the point. Every entry
+/// here was reviewed for clamp-before-cast discipline:
+///
+/// * `kernels/*` — pack/unpack, group/asym quantize, fused GEMM, quantized
+///   KV attention: all casts sit after explicit `clamp`/`round` or inside
+///   bias arithmetic bounded by the bit width.
+/// * `tensor/f16.rs` — the f16 rounding shim is bit-twiddling by nature.
+/// * `tensor/cast.rs` — the checked-helper module itself: each cast there
+///   sits behind the contract (clamp/saturate/debug-assert) it exports.
+/// * `core/*` — the quantization algorithms (GPTQ, MX, calibration,
+///   baselines, the quantized linear layer) own the value-domain choices.
+const ALLOWLIST: &[&str] = &[
+    "crates/kernels/src/packed.rs",
+    "crates/kernels/src/group.rs",
+    "crates/kernels/src/asym.rs",
+    "crates/kernels/src/gemm.rs",
+    "crates/kernels/src/attention.rs",
+    "crates/tensor/src/f16.rs",
+    "crates/tensor/src/cast.rs",
+    "crates/core/src/gptq.rs",
+    "crates/core/src/mx.rs",
+    "crates/core/src/calibrate.rs",
+    "crates/core/src/baselines.rs",
+    "crates/core/src/qlinear.rs",
+];
+
+pub fn check(
+    ctx: &FileCtx,
+    lexed: &Lexed,
+    test_ranges: &[(usize, usize)],
+    findings: &mut Vec<Finding>,
+) {
+    if !ctx.kind.is_production() || ALLOWLIST.contains(&ctx.path.as_str()) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || t.text != "as" || in_ranges(test_ranges, t.line) {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        // `as i8` must be the whole target type: reject when part of a
+        // path/generic (e.g. `as u8 ::MAX` never parses that way in Rust,
+        // but `as f32` followed by `.` is still the cast we want).
+        if target.kind == TokKind::Ident && BANNED_TARGETS.contains(&target.text.as_str()) {
+            findings.push(Finding {
+                file: ctx.path.clone(),
+                line: t.line,
+                rule: RULE_LOSSY_CAST,
+                message: format!(
+                    "`as {}` can truncate or change signedness outside the audited \
+                     quantizer modules; use the checked helpers in `atom_tensor::cast`",
+                    target.text
+                ),
+            });
+        }
+    }
+}

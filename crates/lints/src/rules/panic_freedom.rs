@@ -1,0 +1,101 @@
+//! Rule `panic-freedom`: no panicking constructs in `crates/serve` or the
+//! kernel hot paths (`crates/kernels`).
+//!
+//! PR 1 converted the serving stack to typed errors — a panic there kills
+//! every in-flight request in the batch instead of failing one of them with
+//! a [`Terminal::Failed`]-style outcome. The kernels sit under the engine's
+//! forward path, so the same contract extends to them. Flagged:
+//!
+//! * `.unwrap()` / `.expect(...)` (but not `unwrap_or*`, which are total)
+//! * `panic!`, `todo!`, `unimplemented!`
+//! * unchecked slice/collection indexing `x[i]` (including range slicing
+//!   `x[a..b]` and tuple-index matrices `m[(r, c)]`)
+//!
+//! `assert!`/`debug_assert!` are deliberately *not* flagged: documented
+//! precondition checks at API boundaries are part of the typed contract,
+//! and `debug_assert!` compiles out of release builds.
+//!
+//! Test modules, `tests/`, `examples/`, and `benches/` are exempt — tests
+//! are supposed to panic on failure.
+
+use crate::lexer::{in_ranges, Lexed, TokKind};
+use crate::rules::KEYWORDS;
+use crate::{FileCtx, Finding, RULE_PANIC_FREEDOM};
+
+/// Crates covered by the panic-free contract.
+const SCOPED_CRATES: &[&str] = &["atom-serve", "atom-kernels"];
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+pub fn check(
+    ctx: &FileCtx,
+    lexed: &Lexed,
+    test_ranges: &[(usize, usize)],
+    findings: &mut Vec<Finding>,
+) {
+    if !SCOPED_CRATES.contains(&ctx.crate_name.as_str()) || !ctx.kind.is_production() {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if in_ranges(test_ranges, t.line) {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident => {
+                let next = toks.get(i + 1).map(|n| n.text.as_str());
+                let prev = i.checked_sub(1).and_then(|p| toks.get(p)).map(|p| p.text.as_str());
+                if (t.text == "unwrap" || t.text == "expect")
+                    && prev == Some(".")
+                    && next == Some("(")
+                {
+                    findings.push(Finding {
+                        file: ctx.path.clone(),
+                        line: t.line,
+                        rule: RULE_PANIC_FREEDOM,
+                        message: format!(
+                            "`.{}()` can panic at runtime; return a typed error or use a \
+                             checked/total alternative",
+                            t.text
+                        ),
+                    });
+                }
+                if PANIC_MACROS.contains(&t.text.as_str()) && next == Some("!") {
+                    findings.push(Finding {
+                        file: ctx.path.clone(),
+                        line: t.line,
+                        rule: RULE_PANIC_FREEDOM,
+                        message: format!(
+                            "`{}!` aborts the whole batch; surface a typed error instead",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            TokKind::Punct if t.text == "[" => {
+                // Indexing: `[` directly after an expression — an identifier
+                // (that is not a keyword), a closing paren/bracket, or `?`.
+                let Some(prev) = i.checked_sub(1).and_then(|p| toks.get(p)) else {
+                    continue;
+                };
+                let is_index = match prev.kind {
+                    TokKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+                    TokKind::Punct => matches!(prev.text.as_str(), ")" | "]" | "?"),
+                    _ => false,
+                };
+                if is_index {
+                    findings.push(Finding {
+                        file: ctx.path.clone(),
+                        line: t.line,
+                        rule: RULE_PANIC_FREEDOM,
+                        message: "unchecked indexing can panic; use `.get()`, iterators, or \
+                                  `chunks`/`zip` patterns (or justify with a lint allow)"
+                            .into(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Rule `telemetry-names`: recording call sites and `telemetry::names` stay
+//! in exact bijection.
+//!
+//! PR 2's `telemetry_report` gate compares the measured kernel breakdown
+//! against the roofline simulation **key-for-key**. A call site recording
+//! under a literal string (instead of a declared constant) silently drops
+//! out of that comparison; a declared constant nobody records makes the
+//! report claim coverage it does not have. Two checks:
+//!
+//! * **call-site check** (this file, per file): the name argument of
+//!   `counter_add(..)`, `gauge_set(..)`, `record(..)`, `timer(..)`,
+//!   `span(..)` and the `span!(..)` macro must not be a string literal —
+//!   it must come from `names::*`. Arguments that are neither literal nor
+//!   a `names::` path (locals, helper-function calls such as
+//!   `terminal_metric(..)`) are accepted; the helpers themselves reference
+//!   `names::` constants, which the usage scan below picks up.
+//! * **usage scan** (aggregated by the workspace pass): every `names::X`
+//!   reference in production code counts as a recording use of `X`; a
+//!   declared constant with zero uses is a finding. `crates/bench` is
+//!   excluded from the usage scan — report binaries *read* metrics by name,
+//!   and a name that is only ever read is exactly the drift this rule
+//!   exists to catch.
+//!
+//! The telemetry crate itself is exempt: its implementation manipulates
+//! names generically, and its doctests/tests use throwaway names.
+
+use crate::lexer::{in_ranges, Lexed, TokKind};
+use crate::{FileCtx, Finding, NamesTable, RULE_TELEMETRY_NAMES};
+
+/// Methods whose first argument is a metric name.
+const RECORDING_CALLS: &[&str] = &["counter_add", "gauge_set", "record", "timer", "span"];
+
+pub fn check(
+    ctx: &FileCtx,
+    lexed: &Lexed,
+    test_ranges: &[(usize, usize)],
+    names: Option<&NamesTable>,
+    used_names: &mut Vec<String>,
+    findings: &mut Vec<Finding>,
+) {
+    if ctx.crate_name == "atom-telemetry" || ctx.crate_name == "atom-lint" {
+        return;
+    }
+    if !ctx.kind.is_production() {
+        return;
+    }
+    let toks = &lexed.tokens;
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || in_ranges(test_ranges, t.line) {
+            continue;
+        }
+
+        // Usage scan: `names :: IDENT`.
+        if t.text == "names"
+            && toks.get(i + 1).is_some_and(|a| a.text == ":")
+            && toks.get(i + 2).is_some_and(|b| b.text == ":")
+        {
+            if let Some(ident) = toks.get(i + 3) {
+                if ident.kind == TokKind::Ident {
+                    if ctx.crate_name != "atom-bench" {
+                        used_names.push(ident.text.clone());
+                    }
+                    if let Some(table) = names {
+                        if !table.consts.contains_key(&ident.text) {
+                            findings.push(Finding {
+                                file: ctx.path.clone(),
+                                line: ident.line,
+                                rule: RULE_TELEMETRY_NAMES,
+                                message: format!(
+                                    "`names::{}` is not declared in telemetry::names",
+                                    ident.text
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+
+        // Call-site check: recording method or the span! macro with a
+        // string-literal name.
+        if !RECORDING_CALLS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let arg = match (toks.get(i + 1), toks.get(i + 2)) {
+            // method style: `counter_add(<arg>`
+            (Some(open), Some(arg)) if open.text == "(" => arg,
+            // macro style: `span!(<arg>`
+            (Some(bang), Some(_open)) if bang.text == "!" && t.text == "span" => {
+                match toks.get(i + 3) {
+                    Some(arg) => arg,
+                    None => continue,
+                }
+            }
+            _ => continue,
+        };
+        if arg.kind == TokKind::StrLit {
+            findings.push(Finding {
+                file: ctx.path.clone(),
+                line: arg.line,
+                rule: RULE_TELEMETRY_NAMES,
+                message: format!(
+                    "metric/span name {} must be a `telemetry::names` constant so the \
+                     measured-vs-roofline comparison cannot drift",
+                    arg.text
+                ),
+            });
+        }
+    }
+}

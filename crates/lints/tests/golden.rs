@@ -1,0 +1,232 @@
+//! Golden tests: each known-bad fixture under `fixtures/` must produce
+//! exactly the expected `(rule, line)` findings, the allow-directive
+//! fixture must lint clean, and the live workspace itself must be clean
+//! (which also proves the telemetry-names bijection holds on the real
+//! tree). The binary's exit-code contract is checked end to end against a
+//! synthesized bad workspace.
+
+use atom_lint::{
+    lint_file, lint_workspace, FileCtx, FileKind, NamesTable, RULE_DIRECTIVE, RULE_LOSSY_CAST,
+    RULE_PANIC_FREEDOM, RULE_TELEMETRY_NAMES, RULE_UNSAFE_CONTAINMENT,
+};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn ctx(crate_name: &str, path: &str, kind: FileKind) -> FileCtx {
+    FileCtx {
+        crate_name: crate_name.into(),
+        path: path.into(),
+        kind,
+    }
+}
+
+/// Runs the linter on a fixture and returns `(rule, line)` pairs.
+fn run(source: &str, ctx: &FileCtx, names: Option<&NamesTable>) -> Vec<(&'static str, usize)> {
+    let mut used = Vec::new();
+    lint_file(ctx, source, names, &mut used)
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn panic_freedom_fixture() {
+    let src = fixture("panic_freedom_bad.rs");
+    let ctx = ctx("atom-serve", "crates/serve/src/fixture.rs", FileKind::Src);
+    let got = run(&src, &ctx, None);
+    let want = vec![
+        (RULE_PANIC_FREEDOM, 5),  // x.unwrap()
+        (RULE_PANIC_FREEDOM, 9),  // x.expect("present")
+        (RULE_PANIC_FREEDOM, 13), // panic!
+        (RULE_PANIC_FREEDOM, 17), // todo!
+        (RULE_PANIC_FREEDOM, 21), // v[i]
+    ];
+    assert_eq!(got, want, "findings: {got:?}");
+}
+
+#[test]
+fn panic_freedom_is_scoped_to_hot_crates() {
+    // The same source in a crate outside the panic-freedom scope (e.g.
+    // atom-nn) must produce no panic-freedom findings.
+    let src = fixture("panic_freedom_bad.rs");
+    let ctx = ctx("atom-nn", "crates/nn/src/fixture.rs", FileKind::Src);
+    let got = run(&src, &ctx, None);
+    assert!(
+        got.iter().all(|(r, _)| *r != RULE_PANIC_FREEDOM),
+        "out-of-scope crate flagged: {got:?}"
+    );
+}
+
+#[test]
+fn lossy_cast_fixture() {
+    let src = fixture("lossy_cast_bad.rs");
+    let ctx = ctx("atom-nn", "crates/nn/src/fixture.rs", FileKind::Src);
+    let got = run(&src, &ctx, None);
+    let want = vec![
+        (RULE_LOSSY_CAST, 5), // x as i8
+        (RULE_LOSSY_CAST, 9), // n as f32
+    ];
+    assert_eq!(got, want, "findings: {got:?}");
+}
+
+#[test]
+fn telemetry_names_fixture() {
+    let src = fixture("telemetry_names_bad.rs");
+    let ctx = ctx("atom-serve", "crates/serve/src/fixture.rs", FileKind::Src);
+    let mut names = NamesTable {
+        path: "crates/telemetry/src/names.rs".into(),
+        ..NamesTable::default()
+    };
+    names
+        .consts
+        .insert("GOOD".into(), ("good.metric".into(), 1));
+    let mut used = Vec::new();
+    let got: Vec<(&'static str, usize)> = lint_file(&ctx, &src, Some(&names), &mut used)
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect();
+    let want = vec![
+        (RULE_TELEMETRY_NAMES, 6),  // literal metric name
+        (RULE_TELEMETRY_NAMES, 10), // literal span name
+        (RULE_TELEMETRY_NAMES, 14), // names::NOT_DECLARED
+    ];
+    assert_eq!(got, want, "findings: {got:?}");
+    // The usage scan must register both referenced constants.
+    assert!(used.contains(&"GOOD".to_string()));
+    assert!(used.contains(&"NOT_DECLARED".to_string()));
+}
+
+#[test]
+fn unsafe_containment_fixture() {
+    let src = fixture("unsafe_containment_bad.rs");
+    let ctx = ctx("atom-badlib", "crates/bad/src/lib.rs", FileKind::LibRoot);
+    let got = run(&src, &ctx, None);
+    let want = vec![
+        (RULE_UNSAFE_CONTAINMENT, 1), // missing #![forbid(unsafe_code)]
+        (RULE_UNSAFE_CONTAINMENT, 7), // unsafe block outside telemetry
+    ];
+    assert_eq!(got, want, "findings: {got:?}");
+}
+
+#[test]
+fn well_formed_allows_suppress_cleanly() {
+    let src = fixture("allow_ok.rs");
+    let ctx = ctx("atom-serve", "crates/serve/src/fixture.rs", FileKind::Src);
+    let got = run(&src, &ctx, None);
+    assert!(got.is_empty(), "expected clean, got: {got:?}");
+}
+
+#[test]
+fn malformed_and_stale_allows_are_findings() {
+    let src = fixture("allow_bad.rs");
+    let ctx = ctx("atom-serve", "crates/serve/src/fixture.rs", FileKind::Src);
+    let got = run(&src, &ctx, None);
+    let want = vec![
+        (RULE_DIRECTIVE, 6),  // missing reason
+        (RULE_DIRECTIVE, 11), // unknown rule
+        (RULE_DIRECTIVE, 16), // stale: suppresses nothing
+    ];
+    assert_eq!(got, want, "findings: {got:?}");
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn live_workspace_is_clean() {
+    let report = lint_workspace(&workspace_root()).expect("workspace lints");
+    assert!(
+        report.findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.files_checked > 50,
+        "suspiciously few files checked: {}",
+        report.files_checked
+    );
+}
+
+/// Builds a throwaway workspace with one bad crate and a names table with
+/// an unused constant, and checks both the library report and the binary's
+/// exit-code contract against it.
+#[test]
+fn binary_exit_codes() {
+    let dir = std::env::temp_dir().join(format!("atom-lint-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("crates/bad/src")).expect("mkdir bad");
+    std::fs::create_dir_all(dir.join("crates/telemetry/src")).expect("mkdir telemetry");
+    std::fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/bad\"]\n",
+    )
+    .expect("write root manifest");
+    std::fs::write(
+        dir.join("crates/bad/Cargo.toml"),
+        "[package]\nname = \"atom-badlib\"\nversion = \"0.0.0\"\n",
+    )
+    .expect("write bad manifest");
+    std::fs::write(
+        dir.join("crates/bad/src/lib.rs"),
+        "pub fn f(x: u32) -> f32 {\n    unsafe { std::mem::transmute(x) }\n}\n",
+    )
+    .expect("write bad lib");
+    std::fs::write(
+        dir.join("crates/telemetry/src/names.rs"),
+        "pub const NEVER_RECORDED: &str = \"never.recorded\";\n",
+    )
+    .expect("write names table");
+
+    let report = lint_workspace(&dir).expect("lint synthesized workspace");
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert!(
+        rules.contains(&RULE_UNSAFE_CONTAINMENT),
+        "missing unsafe finding: {rules:?}"
+    );
+    assert!(
+        rules.contains(&RULE_TELEMETRY_NAMES),
+        "missing unused-name finding: {rules:?}"
+    );
+
+    let bin = env!("CARGO_BIN_EXE_atom-lint");
+    let bad = std::process::Command::new(bin)
+        .args(["--root", dir.to_str().expect("utf8 temp path")])
+        .output()
+        .expect("run atom-lint on bad tree");
+    assert!(
+        !bad.status.success(),
+        "expected non-zero exit on violations"
+    );
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(
+        stdout.contains("unsafe-containment"),
+        "stdout should name the rule: {stdout}"
+    );
+
+    let good = std::process::Command::new(bin)
+        .args(["--root", workspace_root().to_str().expect("utf8 root")])
+        .output()
+        .expect("run atom-lint on real tree");
+    assert!(
+        good.status.success(),
+        "real workspace must be clean; stdout:\n{}",
+        String::from_utf8_lossy(&good.stdout)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

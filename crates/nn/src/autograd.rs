@@ -12,6 +12,7 @@
 //! cloning parameter matrices onto a fresh tape every step is cheap relative
 //! to the matmuls themselves.
 
+use atom_tensor::cast;
 use atom_tensor::{ops, Matrix};
 
 /// Handle to a tensor on a [`Tape`].
@@ -258,7 +259,7 @@ impl Tape {
             vec![x, gain],
             Some(Box::new(move |g, parents| {
                 let (x, gain) = (parents[0], parents[1]);
-                let n = x.cols() as f32;
+                let n = cast::usize_to_f32(x.cols());
                 let gr = gain.row(0);
                 let mut dx = Matrix::zeros(x.rows(), x.cols());
                 let mut dgain = Matrix::zeros(1, x.cols());
@@ -406,7 +407,7 @@ impl Tape {
     pub fn cross_entropy_mean(&mut self, logits: TensorId, targets: &[u16]) -> TensorId {
         let lv = self.value(logits);
         assert_eq!(targets.len(), lv.rows(), "targets length mismatch");
-        let t = lv.rows() as f32;
+        let t = cast::usize_to_f32(lv.rows());
         let mut total = 0.0f32;
         let mut probs = Matrix::zeros(lv.rows(), lv.cols());
         for (r, &t_id) in targets.iter().enumerate() {

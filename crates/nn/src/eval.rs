@@ -8,6 +8,7 @@ use crate::kv::{Fp32KvCache, KvStore};
 use crate::linear::LinearLayer;
 use crate::model::LlamaModel;
 use atom_data::{TaskKind, TaskSuite, Tokenizer};
+use atom_tensor::cast;
 use atom_tensor::{ops, SeededRng};
 
 /// Computes perplexity (e^mean-NLL) of a token stream under the model.
@@ -194,12 +195,12 @@ pub fn generate<L: LinearLayer>(
 
 fn sample_token(logits: &[f32], temperature: f32, rng: &mut SeededRng) -> u16 {
     if temperature <= 0.0 {
-        return ops::argmax(logits) as u16;
+        return cast::usize_to_u16_saturating(ops::argmax(logits));
     }
     let mut probs: Vec<f32> = logits.iter().map(|&l| l / temperature).collect();
     ops::softmax_in_place(&mut probs);
     let weights: Vec<f64> = probs.iter().map(|&p| p as f64).collect();
-    rng.weighted_index(&weights) as u16
+    cast::usize_to_u16_saturating(rng.weighted_index(&weights))
 }
 
 /// Mean KL divergence (nats/token) between the next-token distributions of a

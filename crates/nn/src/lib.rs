@@ -21,6 +21,7 @@
 //! assert_eq!(logits.shape(), (3, config.vocab));
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod autograd;
 pub mod config;
 pub mod eval;

@@ -11,6 +11,7 @@ use crate::config::ModelConfig;
 use crate::kv::KvStore;
 use crate::linear::{DenseLinear, LinearLayer};
 use atom_telemetry::{names, span, Telemetry};
+use atom_tensor::cast;
 use atom_tensor::{ops, Matrix, SeededRng};
 use serde::{Deserialize, Serialize};
 
@@ -489,7 +490,7 @@ impl<L: LinearLayer> LlamaModel<L> {
     ) -> Matrix {
         assert!(!tokens.is_empty(), "forward of empty token slice");
         let _timer = Telemetry::global().timer(names::MODEL_FORWARD_WALL_NS);
-        let _span = span!("model_forward", tokens = tokens.len());
+        let _span = span!(names::SPAN_MODEL_FORWARD, tokens = tokens.len());
         let c = &self.config;
         let start = cache.len(0);
         let positions: Vec<usize> = (start..start + tokens.len()).collect();
@@ -545,7 +546,7 @@ impl<L: LinearLayer> LlamaModel<L> {
         // projections, which account under the GEMM metric.
         let t = Telemetry::global();
         let attn_timer = t.timer(names::OP_ATTENTION_WALL_NS);
-        let attn_span = span!("attention", layer = layer);
+        let attn_span = span!(names::SPAN_ATTENTION, layer = layer);
         cache.append(layer, &k, &v);
         let keys = cache.keys(layer);
         let values = cache.values(layer);
@@ -558,7 +559,7 @@ impl<L: LinearLayer> LlamaModel<L> {
         );
         t.counter_add(names::OP_ATTENTION_CALLS, 1);
 
-        let scale = 1.0 / (hd as f32).sqrt();
+        let scale = 1.0 / cast::usize_to_f32(hd).sqrt();
         let mut heads = Vec::with_capacity(c.heads);
         for h in 0..c.heads {
             let kv_h = h / c.group_size();

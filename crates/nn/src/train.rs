@@ -12,6 +12,7 @@ use crate::autograd::{Tape, TensorId};
 use crate::config::ModelConfig;
 use crate::linear::DenseLinear;
 use crate::model::{Attention, Block, FeedForward, LlamaModel, Mlp};
+use atom_tensor::cast;
 use atom_tensor::{Matrix, SeededRng};
 use serde::{Deserialize, Serialize};
 
@@ -65,7 +66,7 @@ impl TrainMetrics {
         if tail.is_empty() {
             return f32::NAN;
         }
-        tail.iter().sum::<f32>() / tail.len() as f32
+        tail.iter().sum::<f32>() / cast::usize_to_f32(tail.len())
     }
 }
 
@@ -91,7 +92,7 @@ impl ParamStore {
             params.push(rng.kaiming_matrix(kvd, d, 1.0)); // wv
             // Scale the residual-writing projections down by depth, a common
             // stabilization for small transformers.
-            let res_gain = 1.0 / (2.0 * config.layers as f32).sqrt();
+            let res_gain = 1.0 / (2.0 * cast::usize_to_f32(config.layers)).sqrt();
             params.push(rng.kaiming_matrix(d, d, res_gain)); // wo
             params.push(Matrix::full(1, d, 1.0)); // ffn_norm
             if config.experts > 1 {
@@ -213,7 +214,7 @@ fn sequence_loss(tape: &mut Tape, params: &ParamIds<'_>, inputs: &[u16], targets
         let v = tape.matmul_nt(normed, wv);
         let q = tape.rope(q0, &positions, hd, c.rope_theta);
         let k = tape.rope(k0, &positions, hd, c.rope_theta);
-        let scale = 1.0 / (hd as f32).sqrt();
+        let scale = 1.0 / cast::usize_to_f32(hd).sqrt();
         let mut heads = Vec::with_capacity(c.heads);
         for h in 0..c.heads {
             let kv_h = h / c.group_size();
@@ -316,7 +317,7 @@ pub fn train(config: ModelConfig, tokens: &[u16], spec: TrainSpec) -> (LlamaMode
         for &l in &losses[1..] {
             total = tape.add(total, l);
         }
-        let mean_loss = tape.scale(total, 1.0 / spec.batch as f32);
+        let mean_loss = tape.scale(total, 1.0 / cast::usize_to_f32(spec.batch));
         let loss_value = tape.value(mean_loss)[(0, 0)];
         tape.backward(mean_loss);
 
@@ -346,7 +347,7 @@ pub fn train(config: ModelConfig, tokens: &[u16], spec: TrainSpec) -> (LlamaMode
         }
 
         let lr = lr_at(step, &spec);
-        let t = (step + 1) as i32;
+        let t = cast::usize_to_i32_saturating(step + 1);
         for i in 0..n_params {
             let g = &grads[i];
             let m = &mut adam_m[i];
@@ -381,9 +382,9 @@ pub fn train(config: ModelConfig, tokens: &[u16], spec: TrainSpec) -> (LlamaMode
 
 fn lr_at(step: usize, spec: &TrainSpec) -> f32 {
     if step < spec.warmup {
-        return spec.lr * (step + 1) as f32 / spec.warmup as f32;
+        return spec.lr * cast::usize_to_f32(step + 1) / cast::usize_to_f32(spec.warmup);
     }
-    let progress = (step - spec.warmup) as f32 / (spec.steps - spec.warmup).max(1) as f32;
+    let progress = cast::usize_to_f32(step - spec.warmup) / cast::usize_to_f32((spec.steps - spec.warmup).max(1));
     0.5 * spec.lr * (1.0 + (std::f32::consts::PI * progress).cos())
 }
 

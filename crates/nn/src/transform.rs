@@ -24,6 +24,7 @@
 
 use crate::linear::DenseLinear;
 use crate::model::{FeedForward, LlamaModel};
+use atom_tensor::cast;
 use atom_tensor::SeededRng;
 use serde::{Deserialize, Serialize};
 
@@ -80,7 +81,7 @@ pub fn inject_outliers(model: &mut LlamaModel<DenseLinear>, spec: &OutlierSpec) 
         let idx = rng.sample_indices(max, n);
         let factors: Vec<f32> = (0..n)
             .map(|_| {
-                let f = rng.lognormal_f64((magnitude as f64).ln(), spec.spread) as f32;
+                let f = cast::f64_to_f32(rng.lognormal_f64((magnitude as f64).ln(), spec.spread));
                 f.max(2.0)
             })
             .collect();

@@ -32,6 +32,7 @@ use crate::scheduler::{BatchEvent, ContinuousBatcher};
 use atom_data::Request;
 use atom_nn::{KvStore, LinearLayer, LlamaModel};
 use atom_telemetry::{names, Telemetry};
+use atom_tensor::cast;
 use atom_tensor::ops;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -212,6 +213,19 @@ pub struct CpuEngine<L: LinearLayer> {
     degraded_admissions: usize,
     rejected: usize,
     telemetry: TelemetrySink,
+}
+
+impl<L: LinearLayer> std::fmt::Debug for CpuEngine<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CpuEngine")
+            .field("in_flight", &self.states.len())
+            .field("queued_prompts", &self.prompts.len())
+            .field("clock", &self.clock)
+            .field("decode_steps", &self.decode_steps)
+            .field("degraded_admissions", &self.degraded_admissions)
+            .field("rejected", &self.rejected)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<L: LinearLayer> CpuEngine<L> {
@@ -406,7 +420,7 @@ impl<L: LinearLayer> CpuEngine<L> {
         let sink = self.telemetry.clone();
         let tel = sink.get();
         let _step_timer = tel.timer(names::ENGINE_STEP_WALL_NS);
-        let _step_span = tel.span("engine_step", &[]);
+        let _step_span = tel.span(names::SPAN_ENGINE_STEP, &[]);
         self.clock += 1;
 
         // Deadline sweep: a request whose step budget elapsed terminates
@@ -474,7 +488,7 @@ impl<L: LinearLayer> CpuEngine<L> {
                 }
             }
             let logits = self.model.forward(&prompt, cache.as_mut());
-            let first = ops::argmax(logits.row(logits.rows() - 1)) as u16;
+            let first = cast::usize_to_u16_saturating(ops::argmax(logits.row(logits.rows() - 1)));
             self.states.insert(
                 req.id,
                 SeqState {
@@ -495,8 +509,7 @@ impl<L: LinearLayer> CpuEngine<L> {
                 .filter(|s| s.prefilled)
                 .map(|s| s.request.id)
                 .collect();
-            if !live.is_empty() {
-                let victim = live[slot % live.len()];
+            if let Some(&victim) = live.get(slot % live.len().max(1)) {
                 tel.counter_add(names::ENGINE_FAULTS, 1);
                 self.terminalize(
                     victim,
@@ -527,7 +540,7 @@ impl<L: LinearLayer> CpuEngine<L> {
             let logits = self
                 .model
                 .forward(&[state.next_input], state.cache.as_mut());
-            state.next_input = ops::argmax(logits.row(0)) as u16;
+            state.next_input = cast::usize_to_u16_saturating(ops::argmax(logits.row(0)));
         }
         if !advanced.is_empty() {
             self.decode_steps += 1;
@@ -775,8 +788,7 @@ mod tests {
             0,
             1024,
         )
-        .err()
-        .expect("invalid");
+        .expect_err("invalid");
         assert!(matches!(err, ServeError::InvalidConfig(_)));
     }
 

@@ -15,6 +15,7 @@
 //! Plans are pure data built from a seed, so every chaos run is exactly
 //! reproducible: same seed, same faults, same outcome.
 
+use atom_tensor::cast;
 use atom_tensor::SeededRng;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -40,8 +41,8 @@ impl FaultPlan {
     /// Rates are clamped to `[0, 1]`; the plan is a pure function of its
     /// arguments.
     pub fn seeded(seed: u64, horizon: usize, alloc_rate: f64, forward_rate: f64) -> Self {
-        let alloc_rate = alloc_rate.clamp(0.0, 1.0) as f32;
-        let forward_rate = forward_rate.clamp(0.0, 1.0) as f32;
+        let alloc_rate = cast::f64_to_f32(alloc_rate.clamp(0.0, 1.0));
+        let forward_rate = cast::f64_to_f32(forward_rate.clamp(0.0, 1.0));
         let mut rng = SeededRng::new(seed ^ 0xFA_07_FA_07);
         let mut plan = FaultPlan {
             horizon,

@@ -19,6 +19,12 @@
 //! - [`fault`] — deterministic, seeded fault injection ([`FaultPlan`])
 //!   driving the chaos tests.
 
+#![forbid(unsafe_code)]
+// The serving hot path must never panic on traffic (see the error-model
+// docs above); `atom-lint` enforces the broader panic-freedom rule and
+// clippy backs it up at the compiler level. Tests are exempt: unwrapping
+// in a test is the assertion.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod engine;
 pub mod error;
 pub mod fault;

@@ -191,16 +191,18 @@ impl PagedAllocator {
     /// Returns [`OutOfBlocks`] (allocating nothing) when the pool cannot
     /// cover the growth.
     ///
-    /// # Panics
-    ///
-    /// Panics if the sequence is not registered.
+    /// Growing an unregistered sequence is a caller bug: it trips a debug
+    /// assertion under test and fails as an allocation error (allocating
+    /// nothing) in release builds.
     pub fn grow(&mut self, seq: SeqId, new_tokens: usize) -> Result<(), OutOfBlocks> {
-        let table = self
-            .tables
-            .get(&seq)
-            .unwrap_or_else(|| panic!("sequence {seq} not registered"));
+        let Some(table) = self.tables.get(&seq) else {
+            debug_assert!(false, "sequence {seq} not registered");
+            return Err(OutOfBlocks {
+                short_by: self.blocks_for(new_tokens),
+            });
+        };
         let target_blocks = self.blocks_for(table.tokens + new_tokens);
-        let needed = target_blocks - table.blocks.len();
+        let needed = target_blocks.saturating_sub(table.blocks.len());
         if needed > 0 && self.fault_armed {
             self.injected_failures += 1;
             return Err(OutOfBlocks { short_by: needed });
@@ -210,10 +212,19 @@ impl PagedAllocator {
                 short_by: needed - self.free.len(),
             });
         }
-        let table = self.tables.get_mut(&seq).expect("checked above");
-        for _ in 0..needed {
-            table.blocks.push(self.free.pop().expect("checked len"));
-        }
+        // Detach the blocks first so the page table can absorb them with a
+        // single mutable lookup. `pop()` order is preserved: the tail of the
+        // free list lands in the table newest-first, exactly as before.
+        let mut fresh = self.free.split_off(self.free.len() - needed);
+        fresh.reverse();
+        let Some(table) = self.tables.get_mut(&seq) else {
+            // Unreachable: presence was checked above and nothing touched
+            // the map since. Return the blocks rather than leak them.
+            self.free.extend(fresh.into_iter().rev());
+            debug_assert!(false, "sequence table vanished during grow");
+            return Err(OutOfBlocks { short_by: needed });
+        };
+        table.blocks.extend(fresh);
         table.tokens += new_tokens;
         self.peak_used = self.peak_used.max(self.total_blocks - self.free.len());
         Ok(())

@@ -235,7 +235,9 @@ impl ContinuousBatcher {
             if self.allocator.grow(id, reserve).is_err() {
                 break; // unreachable given the headroom check; stay safe
             }
-            let request = self.queue.pop_front().expect("front exists");
+            let Some(request) = self.queue.pop_front() else {
+                break; // unreachable: `front()` was Some above and nothing else pops
+            };
             events.push(BatchEvent::Admitted(request));
             self.active.push(ActiveSeq {
                 request,
@@ -306,26 +308,30 @@ impl ContinuousBatcher {
         if self.advanced_ids.is_empty() && !stalled_ids.is_empty() && !self.allocator.fault_armed() {
             // Evicting only helps if someone else can use the freed blocks.
             if self.active.len() > 1 || !self.queue.is_empty() {
-                // Preempt the youngest stalled sequence.
-                let victim_id = *stalled_ids.last().expect("non-empty");
-                let pos = self
-                    .active
-                    .iter()
-                    .rposition(|s| s.request.id == victim_id)
-                    .expect("victim active");
-                let victim = self.active.remove(pos);
-                self.allocator.release(victim.request.id);
-                self.queue.push_front(victim.request);
-                self.preemptions += 1;
-                events.push(BatchEvent::Preempted(victim.request));
+                // Preempt the youngest stalled sequence. Every stalled id
+                // came from `self.active` this step, so the lookup is total;
+                // a miss would be an invariant breach we absorb by skipping
+                // the preemption rather than killing the batch.
+                let victim_pos = stalled_ids
+                    .last()
+                    .and_then(|id| self.active.iter().rposition(|s| s.request.id == *id));
+                if let Some(pos) = victim_pos {
+                    let victim = self.active.remove(pos);
+                    self.allocator.release(victim.request.id);
+                    self.queue.push_front(victim.request);
+                    self.preemptions += 1;
+                    events.push(BatchEvent::Preempted(victim.request));
+                } else {
+                    debug_assert!(false, "stalled id not found in the active set");
+                }
             } else {
                 // A lone stalled sequence with an empty queue would mean a
                 // request larger than the pool slipped past submission
                 // validation.
                 debug_assert!(
                     false,
-                    "request {} stalled alone with an empty queue",
-                    stalled_ids[0]
+                    "request {:?} stalled alone with an empty queue",
+                    stalled_ids.first()
                 );
             }
         }

@@ -168,7 +168,7 @@ impl ServingSimulator {
             }
         }
 
-        decode_latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        decode_latencies.sort_by(f64::total_cmp);
         let avg = decode_latencies.iter().sum::<f64>() / decode_latencies.len().max(1) as f64;
         let p99 = decode_latencies
             .get((decode_latencies.len().saturating_sub(1)) * 99 / 100)

@@ -78,3 +78,16 @@ pub const ENGINE_TERMINAL_CANCELLED: &str = "engine.terminal.cancelled";
 pub const ENGINE_TERMINAL_FAILED: &str = "engine.terminal.failed";
 /// Requests rejected at admission.
 pub const ENGINE_TERMINAL_REJECTED: &str = "engine.terminal.rejected";
+
+/// Span covering one full model forward pass.
+pub const SPAN_MODEL_FORWARD: &str = "model_forward";
+/// Span covering one attention layer inside a forward pass.
+pub const SPAN_ATTENTION: &str = "attention";
+/// Span covering one engine scheduling step.
+pub const SPAN_ENGINE_STEP: &str = "engine_step";
+/// Span covering the fused W4A4 GEMM kernel.
+pub const SPAN_GEMM_W4A4: &str = "gemm_w4a4";
+/// Span covering quantized-KV attention.
+pub const SPAN_ATTENTION_QUANT_KV: &str = "attention_quant_kv";
+/// Span covering the dequantize/requantize epilogue of a quantized linear.
+pub const SPAN_QUANT_EPILOGUE: &str = "quant_epilogue";

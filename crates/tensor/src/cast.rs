@@ -1,0 +1,87 @@
+//! Checked numeric conversions for the non-quantizer code paths.
+//!
+//! The quantizer modules (`atom-kernels`, `atom::gptq`, …) perform lossy
+//! `as` casts deliberately — rounding to a low-bit grid is their job, and
+//! those modules are audited as a unit. Everywhere else, a bare `as` cast
+//! is a latent precision or truncation bug waiting for a larger model
+//! config, so `atom-lint`'s `lossy-cast` rule bans them and steers callers
+//! here. Each helper states its contract and enforces it with a
+//! `debug_assert!` (tier-1 tests run in both profiles) while staying total
+//! in release builds.
+
+/// Convert a count or dimension to `f32`.
+///
+/// Exact for all values up to `2^24` (16 777 216), far beyond any tensor
+/// dimension, sequence length, or step count this workspace uses. Above
+/// that, `f32` can no longer represent every integer and the conversion
+/// rounds; the debug assertion makes such a regression loud in tests.
+#[inline]
+pub fn usize_to_f32(n: usize) -> f32 {
+    debug_assert!(
+        n <= (1 << 24),
+        "usize_to_f32: {n} exceeds f32's exact integer range (2^24)"
+    );
+    n as f32
+}
+
+/// Narrow `f64` to `f32`, clamping overflow to the finite `f32` range.
+///
+/// Rounding to the nearest representable `f32` is inherent to narrowing
+/// and acceptable; silently producing `inf` from a finite `f64` is not.
+/// NaN propagates unchanged.
+#[inline]
+pub fn f64_to_f32(x: f64) -> f32 {
+    if x.is_nan() {
+        return f32::NAN;
+    }
+    x.clamp(f64::from(f32::MIN), f64::from(f32::MAX)) as f32
+}
+
+/// Convert an index (e.g. an argmax over vocab logits) to a `u16` token id.
+///
+/// The model configs in this workspace keep vocabularies well under
+/// `u16::MAX`; the debug assertion guards that invariant and release
+/// builds saturate instead of wrapping.
+#[inline]
+pub fn usize_to_u16_saturating(n: usize) -> u16 {
+    debug_assert!(
+        n <= usize::from(u16::MAX),
+        "usize_to_u16_saturating: {n} does not fit a u16 token id"
+    );
+    u16::try_from(n).unwrap_or(u16::MAX)
+}
+
+/// Convert a step counter to `i32` (e.g. for `powi` exponents),
+/// saturating instead of wrapping on overflow.
+#[inline]
+pub fn usize_to_i32_saturating(n: usize) -> i32 {
+    i32::try_from(n).unwrap_or(i32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usize_to_f32_is_exact_in_range() {
+        assert_eq!(usize_to_f32(0), 0.0);
+        assert_eq!(usize_to_f32(4096), 4096.0);
+        assert_eq!(usize_to_f32(1 << 24), 16_777_216.0);
+    }
+
+    #[test]
+    fn f64_to_f32_clamps_and_propagates_nan() {
+        assert_eq!(f64_to_f32(1.5), 1.5);
+        assert_eq!(f64_to_f32(1e300), f32::MAX);
+        assert_eq!(f64_to_f32(-1e300), f32::MIN);
+        assert!(f64_to_f32(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn u16_and_i32_saturate() {
+        assert_eq!(usize_to_u16_saturating(42), 42);
+        assert_eq!(usize_to_u16_saturating(usize::from(u16::MAX)), u16::MAX);
+        assert_eq!(usize_to_i32_saturating(7), 7);
+        assert_eq!(usize_to_i32_saturating(usize::MAX), i32::MAX);
+    }
+}

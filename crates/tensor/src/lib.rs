@@ -23,6 +23,8 @@
 //! assert_eq!(c, a);
 //! ```
 
+#![forbid(unsafe_code)]
+pub mod cast;
 pub mod f16;
 pub mod matrix;
 pub mod ops;

@@ -519,7 +519,7 @@ impl Matrix {
 
     /// Frobenius norm.
     pub fn frob_norm(&self) -> f32 {
-        self.data.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt() as f32
+        crate::cast::f64_to_f32(self.data.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt())
     }
 
     /// Mean squared error against `other`.

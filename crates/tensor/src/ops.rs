@@ -57,7 +57,7 @@ pub fn rmsnorm_rows(m: &Matrix, gain: &[f32], eps: f32) -> Matrix {
     let mut out = m.clone();
     for r in 0..out.rows() {
         let row = out.row_mut(r);
-        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / row.len() as f32;
+        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / crate::cast::usize_to_f32(row.len());
         let inv = 1.0 / (ms + eps).sqrt();
         for (v, &g) in row.iter_mut().zip(gain.iter()) {
             *v *= inv * g;
@@ -93,12 +93,12 @@ pub fn rope_in_place(m: &mut Matrix, positions: &[usize], head_dim: usize, theta
     assert_eq!(m.cols() % head_dim, 0, "cols must be a multiple of head_dim");
     let heads = m.cols() / head_dim;
     for r in 0..m.rows() {
-        let pos = positions[r] as f32;
+        let pos = crate::cast::usize_to_f32(positions[r]);
         let row = m.row_mut(r);
         for h in 0..heads {
             let seg = &mut row[h * head_dim..(h + 1) * head_dim];
             for i in 0..head_dim / 2 {
-                let freq = theta.powf(-2.0 * i as f32 / head_dim as f32);
+                let freq = theta.powf(-2.0 * crate::cast::usize_to_f32(i) / crate::cast::usize_to_f32(head_dim));
                 let angle = pos * freq;
                 let (sin, cos) = angle.sin_cos();
                 let a = seg[2 * i];
@@ -118,12 +118,12 @@ pub fn rope_inverse_in_place(m: &mut Matrix, positions: &[usize], head_dim: usiz
     assert_eq!(m.cols() % head_dim, 0, "cols must be a multiple of head_dim");
     let heads = m.cols() / head_dim;
     for r in 0..m.rows() {
-        let pos = positions[r] as f32;
+        let pos = crate::cast::usize_to_f32(positions[r]);
         let row = m.row_mut(r);
         for h in 0..heads {
             let seg = &mut row[h * head_dim..(h + 1) * head_dim];
             for i in 0..head_dim / 2 {
-                let freq = theta.powf(-2.0 * i as f32 / head_dim as f32);
+                let freq = theta.powf(-2.0 * crate::cast::usize_to_f32(i) / crate::cast::usize_to_f32(head_dim));
                 let angle = pos * freq;
                 let (sin, cos) = angle.sin_cos();
                 let a = seg[2 * i];

@@ -127,7 +127,7 @@ impl SeededRng {
     /// Kaiming-style initialization for a linear layer weight of shape
     /// `out x in`: normal with `std = gain / sqrt(in)`.
     pub fn kaiming_matrix(&mut self, out_features: usize, in_features: usize, gain: f32) -> Matrix {
-        let std = gain / (in_features.max(1) as f32).sqrt();
+        let std = gain / crate::cast::usize_to_f32(in_features.max(1)).sqrt();
         self.normal_matrix(out_features, in_features, 0.0, std)
     }
 

@@ -235,7 +235,7 @@ impl Histogram {
             self.overflow += 1;
         } else {
             let t = (v - self.lo) / (self.hi - self.lo);
-            let bin = ((t * self.counts.len() as f32) as usize).min(self.counts.len() - 1);
+            let bin = ((t * crate::cast::usize_to_f32(self.counts.len())) as usize).min(self.counts.len() - 1);
             self.counts[bin] += 1;
         }
     }
@@ -281,7 +281,7 @@ pub fn quantile(values: &[f32], q: f64) -> Option<f32> {
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
-    let frac = (pos - lo as f64) as f32;
+    let frac = crate::cast::f64_to_f32(pos - lo as f64);
     Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
 }
 
