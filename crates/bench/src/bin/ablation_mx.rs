@@ -3,7 +3,7 @@
 //!
 //! Two halves: (1) accuracy — MXFP4 (FP4 payload, shared power-of-two E8M0
 //! scale per 32) vs Atom's FP16-scaled FP4 and INT4 on a real model;
-//! (2) efficiency — the paper "expects [MX] can mitigate the group
+//! (2) efficiency — the paper "expects \[MX\] can mitigate the group
 //! quantization overhead of Atom": with the scale applied as an exponent
 //! add inside the tensor-core pipe, the fused GEMM recovers from the
 //! group-fusion efficiency (770 TOPS) back to the mixed-precision-only

@@ -8,6 +8,7 @@
 
 use atom_kernels::attention::QuantizedKvHead;
 use atom_nn::KvStore;
+use atom_parallel::Pool;
 use atom_tensor::Matrix;
 
 /// KV cache storing each layer/head block in low-bit asymmetric form.
@@ -61,14 +62,26 @@ impl QuantizedKvCache {
     fn materialize(&self, layer: usize, keys: bool) -> Matrix {
         let heads = &self.layers[layer];
         let len = heads[0].len();
-        let mut out = Matrix::zeros(len, self.kv_dim);
-        let mut buf = vec![0.0f32; self.head_dim];
-        for (h, block) in heads.iter().enumerate() {
+        let hd = self.head_dim;
+        // Dequantize-on-load parallelizes per head: each head decodes its
+        // own `len x head_dim` block (bit-identical to the sequential
+        // per-head loop), and the caller stitches the column blocks in head
+        // order afterwards — no worker ever shares an output.
+        let decode_head = |block: &QuantizedKvHead| {
             let src = if keys { &block.keys } else { &block.values };
+            let mut m = Matrix::zeros(len, hd);
             for t in 0..len {
-                src.dequantize_row_into(t, &mut buf);
-                out.row_mut(t)[h * self.head_dim..(h + 1) * self.head_dim]
-                    .copy_from_slice(&buf);
+                src.dequantize_row_into(t, m.row_mut(t));
+            }
+            m
+        };
+        let per_head = Pool::global()
+            .par_map(heads, |_, block| decode_head(block))
+            .unwrap_or_else(|_| heads.iter().map(decode_head).collect());
+        let mut out = Matrix::zeros(len, self.kv_dim);
+        for (h, m) in per_head.iter().enumerate() {
+            for t in 0..len {
+                out.row_mut(t)[h * hd..(h + 1) * hd].copy_from_slice(m.row(t));
             }
         }
         out

@@ -18,6 +18,7 @@ use crate::gptq::{gptq_quantize, rtn_quantize, GptqConfig, QuantizedWeight};
 use atom_kernels::gemm::mixed_gemm;
 use atom_kernels::{GroupQuantized, QuantSpec};
 use atom_nn::{DenseLinear, LinearLayer};
+use atom_parallel::Pool;
 use atom_telemetry::{names, span, Telemetry};
 use atom_tensor::f16::round_f16;
 use atom_tensor::Matrix;
@@ -77,6 +78,33 @@ impl AtomLinearConfig {
 }
 
 /// A linear layer executing Atom's quantized inference path.
+///
+/// # Example
+///
+/// Quantize a dense layer to W4A4 with two INT8 outlier channels and run a
+/// forward pass; the quantized output stays close to the FP32 reference:
+///
+/// ```
+/// use atom::{AtomLinearConfig, QuantizedLinear, ReorderPlan};
+/// use atom_nn::{DenseLinear, LinearLayer};
+/// use atom_tensor::SeededRng;
+///
+/// let mut rng = SeededRng::new(1);
+/// let dense = DenseLinear::new(rng.normal_matrix(24, 64, 0.0, 0.3));
+/// let x = rng.normal_matrix(4, 64, 0.0, 1.0);
+///
+/// let plan = ReorderPlan::from_outlier_set(64, &[5, 40]);
+/// let cfg = AtomLinearConfig {
+///     use_gptq: false, // GPTQ needs a calibration Gram matrix
+///     ..AtomLinearConfig::w4a4(2)
+/// };
+/// let q = QuantizedLinear::quantize(&dense, plan, None, &cfg);
+///
+/// let exact = dense.forward(&x);
+/// let approx = q.forward(&x);
+/// let rel = approx.sub(&exact).frob_norm() / exact.frob_norm();
+/// assert!(rel < 0.15, "W4A4 forward error {rel}");
+/// ```
 #[derive(Debug, Clone)]
 pub struct QuantizedLinear {
     plan: ReorderPlan,
@@ -220,7 +248,9 @@ impl QuantizedLinear {
         };
         match scales {
             Some(shared) => GroupQuantized::quantize_with_shared_scales(x, spec, shared),
-            None => GroupQuantized::quantize(x, spec),
+            // Dynamic per-token quantization is row-independent, so the
+            // pool-parallel path packs the same bytes as the sequential one.
+            None => GroupQuantized::quantize_with(Pool::global(), x, spec),
         }
     }
 

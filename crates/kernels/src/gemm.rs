@@ -14,6 +14,7 @@
 
 use crate::group::GroupQuantized;
 use crate::KernelError;
+use atom_parallel::Pool;
 use atom_telemetry::{names, span, Telemetry};
 use atom_tensor::Matrix;
 
@@ -51,11 +52,50 @@ pub fn int_gemm_i32(a: &[i8], b_t: &[i8], m: usize, n: usize, k: usize) -> Vec<i
 /// INT4 activations against INT8 outlier weights never happens — regions
 /// match — but W4A8-style mixes are legal).
 ///
+/// Runs on the process-wide [`Pool`] (see [`fused_group_gemm_with`] for an
+/// explicit pool); output bits are identical for any thread count because
+/// each output row is computed independently by exactly the loop nest below.
+///
 /// # Errors
 ///
 /// Returns [`KernelError::ShapeMismatch`] when inner dimensions or group
 /// sizes disagree.
+///
+/// # Example
+///
+/// ```
+/// use atom_kernels::{fused_group_gemm, GroupQuantized, QuantSpec};
+/// use atom_tensor::Matrix;
+///
+/// let spec = QuantSpec::new(4, 16); // INT4, groups of 16 (paper's W4A4)
+/// let a = GroupQuantized::quantize(&Matrix::full(2, 32, 0.5), spec);
+/// let w = GroupQuantized::quantize(&Matrix::full(3, 32, 0.25), spec);
+/// let out = fused_group_gemm(&a, &w).expect("shapes agree");
+/// assert_eq!((out.rows(), out.cols()), (2, 3));
+/// // The fused pipeline matches dequantize-then-FP32-GEMM up to summation
+/// // order; 32 x (0.5 * 0.25) = 4.0 up to INT4 rounding.
+/// let reference = atom_kernels::gemm::reference_gemm(&a, &w);
+/// assert!((out.row(0)[0] - reference.row(0)[0]).abs() < 1e-5);
+/// assert!((out.row(0)[0] - 4.0).abs() < 1.0);
+/// ```
 pub fn fused_group_gemm(a: &GroupQuantized, w: &GroupQuantized) -> Result<Matrix, KernelError> {
+    fused_group_gemm_with(Pool::global(), a, w)
+}
+
+/// [`fused_group_gemm`] on an explicit [`Pool`], parallelized over output
+/// rows. Every row is an exclusive output tile written by one chunk, so the
+/// result is bit-identical to `Pool::sequential()` for any thread count.
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] when inner dimensions or group
+/// sizes disagree, and [`KernelError::WorkerPanic`] if a parallel worker
+/// panicked (the panic is contained, not propagated).
+pub fn fused_group_gemm_with(
+    pool: &Pool,
+    a: &GroupQuantized,
+    w: &GroupQuantized,
+) -> Result<Matrix, KernelError> {
     if a.cols() != w.cols() {
         return Err(KernelError::ShapeMismatch(format!(
             "inner dimension: activations k={} vs weights k={}",
@@ -83,20 +123,24 @@ pub fn fused_group_gemm(a: &GroupQuantized, w: &GroupQuantized) -> Result<Matrix
 
     // Unpack both operands once (the GPU kernel streams packed data through
     // shared memory; on CPU a one-shot unpack plays the same role).
-    let av = a.values().unpack();
-    let wv = w.values().unpack();
+    let av = a.values().unpack_with(pool);
+    let wv = w.values().unpack_with(pool);
     let a_scales = a.scales();
     let w_scales = w.scales();
 
     // The loop nest walks both operands as K-sized rows and both scale
     // matrices as group-aligned rows; `chunks`/`zip` make every access
     // bounds-check-free and total (`scales` has one column per K-group, so
-    // the group walk is bounded exactly as before).
+    // the group walk is bounded exactly as before). Rows parallelize as
+    // one-row chunks: chunk i owns out[i*n .. (i+1)*n] exclusively and is
+    // computed by the same sequential code at any pool width.
     let group = group.max(1);
     let mut out = Matrix::zeros(m, n);
-    for (i, ar) in av.chunks_exact(k.max(1)).enumerate().take(m) {
+    pool.par_chunks_mut(out.as_mut_slice(), n.max(1), |i, out_row| {
+        let Some(ar) = av.get(i * k..(i + 1) * k) else {
+            return;
+        };
         let sa = a_scales.row(i);
-        let out_row = out.row_mut(i);
         for ((br, sw_row), o) in wv
             .chunks_exact(k.max(1))
             .zip(w_scales.iter_rows())
@@ -119,7 +163,7 @@ pub fn fused_group_gemm(a: &GroupQuantized, w: &GroupQuantized) -> Result<Matrix
                 })
                 .sum();
         }
-    }
+    })?;
     Ok(out)
 }
 
@@ -138,14 +182,31 @@ pub fn mixed_gemm(
     w_normal: &GroupQuantized,
     outliers: Option<(&GroupQuantized, &GroupQuantized)>,
 ) -> Result<Matrix, KernelError> {
-    let mut out = fused_group_gemm(a_normal, w_normal)?;
+    mixed_gemm_with(Pool::global(), a_normal, w_normal, outliers)
+}
+
+/// [`mixed_gemm`] on an explicit [`Pool`]. Both regional GEMMs parallelize
+/// over rows; the FP32 region sum stays on the caller thread, so no
+/// reduction ever races.
+///
+/// # Errors
+///
+/// Propagates shape mismatches from the underlying fused GEMMs, and rejects
+/// row-count mismatches between the regions.
+pub fn mixed_gemm_with(
+    pool: &Pool,
+    a_normal: &GroupQuantized,
+    w_normal: &GroupQuantized,
+    outliers: Option<(&GroupQuantized, &GroupQuantized)>,
+) -> Result<Matrix, KernelError> {
+    let mut out = fused_group_gemm_with(pool, a_normal, w_normal)?;
     if let Some((a_out, w_out)) = outliers {
         if a_out.rows() != a_normal.rows() || w_out.rows() != w_normal.rows() {
             return Err(KernelError::ShapeMismatch(
                 "outlier region row counts disagree with normal region".into(),
             ));
         }
-        let o = fused_group_gemm(a_out, w_out)?;
+        let o = fused_group_gemm_with(pool, a_out, w_out)?;
         out.add_scaled_in_place(&o, 1.0);
     }
     Ok(out)

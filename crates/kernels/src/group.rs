@@ -16,6 +16,7 @@
 //! where one format feeds the INT4/INT8 tensor-core MMA.
 
 use crate::packed::PackedMatrix;
+use atom_parallel::Pool;
 use atom_tensor::f16::round_f16;
 use atom_tensor::Matrix;
 use serde::{Deserialize, Serialize};
@@ -141,6 +142,51 @@ impl GroupQuantized {
             values,
             scales,
         }
+    }
+
+    /// [`quantize`](Self::quantize) parallelized over row-blocks on `pool`.
+    ///
+    /// Every row quantizes independently (per-token dynamic quantization,
+    /// §4.3), so the per-block results reassemble — packed payload via
+    /// [`PackedMatrix::vstack`], scales via [`Matrix::vstack`] — into
+    /// exactly the bytes the sequential quantizer writes, for any thread
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid (same contract as
+    /// [`quantize`](Self::quantize)).
+    pub fn quantize_with(pool: &Pool, x: &Matrix, spec: QuantSpec) -> Self {
+        let rows = x.rows();
+        if pool.is_sequential() || rows <= 1 || spec.validate().is_err() {
+            // The invalid-spec case funnels into `quantize` so the
+            // documented panic fires on the caller thread, not a worker.
+            return Self::quantize(x, spec);
+        }
+        let block = rows.div_ceil(pool.threads().min(rows));
+        let starts: Vec<usize> = (0..rows).step_by(block.max(1)).collect();
+        let blocks = pool.par_map(&starts, |_, &s| {
+            Self::quantize(&x.slice_rows(s, (s + block).min(rows)), spec)
+        });
+        let stitched = blocks.ok().and_then(|bs| {
+            let values =
+                PackedMatrix::vstack(&bs.iter().map(|b| b.values.clone()).collect::<Vec<_>>())?;
+            let scales = bs
+                .iter()
+                .map(|b| &b.scales)
+                .fold(None::<Matrix>, |acc, s| match acc {
+                    None => Some(s.clone()),
+                    Some(a) => Some(a.vstack(s)),
+                })?;
+            Some(GroupQuantized {
+                spec,
+                values,
+                scales,
+            })
+        });
+        // The fallback arm is an unreachable backstop (blocks cover every
+        // row and share cols/bits); it keeps this path total.
+        stitched.unwrap_or_else(|| Self::quantize(x, spec))
     }
 
     /// The quantization spec.
@@ -280,6 +326,37 @@ impl GroupQuantized {
             }
         }
         out
+    }
+
+    /// [`dequantize`](Self::dequantize) parallelized over rows on `pool`;
+    /// each row decodes into its own disjoint output span, so the result is
+    /// bit-identical to the sequential dequantize for any thread count.
+    pub fn dequantize_with(&self, pool: &Pool) -> Matrix {
+        let (rows, cols) = (self.rows(), self.cols());
+        let group = self.spec.group.min(cols.max(1)).max(1);
+        let mut out = Matrix::zeros(rows, cols);
+        let ok = pool
+            .par_chunks_mut(out.as_mut_slice(), cols.max(1), |r, dst| {
+                let mut buf = vec![0i8; cols];
+                self.values.unpack_row(r, &mut buf);
+                let scale_row = self.scales.row(r);
+                for ((qchunk, dchunk), &s) in buf
+                    .chunks(group)
+                    .zip(dst.chunks_mut(group))
+                    .zip(scale_row)
+                {
+                    for (&q, d) in qchunk.iter().zip(dchunk) {
+                        *d = f32::from(q) * s;
+                    }
+                }
+            })
+            .is_ok();
+        // Unreachable backstop: the closure is total for every row index.
+        if ok {
+            out
+        } else {
+            self.dequantize()
+        }
     }
 
     /// Real memory footprint: packed integers plus 16-bit scales.

@@ -22,6 +22,7 @@
 //! clipping search) live in the `atom` crate and produce these containers.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 pub mod asym;
 pub mod attention;
 pub mod gemm;
@@ -29,6 +30,10 @@ pub mod group;
 pub mod packed;
 
 pub use asym::AsymQuantized;
+pub use attention::{
+    attention_quant_kv, attention_quant_kv_heads, attention_quant_kv_heads_with, QuantizedKvHead,
+};
+pub use gemm::{fused_group_gemm, fused_group_gemm_with, mixed_gemm, mixed_gemm_with};
 pub use group::{GroupQuantized, QuantSpec};
 pub use packed::PackedMatrix;
 
@@ -39,6 +44,9 @@ pub enum KernelError {
     ShapeMismatch(String),
     /// A quantization parameter is out of range.
     InvalidParameter(String),
+    /// A parallel worker panicked; the panic was contained by the pool and
+    /// surfaced as this error instead of aborting the process.
+    WorkerPanic(String),
 }
 
 impl std::fmt::Display for KernelError {
@@ -46,8 +54,15 @@ impl std::fmt::Display for KernelError {
         match self {
             KernelError::ShapeMismatch(s) => write!(f, "shape mismatch: {s}"),
             KernelError::InvalidParameter(s) => write!(f, "invalid parameter: {s}"),
+            KernelError::WorkerPanic(s) => write!(f, "parallel worker panic: {s}"),
         }
     }
 }
 
 impl std::error::Error for KernelError {}
+
+impl From<atom_parallel::PoolError> for KernelError {
+    fn from(e: atom_parallel::PoolError) -> Self {
+        KernelError::WorkerPanic(e.to_string())
+    }
+}

@@ -6,6 +6,7 @@
 //! values per byte). It is the storage substrate for both the symmetric
 //! group-quantized GEMM operands and the asymmetric KV-cache.
 
+use atom_parallel::Pool;
 use serde::{Deserialize, Serialize};
 
 /// A dense matrix of `bits`-wide signed integers (2 ≤ bits ≤ 8).
@@ -231,6 +232,54 @@ impl PackedMatrix {
             self.unpack_row(r, chunk);
         }
         out
+    }
+
+    /// [`unpack`](Self::unpack) parallelized over rows on `pool`. Each row
+    /// decodes into its own disjoint `cols`-wide output span by the same
+    /// [`unpack_row`](Self::unpack_row) code, so the buffer is byte-identical
+    /// to the sequential unpack for any thread count.
+    pub fn unpack_with(&self, pool: &Pool) -> Vec<i8> {
+        let mut out = vec![0i8; self.rows * self.cols];
+        // `rows * cols` divides evenly into `cols`-element chunks, so every
+        // chunk is a full row and `unpack_row`'s length assert always holds;
+        // the error arm is an unreachable backstop, served sequentially.
+        let ok = pool
+            .par_chunks_mut(&mut out, self.cols.max(1), |r, chunk| {
+                self.unpack_row(r, chunk);
+            })
+            .is_ok();
+        if ok {
+            out
+        } else {
+            self.unpack()
+        }
+    }
+
+    /// Stacks row-blocks vertically. Rows are byte-aligned (`row_stride`),
+    /// so stacking is exact payload concatenation — the parallel row-block
+    /// quantizer relies on this to reassemble per-block results into the
+    /// same bytes the sequential quantizer writes.
+    ///
+    /// Returns `None` when `blocks` is empty or the blocks disagree on
+    /// column count or bit width.
+    pub fn vstack(blocks: &[PackedMatrix]) -> Option<PackedMatrix> {
+        let first = blocks.first()?;
+        let (cols, bits, row_stride) = (first.cols, first.bits, first.row_stride);
+        if blocks.iter().any(|b| b.cols != cols || b.bits != bits) {
+            return None;
+        }
+        let rows = blocks.iter().map(|b| b.rows).sum();
+        let mut data = Vec::with_capacity(rows * row_stride);
+        for b in blocks {
+            data.extend_from_slice(&b.data);
+        }
+        Some(PackedMatrix {
+            rows,
+            cols,
+            bits,
+            row_stride,
+            data,
+        })
     }
 }
 

@@ -1,7 +1,11 @@
 //! Property-based tests of the kernel crate's quantization invariants.
 
-use atom_kernels::gemm::{fused_group_gemm, reference_gemm};
-use atom_kernels::{AsymQuantized, GroupQuantized, PackedMatrix, QuantSpec};
+use atom_kernels::gemm::{fused_group_gemm, fused_group_gemm_with, reference_gemm};
+use atom_kernels::{
+    attention_quant_kv_heads_with, AsymQuantized, GroupQuantized, PackedMatrix, QuantSpec,
+    QuantizedKvHead,
+};
+use atom_parallel::Pool;
 use atom_tensor::Matrix;
 use proptest::prelude::*;
 
@@ -109,6 +113,83 @@ proptest! {
         let reference = reference_gemm(&qa, &qw);
         for (x, y) in fused.as_slice().iter().zip(reference.as_slice()) {
             prop_assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn parallel_gemm_bit_identical_to_sequential(
+        seed in 0u64..300,
+        m in 1usize..8,
+        n in 1usize..8,
+        groups in 1usize..4,
+        bits in 3u8..=8,
+    ) {
+        // The determinism contract: pool width never changes a single
+        // output bit (disjoint row tiles, no atomics in reductions).
+        let k = groups * 8;
+        let mut rng = atom_tensor::SeededRng::new(seed);
+        let a = rng.normal_matrix(m, k, 0.0, 1.0);
+        let w = rng.normal_matrix(n, k, 0.0, 1.0);
+        let qa = GroupQuantized::quantize(&a, QuantSpec::new(bits, 8));
+        let qw = GroupQuantized::quantize(&w, QuantSpec::new(bits, 8));
+        let solo = fused_group_gemm_with(&Pool::sequential(), &qa, &qw).unwrap();
+        for threads in [2usize, 4, 8] {
+            let par = fused_group_gemm_with(&Pool::new(threads), &qa, &qw).unwrap();
+            prop_assert_eq!(solo.as_slice(), par.as_slice());
+        }
+    }
+
+    #[test]
+    fn parallel_quantization_bit_identical(
+        m in matrix(1..10, 8..40),
+        bits in 2u8..=8,
+        threads in 2usize..=8,
+    ) {
+        // Row-block quantization stitched with PackedMatrix::vstack must
+        // reproduce the sequential packing byte-for-byte.
+        let spec = QuantSpec::new(bits, 8);
+        let seq = GroupQuantized::quantize(&m, spec);
+        let par = GroupQuantized::quantize_with(&Pool::new(threads), &m, spec);
+        prop_assert_eq!(seq.values().unpack(), par.values().unpack());
+        prop_assert_eq!(seq.scales().as_slice(), par.scales().as_slice());
+        prop_assert_eq!(
+            seq.dequantize().as_slice(),
+            par.dequantize_with(&Pool::new(threads)).as_slice()
+        );
+    }
+
+    #[test]
+    fn parallel_attention_heads_bit_identical(
+        seed in 0u64..200,
+        heads in 1usize..6,
+        len in 1usize..10,
+        q_rows in 1usize..4,
+    ) {
+        let hd = 8usize;
+        let q_rows = q_rows.min(len); // queries may not exceed cached tokens
+        let mut rng = atom_tensor::SeededRng::new(seed);
+        let mut kv_heads = Vec::new();
+        let mut q_heads = Vec::new();
+        for _ in 0..heads {
+            let mut h = QuantizedKvHead::new(hd, 8);
+            h.append(
+                &rng.normal_matrix(len, hd, 0.0, 1.0),
+                &rng.normal_matrix(len, hd, 0.0, 1.0),
+            );
+            kv_heads.push(h);
+            q_heads.push(rng.normal_matrix(q_rows, hd, 0.0, 1.0));
+        }
+        let scale = 1.0 / (hd as f32).sqrt();
+        let solo =
+            attention_quant_kv_heads_with(&Pool::sequential(), &q_heads, &kv_heads, scale).unwrap();
+        for threads in [2usize, 4] {
+            let par =
+                attention_quant_kv_heads_with(&Pool::new(threads), &q_heads, &kv_heads, scale)
+                    .unwrap();
+            prop_assert_eq!(solo.len(), par.len());
+            for (s, p) in solo.iter().zip(&par) {
+                prop_assert_eq!(s.as_slice(), p.as_slice());
+            }
         }
     }
 

@@ -17,3 +17,8 @@ pub fn undeclared_const(t: &atom_telemetry::Telemetry) {
 pub fn proper_const(t: &atom_telemetry::Telemetry) {
     t.counter_add(names::GOOD, 1);
 }
+
+pub fn pool_worker_span(t: &atom_telemetry::Telemetry, w: usize, n: u64) {
+    let _s = t.span(names::SPAN_POOL_WORKER, &[("worker", w as u64)]);
+    t.record(names::POOL_UTILIZATION_PERMILLE, n);
+}

@@ -1,9 +1,10 @@
-//! Rule `panic-freedom`: no panicking constructs in `crates/serve` or the
-//! kernel hot paths (`crates/kernels`).
+//! Rule `panic-freedom`: no panicking constructs in `crates/serve`, the
+//! kernel hot paths (`crates/kernels`), or the thread pool
+//! (`crates/parallel`).
 //!
 //! PR 1 converted the serving stack to typed errors — a panic there kills
 //! every in-flight request in the batch instead of failing one of them with
-//! a [`Terminal::Failed`]-style outcome. The kernels sit under the engine's
+//! a `Terminal::Failed`-style outcome. The kernels sit under the engine's
 //! forward path, so the same contract extends to them. Flagged:
 //!
 //! * `.unwrap()` / `.expect(...)` (but not `unwrap_or*`, which are total)
@@ -22,8 +23,10 @@ use crate::lexer::{in_ranges, Lexed, TokKind};
 use crate::rules::KEYWORDS;
 use crate::{FileCtx, Finding, RULE_PANIC_FREEDOM};
 
-/// Crates covered by the panic-free contract.
-const SCOPED_CRATES: &[&str] = &["atom-serve", "atom-kernels"];
+/// Crates covered by the panic-free contract. `atom-parallel` is included
+/// because the pool's whole purpose is *containing* worker panics — a
+/// panicking construct inside the pool itself would defeat that guarantee.
+const SCOPED_CRATES: &[&str] = &["atom-serve", "atom-kernels", "atom-parallel"];
 
 const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
 

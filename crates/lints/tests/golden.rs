@@ -86,6 +86,15 @@ fn telemetry_names_fixture() {
     names
         .consts
         .insert("GOOD".into(), ("good.metric".into(), 1));
+    // Pool instrumentation names from the atom-parallel crate: declared
+    // here so their fixture usages lint clean and register as recorded.
+    names
+        .consts
+        .insert("SPAN_POOL_WORKER".into(), ("pool_worker".into(), 2));
+    names.consts.insert(
+        "POOL_UTILIZATION_PERMILLE".into(),
+        ("pool.utilization_permille".into(), 3),
+    );
     let mut used = Vec::new();
     let got: Vec<(&'static str, usize)> = lint_file(&ctx, &src, Some(&names), &mut used)
         .into_iter()
@@ -100,6 +109,35 @@ fn telemetry_names_fixture() {
     // The usage scan must register both referenced constants.
     assert!(used.contains(&"GOOD".to_string()));
     assert!(used.contains(&"NOT_DECLARED".to_string()));
+    // The pool span/histogram usages lint clean AND count as recorded, so
+    // the workspace bijection check knows atom-parallel covers its names.
+    assert!(used.contains(&"SPAN_POOL_WORKER".to_string()));
+    assert!(used.contains(&"POOL_UTILIZATION_PERMILLE".to_string()));
+}
+
+#[test]
+fn pool_telemetry_names_are_recorded_by_parallel_crate() {
+    // Guards the tentpole's observability contract: every `pool.*` metric
+    // and the worker span declared in `telemetry::names` must be recorded
+    // by production code in `crates/parallel` (the workspace-clean check
+    // would fail with an unused-name finding otherwise; this test pins the
+    // expectation explicitly so a rename in either place is caught here).
+    let report = lint_workspace(&workspace_root()).expect("workspace lints");
+    assert!(report.findings.is_empty(), "workspace must be clean");
+    let names_src = std::fs::read_to_string(workspace_root().join("crates/telemetry/src/names.rs"))
+        .expect("names table readable");
+    let pool_src = std::fs::read_to_string(workspace_root().join("crates/parallel/src/lib.rs"))
+        .expect("pool source readable");
+    for name in [
+        "POOL_TASKS",
+        "POOL_QUEUE_DEPTH",
+        "POOL_UTILIZATION_PERMILLE",
+        "POOL_REGION_WALL_NS",
+        "SPAN_POOL_WORKER",
+    ] {
+        assert!(names_src.contains(name), "{name} missing from names table");
+        assert!(pool_src.contains(name), "{name} not recorded by the pool");
+    }
 }
 
 #[test]

@@ -13,7 +13,10 @@ use atom_tensor::Matrix;
 ///
 /// Keys are stored *after* RoPE is applied, matching serving systems where
 /// the cache holds position-encoded keys.
-pub trait KvStore: std::fmt::Debug {
+///
+/// `Send` is a supertrait so boxed caches can move across the serving
+/// engine's scoped worker threads during batched prefill/decode.
+pub trait KvStore: std::fmt::Debug + Send {
     /// Appends `k` and `v` rows (one per new token) to layer `layer`.
     ///
     /// Both matrices are `new_tokens x kv_dim`.

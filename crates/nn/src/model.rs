@@ -10,6 +10,7 @@
 use crate::config::ModelConfig;
 use crate::kv::KvStore;
 use crate::linear::{DenseLinear, LinearLayer};
+use atom_parallel::Pool;
 use atom_telemetry::{names, span, Telemetry};
 use atom_tensor::cast;
 use atom_tensor::{ops, Matrix, SeededRng};
@@ -560,8 +561,13 @@ impl<L: LinearLayer> LlamaModel<L> {
         t.counter_add(names::OP_ATTENTION_CALLS, 1);
 
         let scale = 1.0 / cast::usize_to_f32(hd).sqrt();
-        let mut heads = Vec::with_capacity(c.heads);
-        for h in 0..c.heads {
+        // Heads are independent read-only functions of (q, keys, values);
+        // running them on the pool keeps each head's arithmetic identical to
+        // the sequential loop, so the concat below is bit-stable for any
+        // thread count. A worker panic (impossible for well-formed configs)
+        // falls back to the sequential loop, which re-raises it on the
+        // caller thread — preserving the panic contract.
+        let compute_head = |h: usize| {
             let kv_h = h / c.group_size();
             let q_h = q.slice_cols(h * hd, (h + 1) * hd);
             let k_h = keys.slice_cols(kv_h * hd, (kv_h + 1) * hd);
@@ -570,8 +576,12 @@ impl<L: LinearLayer> LlamaModel<L> {
             scores.scale_in_place(scale);
             ops::causal_mask_in_place(&mut scores, offset);
             let probs = ops::softmax_rows(&scores);
-            heads.push(probs.matmul(&v_h));
-        }
+            probs.matmul(&v_h)
+        };
+        let head_ids: Vec<usize> = (0..c.heads).collect();
+        let heads = Pool::global()
+            .par_map(&head_ids, |_, &h| compute_head(h))
+            .unwrap_or_else(|_| head_ids.iter().map(|&h| compute_head(h)).collect());
         let mut concat = heads[0].clone();
         for h in &heads[1..] {
             concat = concat.hstack(h);

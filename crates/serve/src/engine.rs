@@ -31,6 +31,7 @@ use crate::paged::PagedAllocator;
 use crate::scheduler::{BatchEvent, ContinuousBatcher};
 use atom_data::Request;
 use atom_nn::{KvStore, LinearLayer, LlamaModel};
+use atom_parallel::{Pool, PoolError};
 use atom_telemetry::{names, Telemetry};
 use atom_tensor::cast;
 use atom_tensor::ops;
@@ -167,6 +168,29 @@ struct SeqState {
     next_input: u16,
 }
 
+/// One unit of batched model work handed to the thread pool. `Some(prompt)`
+/// runs a full prefill forward; `None` advances the sequence by one decode
+/// token from `state.next_input`. Each job exclusively owns its state, so
+/// workers never share mutable data.
+struct ForwardJob {
+    id: usize,
+    state: SeqState,
+    prompt: Option<Vec<u16>>,
+}
+
+/// Job indices whose pool worker panicked (chunk size 1 ⇒ chunk index ==
+/// job index), plus the first panic message observed.
+struct PoolFailure {
+    failed: Vec<usize>,
+    message: String,
+}
+
+impl PoolFailure {
+    fn reason_for(&self, idx: usize) -> Option<&str> {
+        self.failed.contains(&idx).then_some(self.message.as_str())
+    }
+}
+
 /// Where engine metrics go: the process-global telemetry instance, or an
 /// engine-owned one (tests and benches that need isolation).
 #[derive(Clone)]
@@ -195,6 +219,35 @@ fn terminal_metric(terminal: &Terminal) -> &'static str {
 }
 
 /// CPU serving engine: continuous batching over a real model.
+///
+/// # Example
+///
+/// Serve two prompts to completion on a tiny FP32 model; every submission
+/// reaches exactly one terminal state and batching never changes tokens:
+///
+/// ```
+/// use atom_nn::{kv::Fp32KvCache, LlamaModel, ModelConfig};
+/// use atom_serve::CpuEngine;
+///
+/// let config = ModelConfig {
+///     dim: 32, layers: 1, heads: 4, kv_heads: 4, ffn_dim: 48,
+///     ..ModelConfig::default()
+/// };
+/// let model = LlamaModel::random_init(config, 3);
+/// let mut engine = CpuEngine::new(
+///     model,
+///     Box::new(move || Box::new(Fp32KvCache::new(config.layers, config.kv_dim()))),
+///     2,    // max batch
+///     1024, // KV pool tokens
+/// )
+/// .expect("valid config");
+/// let a = engine.submit(vec![1, 2, 3], 4).expect("accepted");
+/// engine.submit(vec![9, 8], 3).expect("accepted");
+/// let done = engine.run_to_completion();
+/// assert_eq!(done.len(), 2);
+/// let first = done.iter().find(|c| c.id == a).expect("completed");
+/// assert_eq!(first.tokens.len(), 4);
+/// ```
 pub struct CpuEngine<L: LinearLayer> {
     model: LlamaModel<L>,
     new_cache: CacheFactory,
@@ -213,6 +266,7 @@ pub struct CpuEngine<L: LinearLayer> {
     degraded_admissions: usize,
     rejected: usize,
     telemetry: TelemetrySink,
+    pool: Pool,
 }
 
 impl<L: LinearLayer> std::fmt::Debug for CpuEngine<L> {
@@ -272,7 +326,18 @@ impl<L: LinearLayer> CpuEngine<L> {
             degraded_admissions: 0,
             rejected: 0,
             telemetry: TelemetrySink::Global,
+            pool: *Pool::global(),
         })
+    }
+
+    /// Runs batched prefill and decode forwards on `pool` instead of the
+    /// process-wide pool. Scheduling decisions (admission, preemption,
+    /// deadline sweeps) never depend on the pool width, and each request's
+    /// forward is computed independently, so generated tokens are identical
+    /// for any thread count — including under chaos/fault schedules.
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Routes this engine's metrics into `telemetry` instead of the process
@@ -470,13 +535,14 @@ impl<L: LinearLayer> CpuEngine<L> {
                 .policy
                 .degrade_queue_depth
                 .is_some_and(|d| self.batcher.queued() >= d);
+        let mut prefill_jobs: Vec<ForwardJob> = Vec::new();
         for req in self.batcher.complete_prefill() {
             let Some(prompt) = self.prompts.get(&req.id).cloned() else {
                 debug_assert!(false, "prefill without stored prompt");
                 continue;
             };
             let degraded = pressured && self.degraded_cache.is_some();
-            let mut cache = match (&self.degraded_cache, degraded) {
+            let cache = match (&self.degraded_cache, degraded) {
                 (Some(factory), true) => factory(),
                 _ => (self.new_cache)(),
             };
@@ -487,16 +553,32 @@ impl<L: LinearLayer> CpuEngine<L> {
                     stats.degraded_kv = true;
                 }
             }
-            let logits = self.model.forward(&prompt, cache.as_mut());
-            let first = cast::usize_to_u16_saturating(ops::argmax(logits.row(logits.rows() - 1)));
-            self.states.insert(
-                req.id,
-                SeqState {
+            prefill_jobs.push(ForwardJob {
+                id: req.id,
+                state: SeqState {
                     cache,
                     generated: Vec::new(),
-                    next_input: first,
+                    next_input: 0,
                 },
-            );
+                prompt: Some(prompt),
+            });
+        }
+        // One chunk per request: every worker shares `&self.model` read-only
+        // and owns its job's cache exclusively, so the first tokens match
+        // the sequential loop bit-for-bit at any pool width; a panicking
+        // forward fails only its own request (terminalized below).
+        let prefill_failed = self.run_forwards(&mut prefill_jobs);
+        for (idx, job) in prefill_jobs.into_iter().enumerate() {
+            if let Some(reason) = prefill_failed.reason_for(idx) {
+                self.terminalize(
+                    job.id,
+                    Terminal::Failed {
+                        reason: format!("prefill worker panic: {reason}"),
+                    },
+                );
+                continue;
+            }
+            self.states.insert(job.id, job.state);
         }
 
         // Injected forward fault: kill one in-flight sequence, surfacing a
@@ -527,8 +609,9 @@ impl<L: LinearLayer> CpuEngine<L> {
         // predicting the advanced set from a pre-step snapshot drops tokens.)
         let events = self.batcher.step_decode();
         let advanced = self.batcher.last_advanced_ids().to_vec();
+        let mut decode_jobs: Vec<ForwardJob> = Vec::new();
         for id in &advanced {
-            let Some(state) = self.states.get_mut(id) else {
+            let Some(mut state) = self.states.remove(id) else {
                 debug_assert!(false, "decoding sequence {id} without state");
                 continue;
             };
@@ -537,10 +620,22 @@ impl<L: LinearLayer> CpuEngine<L> {
             if let Some(stats) = self.meta.get_mut(id) {
                 stats.first_token_step.get_or_insert(self.clock);
             }
-            let logits = self
-                .model
-                .forward(&[state.next_input], state.cache.as_mut());
-            state.next_input = cast::usize_to_u16_saturating(ops::argmax(logits.row(0)));
+            decode_jobs.push(ForwardJob {
+                id: *id,
+                state,
+                prompt: None,
+            });
+        }
+        // Same disjoint-ownership argument as prefill: each decode forward
+        // touches only its own job, so the token stream is identical for any
+        // pool width; a panic poisons only its own sequence.
+        let decode_failed = self.run_forwards(&mut decode_jobs);
+        let mut poisoned: Vec<(usize, String)> = Vec::new();
+        for (idx, job) in decode_jobs.into_iter().enumerate() {
+            if let Some(reason) = decode_failed.reason_for(idx) {
+                poisoned.push((job.id, reason.to_string()));
+            }
+            self.states.insert(job.id, job.state);
         }
         if !advanced.is_empty() {
             self.decode_steps += 1;
@@ -587,8 +682,50 @@ impl<L: LinearLayer> CpuEngine<L> {
                 BatchEvent::Admitted(_) => {}
             }
         }
+        // A sequence whose decode forward panicked fails — unless the token
+        // pushed this step already finished it, in which case the lost
+        // logits would have been discarded anyway and the completion stands.
+        for (id, reason) in poisoned {
+            if self.meta.contains_key(&id) {
+                self.terminalize(
+                    id,
+                    Terminal::Failed {
+                        reason: format!("decode worker panic: {reason}"),
+                    },
+                );
+            }
+        }
         self.batcher.disarm_alloc_fault();
         true
+    }
+
+    /// Runs every job's model forward on the engine pool and picks its next
+    /// token by argmax over the final logits row. Chunk size 1 means the
+    /// pool's failed-chunk indices are exactly job indices, so a panic in
+    /// one forward is attributable to — and fails — a single request.
+    fn run_forwards(&self, jobs: &mut [ForwardJob]) -> PoolFailure {
+        let model = &self.model;
+        match self.pool.par_chunks_mut(jobs, 1, |_, chunk| {
+            let Some(job) = chunk.first_mut() else { return };
+            let logits = match &job.prompt {
+                Some(prompt) => model.forward(prompt, job.state.cache.as_mut()),
+                None => model.forward(&[job.state.next_input], job.state.cache.as_mut()),
+            };
+            let last = logits.rows().saturating_sub(1);
+            job.state.next_input = cast::usize_to_u16_saturating(ops::argmax(logits.row(last)));
+        }) {
+            Ok(()) => PoolFailure {
+                failed: Vec::new(),
+                message: String::new(),
+            },
+            Err(PoolError::WorkerPanic {
+                failed_chunks,
+                message,
+            }) => PoolFailure {
+                failed: failed_chunks,
+                message,
+            },
+        }
     }
 
     /// Runs until every submitted request reaches a terminal state.
@@ -733,6 +870,106 @@ mod tests {
         let batched_all = batched.run_to_completion().to_vec();
         let same = batched_all.iter().find(|c| c.id == 0).unwrap();
         assert_eq!(same.tokens, solo_out);
+    }
+
+    #[test]
+    fn token_streams_bit_identical_across_pool_widths() {
+        // The determinism contract: pool width changes wall-clock only,
+        // never a single generated token or terminal state.
+        let run = |threads: usize| {
+            let mut e = tiny_engine(3, 1024).with_pool(Pool::new(threads));
+            e.submit(vec![10, 20, 30], 5).unwrap();
+            e.submit(vec![42, 17], 7).unwrap();
+            e.submit(vec![7, 8, 9, 10], 4).unwrap();
+            let mut done = e.run_to_completion().to_vec();
+            done.sort_by_key(|c| c.id);
+            done.iter()
+                .map(|c| (c.id, c.tokens.clone()))
+                .collect::<Vec<_>>()
+        };
+        let solo = run(1);
+        assert_eq!(solo, run(2));
+        assert_eq!(solo, run(4));
+        assert_eq!(solo, run(8));
+    }
+
+    /// A linear layer that panics whenever it sees an activation with a
+    /// specific row count — rows == prompt length during prefill, rows == 1
+    /// during decode — so one request's forward can be poisoned on demand.
+    #[derive(Debug)]
+    struct PanickyLinear {
+        inner: DenseLinear,
+        panic_rows: usize,
+    }
+
+    impl LinearLayer for PanickyLinear {
+        fn forward(&self, x: &atom_tensor::Matrix) -> atom_tensor::Matrix {
+            assert!(x.rows() != self.panic_rows, "injected layer panic");
+            self.inner.forward(x)
+        }
+        fn in_features(&self) -> usize {
+            self.inner.in_features()
+        }
+        fn out_features(&self) -> usize {
+            self.inner.out_features()
+        }
+    }
+
+    fn panicky_engine(panic_rows: usize, threads: usize) -> CpuEngine<PanickyLinear> {
+        let config = tiny_config();
+        let model = LlamaModel::random_init(config, 3).map_linears(|_, l| PanickyLinear {
+            inner: l,
+            panic_rows,
+        });
+        CpuEngine::new(
+            model,
+            Box::new(move || Box::new(Fp32KvCache::new(config.layers, config.kv_dim()))),
+            4,
+            1024,
+        )
+        .expect("valid config")
+        .with_pool(Pool::new(threads))
+    }
+
+    #[test]
+    fn prefill_worker_panic_fails_only_its_request() {
+        // Prompts of length 2/3/4; layers panic at 3 rows, so exactly the
+        // middle request's prefill dies. The process survives, the victim
+        // terminalizes Failed, and the other requests complete untouched.
+        let mut e = panicky_engine(3, 2);
+        let ok_a = e.submit(vec![1, 2], 3).unwrap();
+        let bad = e.submit(vec![1, 2, 3], 3).unwrap();
+        let ok_b = e.submit(vec![1, 2, 3, 4], 3).unwrap();
+        let done = e.run_to_completion().to_vec();
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().any(|c| c.id == ok_a));
+        assert!(done.iter().any(|c| c.id == ok_b));
+        let outcome = e.outcomes().iter().find(|o| o.id == bad).expect("terminal");
+        match &outcome.terminal {
+            Terminal::Failed { reason } => {
+                assert!(reason.contains("prefill worker panic"), "reason: {reason}")
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_worker_panic_fails_request_with_typed_terminal() {
+        // Layers panic at 1 row: prefill (2 rows) succeeds, the first
+        // decode forward dies. The request fails typed, keeping the token
+        // it had already committed.
+        let mut e = panicky_engine(1, 2);
+        let id = e.submit(vec![1, 2], 3).unwrap();
+        e.run_to_completion();
+        assert!(e.completions().is_empty());
+        let outcome = e.outcomes().iter().find(|o| o.id == id).expect("terminal");
+        match &outcome.terminal {
+            Terminal::Failed { reason } => {
+                assert!(reason.contains("decode worker panic"), "reason: {reason}")
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert_eq!(outcome.tokens.len(), 1, "first token was already committed");
     }
 
     #[test]

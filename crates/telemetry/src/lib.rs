@@ -6,7 +6,7 @@
 //!   in a [`MetricsRegistry`] ([`metrics`]).
 //! * **Spans** — scoped wall-time tracing via the [`span!`] macro, exported
 //!   as Chrome `trace_event` JSON for `chrome://tracing`/Perfetto
-//!   ([`span`], [`export::chrome_trace`]).
+//!   ([`mod@span`], [`export::chrome_trace`]).
 //! * **Exporters** — Prometheus text and JSON renderings of a metrics
 //!   snapshot ([`export`]).
 //!
@@ -35,6 +35,7 @@
 //! assert_eq!(snap.histograms[names::OP_GEMM_WALL_NS].count, 1);
 //! ```
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod export;
 pub mod metrics;

@@ -79,6 +79,17 @@ pub const ENGINE_TERMINAL_FAILED: &str = "engine.terminal.failed";
 /// Requests rejected at admission.
 pub const ENGINE_TERMINAL_REJECTED: &str = "engine.terminal.rejected";
 
+/// Chunks dispatched into thread-pool parallel regions (counter).
+pub const POOL_TASKS: &str = "pool.tasks";
+/// Chunks waiting to execute when a parallel region dispatches (gauge;
+/// returns to 0 when the region joins).
+pub const POOL_QUEUE_DEPTH: &str = "pool.queue.depth";
+/// Worker busy time over `threads x region wall`, in permille 0..=1000
+/// (histogram) — 1000 means every worker was busy for the whole region.
+pub const POOL_UTILIZATION_PERMILLE: &str = "pool.utilization_permille";
+/// Wall time of one parallel region, dispatch to join (histogram, ns).
+pub const POOL_REGION_WALL_NS: &str = "pool.region.wall_ns";
+
 /// Span covering one full model forward pass.
 pub const SPAN_MODEL_FORWARD: &str = "model_forward";
 /// Span covering one attention layer inside a forward pass.
@@ -91,3 +102,5 @@ pub const SPAN_GEMM_W4A4: &str = "gemm_w4a4";
 pub const SPAN_ATTENTION_QUANT_KV: &str = "attention_quant_kv";
 /// Span covering the dequantize/requantize epilogue of a quantized linear.
 pub const SPAN_QUANT_EPILOGUE: &str = "quant_epilogue";
+/// Span covering one worker's share of a thread-pool parallel region.
+pub const SPAN_POOL_WORKER: &str = "pool_worker";

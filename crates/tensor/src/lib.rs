@@ -24,6 +24,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 pub mod cast;
 pub mod f16;
 pub mod matrix;
