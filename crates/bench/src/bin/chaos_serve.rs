@@ -11,9 +11,11 @@
 #![forbid(unsafe_code)]
 use atom::pipeline::{AtomScheme, Scheme};
 use atom::{Calibration, QuantizedKvCache};
+use atom_gateway::{synth_prompt, Gateway, GatewayConfig, TenantSpec};
 use atom_nn::kv::Fp32KvCache;
 use atom_nn::zoo;
 use atom_serve::engine::CpuEngine;
+use atom_serve::fault::FaultRates;
 use atom_serve::{FaultPlan, PressurePolicy, SubmitOptions, Terminal};
 use std::fmt::Write as _;
 
@@ -27,12 +29,13 @@ fn main() {
     let model = zoo::trained(zoo::ZooId::Tiny);
     let calib = Calibration::collect(&model, &zoo::calibration_sequences(64), true, 2);
     let quantized = Scheme::Atom(AtomScheme::w4a4()).quantize(&model, &calib);
-    let config = *quantized.model.config();
+    let weights = quantized.model;
+    let config = *weights.config();
 
     let plan = FaultPlan::seeded(seed, 600, 0.25, 0.02);
     let planned_faults = plan.fault_count();
     let mut engine = CpuEngine::new(
-        quantized.model,
+        weights.clone(),
         Box::new(move || Box::new(Fp32KvCache::new(config.layers, config.kv_dim()))),
         MAX_BATCH,
         KV_POOL_TOKENS,
@@ -98,9 +101,15 @@ fn main() {
     let injected = engine.batcher().allocator().injected_failures();
     let leaked = engine.batcher().allocator().used_blocks();
 
+    // Scenario 2: gateway drain under fire. Accepted requests are mid-retry
+    // and mid-flight when the drain begins, and the grace window is short
+    // enough that force-drain fires — every accepted request must still get
+    // exactly one terminal, none lost.
+    let drain = drain_under_fault(&weights, seed);
+
     // Invariant checks: collect every violation so a broken run reports all
     // of them, then fail with a non-zero exit (CI gates on this).
-    let mut violations: Vec<String> = Vec::new();
+    let mut violations: Vec<String> = drain.violations.clone();
     if engine.outcomes().len() != submitted {
         violations.push(format!(
             "expected exactly one terminal state per submission: {} outcomes for {submitted} submissions",
@@ -139,6 +148,10 @@ fn main() {
         row("planned fault points", planned_faults),
         row("tokens generated", tokens),
         row("engine steps", engine.steps()),
+        row("drain scenario: offered", drain.offered),
+        row("drain scenario: accepted", drain.accepted),
+        row("drain scenario: completed", drain.completed),
+        row("drain scenario: force-failed", drain.force_failed),
     ];
     let table = atom_bench::table(&["counter", "value"], &rows);
 
@@ -150,7 +163,9 @@ fn main() {
     );
     let _ = writeln!(
         content,
-        "invariants held: one terminal per submission, 0 leaked KV blocks ({elapsed:.2}s wall)"
+        "invariants held: one terminal per submission, 0 leaked KV blocks; gateway\n\
+         drain-under-fault: {} accepted, {} terminals, zero lost ({elapsed:.2}s wall)",
+        drain.accepted, drain.accepted,
     );
     atom_bench::emit("chaos_serve", &content);
 
@@ -162,7 +177,13 @@ fn main() {
          \"cancelled\": {cancelled},\n  \"deadline_exceeded\": {expired},\n  \"failed\": {failed},\n  \
          \"preemptions\": {preemptions},\n  \"degraded_admissions\": {degraded},\n  \
          \"alloc_faults_fired\": {injected},\n  \"planned_fault_points\": {planned_faults},\n  \
-         \"tokens_generated\": {tokens},\n  \"engine_steps\": {steps},\n  \"leaked_blocks\": {leaked}\n}}\n",
+         \"tokens_generated\": {tokens},\n  \"engine_steps\": {steps},\n  \"leaked_blocks\": {leaked},\n  \
+         \"drain_offered\": {},\n  \"drain_accepted\": {},\n  \"drain_completed\": {},\n  \
+         \"drain_force_failed\": {}\n}}\n",
+        drain.offered,
+        drain.accepted,
+        drain.completed,
+        drain.force_failed,
         steps = engine.steps(),
     );
     let path = atom_bench::results_dir().join("chaos_serve.json");
@@ -172,4 +193,126 @@ fn main() {
 
 fn row(name: &str, v: usize) -> Vec<String> {
     vec![name.to_string(), v.to_string()]
+}
+
+struct DrainStats {
+    offered: usize,
+    accepted: usize,
+    completed: usize,
+    force_failed: usize,
+    violations: Vec<String>,
+}
+
+/// Gateway drain while a dense fault plan is firing: offers a burst, lets
+/// it get mid-flight (some requests parked in retry backoff), then drains
+/// with a grace window short enough that force-drain fires. Checks that
+/// every accepted request still reaches exactly one terminal and none are
+/// lost across the drain.
+fn drain_under_fault(weights: &atom_nn::LlamaModel<atom::AnyLinear>, seed: u64) -> DrainStats {
+    let config = *weights.config();
+    let engine = CpuEngine::new(
+        weights.clone(),
+        Box::new(move || Box::new(Fp32KvCache::new(config.layers, config.kv_dim()))),
+        MAX_BATCH,
+        KV_POOL_TOKENS,
+    )
+    .expect("valid engine config")
+    .with_degraded_cache(Box::new(move || {
+        Box::new(QuantizedKvCache::new(
+            config.layers,
+            config.kv_dim(),
+            config.head_dim(),
+            4,
+        ))
+    }))
+    .with_policy(PressurePolicy {
+        degrade_kv_at: 0.5,
+        degrade_queue_depth: Some(4),
+        shed_queue_depth: Some(18),
+    })
+    .with_fault_plan(FaultPlan::seeded_chaos(
+        seed ^ 0xD7A1,
+        400,
+        FaultRates {
+            alloc: 0.10,
+            forward: 0.08,
+            timeout: 0.05,
+            cancel: 0.03,
+        },
+    ));
+
+    let mut cfg = GatewayConfig::new(vec![
+        TenantSpec::new("drain-a", 2, 1).with_rate(8_000, 16_000),
+        TenantSpec::new("drain-b", 1, 0).with_rate(8_000, 16_000),
+    ])
+    .with_seed(seed);
+    cfg.drain_grace_ticks = 16; // short on purpose: force-drain must fire
+    let mut gw = match Gateway::new(engine, cfg) {
+        Ok(gw) => gw,
+        Err(e) => {
+            return DrainStats {
+                offered: 0,
+                accepted: 0,
+                completed: 0,
+                force_failed: 0,
+                violations: vec![format!("drain scenario: gateway refused config: {e}")],
+            }
+        }
+    };
+
+    let mut offered = 0usize;
+    for i in 0..20usize {
+        let tenant = i % 2;
+        let deadline = if i % 3 == 0 { Some(40) } else { None };
+        let _ = gw.offer(tenant, synth_prompt(i, 4 + (i * 5) % 24), 6 + (i * 3) % 12, deadline);
+        offered += 1;
+    }
+    // Let the burst get mid-flight (and some attempts fail into retry
+    // parking) before pulling the plug.
+    for _ in 0..6 {
+        gw.tick();
+    }
+    gw.begin_drain();
+    let converged = gw.run_until_idle(600);
+
+    let accepted = usize::try_from(gw.accepted()).unwrap_or(usize::MAX);
+    let mut violations = Vec::new();
+    if !converged {
+        violations.push("drain scenario: gateway did not reach idle".to_string());
+    }
+    if gw.outcomes().len() != accepted {
+        violations.push(format!(
+            "drain scenario lost requests: {} terminals for {accepted} accepted",
+            gw.outcomes().len()
+        ));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for o in gw.outcomes() {
+        if !seen.insert(o.id) {
+            violations.push(format!(
+                "drain scenario: request {} has more than one terminal record",
+                o.id
+            ));
+        }
+    }
+    let completed = gw
+        .outcomes()
+        .iter()
+        .filter(|o| o.terminal.is_completed())
+        .count();
+    let force_failed = gw
+        .outcomes()
+        .iter()
+        .filter(|o| {
+            matches!(&o.terminal,
+                atom_gateway::GatewayTerminal::Failed { reason } if reason.contains("drained"))
+        })
+        .count();
+    DrainStats {
+        offered,
+        accepted,
+        completed,
+        force_failed,
+        violations,
+    }
 }

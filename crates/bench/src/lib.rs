@@ -18,6 +18,7 @@
 //! | `table4_generality` | Table 4 — Llama-2-like / MoE / FP4 |
 //! | `table5_kernel_ablation` | §5.4.2 — fused-kernel TOPS and reorder fusion |
 //! | `chaos_serve` | robustness — engine under seeded faults + KV pressure |
+//! | `slo_gate` | robustness — gateway SLO attainment under chaos, 1/2/8 threads |
 //!
 //! Each binary prints an aligned text table and writes the same content to
 //! `results/<name>.txt`. Criterion benches (`cargo bench -p atom-bench`)

@@ -14,6 +14,9 @@
 //!   for PIQA, ARC-e, ARC-c, BoolQ, HellaSwag, and WinoGrande.
 //! - [`workload`] — a ShareGPT-like request-length and arrival model for the
 //!   end-to-end serving experiments (Fig. 10).
+//! - [`traffic`] — open-loop multi-tenant arrival traces (diurnal, bursty,
+//!   flash-crowd) at simulated millions-of-users scale for the gateway's
+//!   overload and SLO experiments.
 //!
 //! Everything is seeded and exactly reproducible.
 //!
@@ -33,9 +36,11 @@
 pub mod corpus;
 pub mod tasks;
 pub mod tokenizer;
+pub mod traffic;
 pub mod workload;
 
 pub use corpus::{Corpus, CorpusStyle};
 pub use tasks::{Task, TaskKind, TaskSuite};
 pub use tokenizer::Tokenizer;
+pub use traffic::{Arrival, ArrivalPattern, TenantTraffic, TrafficSpec};
 pub use workload::{Request, WorkloadSpec};

@@ -1,0 +1,188 @@
+//! Circuit breaker: windowed failure counting mapped onto brownout tiers.
+//!
+//! Instead of a binary open/closed breaker, overload response is a
+//! four-rung *brownout ladder* (Atom's quality/throughput trade made
+//! operational): first degrade new admissions to quantized KV — cheaper
+//! and slightly lossier, the paper's own knob — then shed low-priority
+//! tenants, then refuse everything. Tripping up is instant; recovery
+//! steps down one rung per cooldown so a still-sick backend is re-probed
+//! gently rather than slammed.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::BreakerConfig;
+
+/// Overload response tier, in escalation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BrownoutTier {
+    /// Full service.
+    Normal,
+    /// New admissions get quantized (degraded) KV caches.
+    DegradedKv,
+    /// Tenants below the priority floor are refused.
+    ShedLowPriority,
+    /// Every offer is refused with a retry-after.
+    RejectAll,
+}
+
+impl BrownoutTier {
+    /// Numeric level for gauges and reports: 0 normal .. 3 reject-all.
+    pub fn level(self) -> i64 {
+        match self {
+            BrownoutTier::Normal => 0,
+            BrownoutTier::DegradedKv => 1,
+            BrownoutTier::ShedLowPriority => 2,
+            BrownoutTier::RejectAll => 3,
+        }
+    }
+
+    /// The next tier toward normal (saturating).
+    fn step_down(self) -> Self {
+        match self {
+            BrownoutTier::Normal | BrownoutTier::DegradedKv => BrownoutTier::Normal,
+            BrownoutTier::ShedLowPriority => BrownoutTier::DegradedKv,
+            BrownoutTier::RejectAll => BrownoutTier::ShedLowPriority,
+        }
+    }
+}
+
+impl std::fmt::Display for BrownoutTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrownoutTier::Normal => write!(f, "normal"),
+            BrownoutTier::DegradedKv => write!(f, "degraded-kv"),
+            BrownoutTier::ShedLowPriority => write!(f, "shed-low-priority"),
+            BrownoutTier::RejectAll => write!(f, "reject-all"),
+        }
+    }
+}
+
+/// Sliding-window circuit breaker.
+///
+/// Call [`observe`] exactly once per gateway tick with that tick's
+/// failure count; it returns the tier to apply for the next tick.
+///
+/// [`observe`]: Breaker::observe
+#[derive(Debug, Clone)]
+pub struct Breaker {
+    cfg: BreakerConfig,
+    window: VecDeque<u64>,
+    tier: BrownoutTier,
+    calm_ticks: u64,
+}
+
+impl Breaker {
+    /// A closed (normal) breaker with the given thresholds.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Breaker {
+            cfg,
+            window: VecDeque::new(),
+            tier: BrownoutTier::Normal,
+            calm_ticks: 0,
+        }
+    }
+
+    /// Current tier without observing anything.
+    pub fn tier(&self) -> BrownoutTier {
+        self.tier
+    }
+
+    /// Failures summed over the current window.
+    pub fn windowed_failures(&self) -> u64 {
+        self.window.iter().sum()
+    }
+
+    /// Feeds one tick's failure count and returns the tier to apply.
+    ///
+    /// Escalation is immediate; de-escalation happens one tier at a time
+    /// after `cooldown_ticks` consecutive ticks in which the windowed sum
+    /// maps to a calmer tier than the current one.
+    pub fn observe(&mut self, failures: u64) -> BrownoutTier {
+        self.window.push_back(failures);
+        while self.window.len() > self.cfg.window_ticks.max(1) {
+            self.window.pop_front();
+        }
+        let sum = self.windowed_failures();
+        let desired = if sum >= self.cfg.reject_failures {
+            BrownoutTier::RejectAll
+        } else if sum >= self.cfg.shed_failures {
+            BrownoutTier::ShedLowPriority
+        } else if sum >= self.cfg.degrade_failures {
+            BrownoutTier::DegradedKv
+        } else {
+            BrownoutTier::Normal
+        };
+        if desired >= self.tier {
+            self.tier = desired;
+            self.calm_ticks = 0;
+        } else {
+            self.calm_ticks += 1;
+            if self.calm_ticks >= self.cfg.cooldown_ticks.max(1) {
+                self.tier = self.tier.step_down();
+                self.calm_ticks = 0;
+            }
+        }
+        self.tier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            window_ticks: 4,
+            degrade_failures: 2,
+            shed_failures: 4,
+            reject_failures: 6,
+            shed_priority_floor: 1,
+            cooldown_ticks: 3,
+            retry_after_ticks: 8,
+        }
+    }
+
+    #[test]
+    fn trips_up_instantly() {
+        let mut b = Breaker::new(cfg());
+        assert_eq!(b.observe(0), BrownoutTier::Normal);
+        assert_eq!(b.observe(2), BrownoutTier::DegradedKv);
+        assert_eq!(b.observe(2), BrownoutTier::ShedLowPriority);
+        assert_eq!(b.observe(3), BrownoutTier::RejectAll);
+    }
+
+    #[test]
+    fn steps_down_one_tier_per_cooldown() {
+        let mut b = Breaker::new(cfg());
+        b.observe(6); // straight to reject-all
+        assert_eq!(b.tier(), BrownoutTier::RejectAll);
+        // The failure ages out of the 4-tick window after 4 calm ticks;
+        // only then do calm ticks start counting toward de-escalation
+        // (while the sum still maps >= current tier, calm resets).
+        let mut seen = Vec::new();
+        for _ in 0..16 {
+            seen.push(b.observe(0));
+        }
+        assert_eq!(*seen.last().expect("nonempty"), BrownoutTier::Normal);
+        // Every de-escalation is a single step: no tier is ever skipped.
+        for pair in seen.windows(2) {
+            if let [a, z] = pair {
+                assert!(z.level() >= a.level() - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut b = Breaker::new(cfg());
+        b.observe(1);
+        b.observe(1);
+        assert_eq!(b.windowed_failures(), 2);
+        for _ in 0..4 {
+            b.observe(0);
+        }
+        assert_eq!(b.windowed_failures(), 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Gateway configuration: tenants, retry policy, and breaker thresholds.
+//!
+//! Everything here is plain data. The gateway derives every runtime
+//! decision (admission, fairness, backoff, brownout) from these values
+//! plus a seed, so a config + seed pair fully determines behaviour.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-tenant admission contract.
+///
+/// `weight` controls the tenant's share of dispatch slots under
+/// contention (weighted fair queuing); the token bucket
+/// (`rate_millitokens_per_tick` / `burst_millitokens`) bounds its offered
+/// rate; `queue_cap` bounds how much of its traffic the gateway will hold;
+/// `priority` decides who is shed first in a brownout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Human-readable tenant label (reports only; never used for lookup).
+    pub name: String,
+    /// Fair-share weight (>= 1). A weight-3 tenant gets ~3x the dispatch
+    /// slots of a weight-1 tenant when both are backlogged.
+    pub weight: u64,
+    /// Shed priority: higher survives longer. Tenants with
+    /// `priority < BreakerConfig::shed_priority_floor` are refused while
+    /// the breaker sits in the shed tier.
+    pub priority: u8,
+    /// Token-bucket refill per gateway tick, in milli-tokens. One admitted
+    /// request costs 1000 milli-tokens, so `500` means one request every
+    /// other tick sustained.
+    pub rate_millitokens_per_tick: u64,
+    /// Token-bucket capacity in milli-tokens — the burst the tenant may
+    /// spend instantaneously after idling.
+    pub burst_millitokens: u64,
+    /// Bounded gateway-side queue depth for this tenant; offers beyond it
+    /// are refused with `TenantQueueFull`.
+    pub queue_cap: usize,
+}
+
+impl TenantSpec {
+    /// A tenant with the given fair-share weight and shed priority, a
+    /// 2-requests-per-tick bucket with a 4-request burst, and a 64-deep
+    /// queue.
+    pub fn new(name: &str, weight: u64, priority: u8) -> Self {
+        TenantSpec {
+            name: name.to_string(),
+            weight,
+            priority,
+            rate_millitokens_per_tick: 2_000,
+            burst_millitokens: 4_000,
+            queue_cap: 64,
+        }
+    }
+
+    /// Sets the token bucket (builder style). `rate` is milli-tokens per
+    /// tick, `burst` is the bucket capacity in milli-tokens; one request
+    /// costs 1000.
+    pub fn with_rate(mut self, rate: u64, burst: u64) -> Self {
+        self.rate_millitokens_per_tick = rate;
+        self.burst_millitokens = burst;
+        self
+    }
+
+    /// Sets the bounded queue depth (builder style).
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+}
+
+/// Retry budget and backoff shape for retryable terminals.
+///
+/// A request is *retryable* when its attempt ended in a fault
+/// (`Terminal::Failed`) or — when `retry_timeouts` is set — in a spurious
+/// `DeadlineExceeded` whose gateway-level deadline has not actually
+/// elapsed (injected timeout faults look exactly like this). Client
+/// cancellations are never retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum dispatch attempts per accepted request (>= 1). `1` disables
+    /// retry entirely.
+    pub max_attempts: u32,
+    /// Base backoff in ticks; attempt `k` waits
+    /// `min(base * 2^(k-1), max) + jitter` where `jitter < base`.
+    pub backoff_base_ticks: u64,
+    /// Ceiling on the exponential term.
+    pub backoff_max_ticks: u64,
+    /// Whether spurious timeout faults are retried (real deadline expiry
+    /// never is).
+    pub retry_timeouts: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ticks: 2,
+            backoff_max_ticks: 32,
+            retry_timeouts: true,
+        }
+    }
+}
+
+/// Circuit-breaker thresholds driving the brownout ladder.
+///
+/// The breaker sums request failures over a sliding window of
+/// `window_ticks` ticks and maps the sum onto a [`BrownoutTier`]: it
+/// *trips up* instantly when a threshold is crossed and *steps down* one
+/// tier at a time after `cooldown_ticks` consecutive calm ticks, so
+/// recovery probes the load gently instead of slamming back to normal.
+///
+/// [`BrownoutTier`]: crate::BrownoutTier
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Sliding-window length in ticks.
+    pub window_ticks: usize,
+    /// Windowed failures at which admissions degrade to quantized KV.
+    pub degrade_failures: u64,
+    /// Windowed failures at which low-priority tenants are shed.
+    pub shed_failures: u64,
+    /// Windowed failures at which all offers are refused.
+    pub reject_failures: u64,
+    /// Tenants with `priority <` this floor are refused in the shed tier.
+    pub shed_priority_floor: u8,
+    /// Calm ticks (windowed failures below the current tier's threshold)
+    /// before stepping down one tier.
+    pub cooldown_ticks: u64,
+    /// Advisory retry-after returned with brownout rejections, in ticks.
+    pub retry_after_ticks: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window_ticks: 16,
+            degrade_failures: 3,
+            shed_failures: 6,
+            reject_failures: 10,
+            shed_priority_floor: 1,
+            cooldown_ticks: 24,
+            retry_after_ticks: 8,
+        }
+    }
+}
+
+/// Full gateway configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatewayConfig {
+    /// Tenant table; offers name tenants by index into this vector.
+    pub tenants: Vec<TenantSpec>,
+    /// Retry/backoff policy shared by all tenants.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// Target depth of the *engine's* pre-admission queue: the dispatcher
+    /// stops feeding the engine once `engine.batcher().queued()` reaches
+    /// this (or the engine's own shed watermark, whichever is lower), so
+    /// gateway fairness — not engine FCFS — decides ordering under load.
+    pub dispatch_queue_target: usize,
+    /// Ticks a drain waits for in-flight and queued work before
+    /// force-failing stragglers.
+    pub drain_grace_ticks: u64,
+    /// Seed for retry jitter. Same seed + same trace = identical
+    /// schedules.
+    pub seed: u64,
+}
+
+impl GatewayConfig {
+    /// A config serving the given tenants with default retry, breaker,
+    /// dispatch, and drain settings.
+    pub fn new(tenants: Vec<TenantSpec>) -> Self {
+        GatewayConfig {
+            tenants,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            dispatch_queue_target: 4,
+            drain_grace_ticks: 64,
+            seed: 0,
+        }
+    }
+
+    /// A single-tenant config (weight 1, priority 1) — handy for tests
+    /// and single-stream benches.
+    pub fn single_tenant() -> Self {
+        GatewayConfig::new(vec![TenantSpec::new("default", 1, 1)])
+    }
+
+    /// Sets the jitter seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let t = TenantSpec::new("burst", 3, 2)
+            .with_rate(500, 9_000)
+            .with_queue_cap(7);
+        assert_eq!(t.weight, 3);
+        assert_eq!(t.rate_millitokens_per_tick, 500);
+        assert_eq!(t.burst_millitokens, 9_000);
+        assert_eq!(t.queue_cap, 7);
+        let cfg = GatewayConfig::new(vec![t]).with_seed(42);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.tenants.len(), 1);
+    }
+
+    #[test]
+    fn defaults_are_ordered_sanely() {
+        let b = BreakerConfig::default();
+        assert!(b.degrade_failures < b.shed_failures);
+        assert!(b.shed_failures < b.reject_failures);
+        let r = RetryPolicy::default();
+        assert!(r.max_attempts >= 1);
+        assert!(r.backoff_base_ticks <= r.backoff_max_ticks);
+    }
+}

@@ -1,0 +1,138 @@
+//! Gateway-level rejection and terminal types.
+//!
+//! The gateway's contract mirrors the engine's: every *offer* is either
+//! refused synchronously with a [`GatewayReject`] or accepted and then
+//! reaches exactly one [`GatewayTerminal`], retries notwithstanding — a
+//! request that is dispatched three times still produces exactly one
+//! gateway outcome.
+
+use atom_serve::RejectReason;
+use serde::{Deserialize, Serialize};
+
+use crate::breaker::BrownoutTier;
+
+/// Why an offer was refused at the gateway's front door.
+///
+/// Rejections are synchronous and cheap: nothing was queued, no engine
+/// state was touched, and the client may retry after the advisory delay
+/// where one is given.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GatewayReject {
+    /// The tenant index is not in the config's tenant table.
+    UnknownTenant {
+        /// The offending index.
+        tenant: usize,
+    },
+    /// The tenant's token bucket is empty.
+    RateLimited {
+        /// Ticks until the bucket can cover one request again.
+        retry_after_ticks: u64,
+    },
+    /// The tenant's bounded gateway queue is at capacity.
+    TenantQueueFull {
+        /// Observed depth.
+        depth: usize,
+        /// Configured cap.
+        cap: usize,
+    },
+    /// A brownout tier refused the offer (shed or reject-all).
+    Brownout {
+        /// The tier that refused it.
+        tier: BrownoutTier,
+        /// Advisory retry-after in ticks.
+        retry_after_ticks: u64,
+    },
+    /// The gateway is draining and accepts no new work.
+    Draining,
+    /// Admission validation failed: the request is degenerate or could
+    /// never be served (e.g. its KV footprint exceeds the whole pool).
+    Invalid(RejectReason),
+}
+
+impl std::fmt::Display for GatewayReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayReject::UnknownTenant { tenant } => {
+                write!(f, "unknown tenant index {tenant}")
+            }
+            GatewayReject::RateLimited { retry_after_ticks } => {
+                write!(f, "rate limited; retry after {retry_after_ticks} ticks")
+            }
+            GatewayReject::TenantQueueFull { depth, cap } => {
+                write!(f, "tenant queue full (depth {depth} >= cap {cap})")
+            }
+            GatewayReject::Brownout {
+                tier,
+                retry_after_ticks,
+            } => write!(
+                f,
+                "brownout ({tier}); retry after {retry_after_ticks} ticks"
+            ),
+            GatewayReject::Draining => write!(f, "gateway draining"),
+            GatewayReject::Invalid(reason) => write!(f, "invalid request: {reason}"),
+        }
+    }
+}
+
+/// The exactly-once terminal state of an *accepted* request.
+///
+/// Unlike the engine's [`Terminal`], there is no `Rejected` variant —
+/// gateway rejections happen synchronously at offer time and never
+/// consume an accepted-request id.
+///
+/// [`Terminal`]: atom_serve::Terminal
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GatewayTerminal {
+    /// The full generation came back.
+    Completed,
+    /// Cancelled by the client while queued or in flight.
+    Cancelled,
+    /// The end-to-end deadline elapsed (queueing, backoff, and every
+    /// attempt all count against it).
+    DeadlineExceeded,
+    /// The retry budget was exhausted, or a drain force-failed the
+    /// request.
+    Failed {
+        /// Human-readable cause of the final failure.
+        reason: String,
+    },
+}
+
+impl GatewayTerminal {
+    /// Whether the request finished with its full generation.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, GatewayTerminal::Completed)
+    }
+}
+
+impl std::fmt::Display for GatewayTerminal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayTerminal::Completed => write!(f, "completed"),
+            GatewayTerminal::Cancelled => write!(f, "cancelled"),
+            GatewayTerminal::DeadlineExceeded => write!(f, "deadline exceeded"),
+            GatewayTerminal::Failed { reason } => write!(f, "failed: {reason}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let r = GatewayReject::Brownout {
+            tier: BrownoutTier::ShedLowPriority,
+            retry_after_ticks: 8,
+        };
+        assert!(r.to_string().contains("brownout"));
+        assert!(r.to_string().contains("8 ticks"));
+        let t = GatewayTerminal::Failed {
+            reason: "retry budget exhausted".into(),
+        };
+        assert!(t.to_string().contains("retry budget"));
+        assert!(!t.is_completed());
+        assert!(GatewayTerminal::Completed.is_completed());
+    }
+}

@@ -1,6 +1,6 @@
 //! Rule `panic-freedom`: no panicking constructs in `crates/serve`, the
-//! kernel hot paths (`crates/kernels`), or the thread pool
-//! (`crates/parallel`).
+//! kernel hot paths (`crates/kernels`), the thread pool
+//! (`crates/parallel`), or the serving gateway (`crates/gateway`).
 //!
 //! PR 1 converted the serving stack to typed errors — a panic there kills
 //! every in-flight request in the batch instead of failing one of them with
@@ -26,7 +26,14 @@ use crate::{FileCtx, Finding, RULE_PANIC_FREEDOM};
 /// Crates covered by the panic-free contract. `atom-parallel` is included
 /// because the pool's whole purpose is *containing* worker panics — a
 /// panicking construct inside the pool itself would defeat that guarantee.
-const SCOPED_CRATES: &[&str] = &["atom-serve", "atom-kernels", "atom-parallel"];
+/// `atom-gateway` owns the request lifecycle above the engine, so a panic
+/// there strands every queued and in-flight request.
+const SCOPED_CRATES: &[&str] = &[
+    "atom-serve",
+    "atom-kernels",
+    "atom-parallel",
+    "atom-gateway",
+];
 
 const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
 

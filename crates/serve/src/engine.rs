@@ -356,9 +356,28 @@ impl<L: LinearLayer> CpuEngine<L> {
 
     /// Installs the load-shedding / degradation watermarks.
     pub fn with_policy(mut self, policy: PressurePolicy) -> Self {
+        self.set_policy(policy);
+        self
+    }
+
+    /// Replaces the pressure watermarks at runtime. The gateway's circuit
+    /// breaker uses this to push the engine into brownout (e.g. degrading
+    /// every new admission to the low-bit KV cache) and to restore the
+    /// baseline policy on recovery.
+    pub fn set_policy(&mut self, policy: PressurePolicy) {
         self.policy = policy;
         self.batcher.set_queue_limit(policy.shed_queue_depth);
-        self
+    }
+
+    /// The currently installed pressure watermarks.
+    pub fn policy(&self) -> PressurePolicy {
+        self.policy
+    }
+
+    /// Current KV-pool utilization as a fraction of total blocks.
+    pub fn kv_utilization(&self) -> f64 {
+        let total = self.batcher.allocator().total_blocks().max(1);
+        self.batcher.allocator().used_blocks() as f64 / total as f64
     }
 
     /// Installs a deterministic fault-injection plan (chaos testing).
@@ -489,8 +508,10 @@ impl<L: LinearLayer> CpuEngine<L> {
         self.clock += 1;
 
         // Deadline sweep: a request whose step budget elapsed terminates
-        // before it can consume another iteration.
-        let expired: Vec<usize> = self
+        // before it can consume another iteration. Sorted so same-step
+        // expiries terminalize in id order — outcome order must not
+        // depend on HashMap iteration order.
+        let mut expired: Vec<usize> = self
             .meta
             .iter()
             .filter(|(_, s)| {
@@ -499,6 +520,7 @@ impl<L: LinearLayer> CpuEngine<L> {
             })
             .map(|(&id, _)| id)
             .collect();
+        expired.sort_unstable();
         for id in expired {
             self.terminalize(id, Terminal::DeadlineExceeded);
         }
@@ -584,14 +606,7 @@ impl<L: LinearLayer> CpuEngine<L> {
         // Injected forward fault: kill one in-flight sequence, surfacing a
         // typed failure instead of poisoning the batch.
         if let Some(slot) = self.fault.forward_fault(self.clock) {
-            let live: Vec<usize> = self
-                .batcher
-                .active()
-                .iter()
-                .filter(|s| s.prefilled)
-                .map(|s| s.request.id)
-                .collect();
-            if let Some(&victim) = live.get(slot % live.len().max(1)) {
+            if let Some(victim) = self.fault_victim(slot) {
                 tel.counter_add(names::ENGINE_FAULTS, 1);
                 self.terminalize(
                     victim,
@@ -599,6 +614,26 @@ impl<L: LinearLayer> CpuEngine<L> {
                         reason: format!("injected forward fault at step {}", self.clock),
                     },
                 );
+            }
+        }
+
+        // Injected spurious timeout: one in-flight request's watchdog trips
+        // even though its real step budget had not elapsed. The victim
+        // terminalizes `DeadlineExceeded` with whatever tokens it had — the
+        // retryable-timeout shape the gateway's retry policy absorbs.
+        if let Some(slot) = self.fault.timeout_fault(self.clock) {
+            if let Some(victim) = self.fault_victim(slot) {
+                tel.counter_add(names::ENGINE_FAULTS, 1);
+                self.terminalize(victim, Terminal::DeadlineExceeded);
+            }
+        }
+
+        // Injected client cancel: the caller of one in-flight request hangs
+        // up. Unlike a timeout this must never be retried upstream.
+        if let Some(slot) = self.fault.cancel_fault(self.clock) {
+            if let Some(victim) = self.fault_victim(slot) {
+                tel.counter_add(names::ENGINE_FAULTS, 1);
+                self.terminalize(victim, Terminal::Cancelled);
             }
         }
 
@@ -699,6 +734,19 @@ impl<L: LinearLayer> CpuEngine<L> {
         true
     }
 
+    /// Resolves an injected fault's victim: the prefilled in-flight request
+    /// in batch slot `slot % live_count`, or `None` when nothing is live.
+    fn fault_victim(&self, slot: usize) -> Option<usize> {
+        let live: Vec<usize> = self
+            .batcher
+            .active()
+            .iter()
+            .filter(|s| s.prefilled)
+            .map(|s| s.request.id)
+            .collect();
+        live.get(slot % live.len().max(1)).copied()
+    }
+
     /// Runs every job's model forward on the engine pool and picks its next
     /// token by argmax over the final logits row. Chunk size 1 means the
     /// pool's failed-chunk indices are exactly job indices, so a panic in
@@ -741,7 +789,8 @@ impl<L: LinearLayer> CpuEngine<L> {
             if self.progress_mark() == before {
                 quiet += 1;
                 if quiet > Self::STALL_LIMIT {
-                    let stuck: Vec<usize> = self.meta.keys().copied().collect();
+                    let mut stuck: Vec<usize> = self.meta.keys().copied().collect();
+                    stuck.sort_unstable();
                     for id in stuck {
                         self.terminalize(
                             id,
@@ -1100,6 +1149,156 @@ mod tests {
         assert!(sa.ttft_steps().unwrap() <= sb.ttft_steps().unwrap());
         assert_eq!(sa.preemptions, 0);
         assert!(!sa.degraded_kv);
+    }
+
+    #[test]
+    fn injected_timeout_fault_is_deadline_terminal() {
+        // No deadline was set, yet the watchdog "fires": the victim must
+        // terminalize DeadlineExceeded with its partial tokens and leave
+        // the rest of the batch untouched.
+        let plan = FaultPlan::none().with_timeout_fault(3, 0);
+        let mut e = tiny_engine(2, 1024).with_fault_plan(plan);
+        let a = e.submit(vec![1, 2], 8).unwrap();
+        let b = e.submit(vec![3, 4], 8).unwrap();
+        e.run_to_completion();
+        assert_eq!(e.outcomes().len(), 2);
+        let timed_out = e
+            .outcomes()
+            .iter()
+            .filter(|o| o.terminal == Terminal::DeadlineExceeded)
+            .count();
+        assert_eq!(timed_out, 1, "exactly one spurious timeout");
+        let completed = e
+            .outcomes()
+            .iter()
+            .filter(|o| o.terminal.is_completed())
+            .count();
+        assert_eq!(completed, 1, "the survivor completes normally");
+        for id in [a, b] {
+            let stats = e.outcome_of(id).unwrap().stats;
+            assert!(stats.finished_step.is_some(), "terminal sets finished_step");
+        }
+        assert_eq!(e.batcher().allocator().used_blocks(), 0);
+    }
+
+    #[test]
+    fn injected_cancel_fault_is_cancelled_terminal() {
+        let plan = FaultPlan::none().with_cancel_fault(2, 1);
+        let mut e = tiny_engine(2, 1024).with_fault_plan(plan);
+        e.submit(vec![1, 2], 6).unwrap();
+        e.submit(vec![3, 4], 6).unwrap();
+        e.run_to_completion();
+        assert_eq!(e.outcomes().len(), 2);
+        let cancelled = e
+            .outcomes()
+            .iter()
+            .filter(|o| o.terminal == Terminal::Cancelled)
+            .count();
+        assert_eq!(cancelled, 1, "exactly one injected client cancel");
+        assert_eq!(e.completions().len(), 1);
+        assert_eq!(e.batcher().allocator().used_blocks(), 0);
+    }
+
+    fn degrade_probe(degrade_kv_at: f64) -> bool {
+        // 4-block pool (64 tokens). A 31-token prompt reserves 32 tokens =
+        // 2 blocks at admission, so utilization measured after admit is
+        // exactly 0.5 when the degrade check runs.
+        let config = tiny_config();
+        let model = LlamaModel::random_init(config, 3);
+        let mut e = CpuEngine::new(
+            model,
+            Box::new(move || Box::new(Fp32KvCache::new(config.layers, config.kv_dim()))),
+            2,
+            64,
+        )
+        .expect("valid config")
+        .with_degraded_cache(Box::new(move || {
+            Box::new(Fp32KvCache::new(config.layers, config.kv_dim()))
+        }))
+        .with_policy(PressurePolicy {
+            degrade_kv_at,
+            ..PressurePolicy::default()
+        });
+        let id = e.submit(vec![7; 31], 2).unwrap();
+        e.run_to_completion();
+        e.outcome_of(id).unwrap().stats.degraded_kv
+    }
+
+    #[test]
+    fn degrade_watermark_boundary_is_inclusive() {
+        // Utilization == watermark degrades (the check is `>=`); a hair
+        // above the observed utilization does not.
+        assert!(degrade_probe(0.5), "admission exactly at the watermark degrades");
+        assert!(!degrade_probe(0.501), "admission just below the watermark does not");
+    }
+
+    #[test]
+    fn degrade_queue_depth_boundary_is_inclusive() {
+        let run = |watermark: usize, backlog: usize| -> bool {
+            let config = tiny_config();
+            let model = LlamaModel::random_init(config, 3);
+            let mut e = CpuEngine::new(
+                model,
+                Box::new(move || Box::new(Fp32KvCache::new(config.layers, config.kv_dim()))),
+                1,
+                1024,
+            )
+            .expect("valid config")
+            .with_degraded_cache(Box::new(move || {
+                Box::new(Fp32KvCache::new(config.layers, config.kv_dim()))
+            }))
+            .with_policy(PressurePolicy {
+                degrade_queue_depth: Some(watermark),
+                ..PressurePolicy::default()
+            });
+            let first = e.submit(vec![1, 2], 2).unwrap();
+            for i in 0..backlog {
+                e.submit(vec![3, 4 + i as u16], 2).unwrap();
+            }
+            e.run_to_completion();
+            e.outcome_of(first).unwrap().stats.degraded_kv
+        };
+        // First request admits with `backlog` still queued: depth == the
+        // watermark degrades, depth == watermark - 1 does not.
+        assert!(run(2, 2), "queue depth exactly at the watermark degrades");
+        assert!(!run(3, 2), "queue depth below the watermark does not");
+    }
+
+    #[test]
+    fn shed_watermark_boundary_is_exact() {
+        let mut e = tiny_engine(1, 1024).with_policy(PressurePolicy {
+            shed_queue_depth: Some(2),
+            ..PressurePolicy::default()
+        });
+        // Depth 0 and 1: accepted. The submission arriving at depth == 2
+        // (the watermark) is the first one shed.
+        e.submit(vec![1], 2).unwrap();
+        e.submit(vec![2], 2).unwrap();
+        assert_eq!(e.batcher().queued(), 2);
+        let err = e.submit(vec![3], 2).unwrap_err();
+        assert_eq!(err, RejectReason::QueueFull { depth: 2, limit: 2 });
+        // The engine keeps serving; draining the queue re-opens admission.
+        e.run_to_completion();
+        e.submit(vec![4], 2).unwrap();
+        assert_eq!(e.run_to_completion().len(), 3);
+    }
+
+    #[test]
+    fn set_policy_updates_watermarks_at_runtime() {
+        let mut e = tiny_engine(1, 1024);
+        assert_eq!(e.policy().shed_queue_depth, None);
+        e.set_policy(PressurePolicy {
+            shed_queue_depth: Some(2),
+            ..PressurePolicy::default()
+        });
+        e.submit(vec![1], 2).unwrap();
+        e.submit(vec![2], 2).unwrap();
+        let err = e.submit(vec![3], 2).unwrap_err();
+        assert!(matches!(err, RejectReason::QueueFull { .. }));
+        // Restoring the permissive policy re-opens the queue.
+        e.set_policy(PressurePolicy::default());
+        e.submit(vec![4], 2).unwrap();
+        assert_eq!(e.run_to_completion().len(), 3);
     }
 
     #[test]

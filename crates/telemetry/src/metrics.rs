@@ -216,6 +216,43 @@ impl HistogramSnapshot {
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
+
+    /// Estimates the fraction of samples `<= v` — the empirical CDF at
+    /// `v`, used for SLO-attainment reporting ("what share of requests met
+    /// the TTFT target?").
+    ///
+    /// Buckets entirely at or below `v` count fully; the bucket straddling
+    /// `v` contributes the linearly interpolated share of its width that
+    /// lies at or below `v` (exact for identity buckets, within the 12.5%
+    /// bucket-width bound otherwise). Returns `None` for an empty
+    /// histogram.
+    pub fn fraction_at_or_below(&self, v: u64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if v >= self.max {
+            return Some(1.0);
+        }
+        let mut below = 0.0f64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let (lower, upper) = bucket_bounds(idx);
+            if upper <= v {
+                below += c as f64;
+            } else if lower <= v {
+                // Straddling bucket: interpolate within its inclusive
+                // [lower, upper] value range.
+                let width = (upper - lower + 1) as f64;
+                let covered = (v - lower + 1) as f64;
+                below += c as f64 * (covered / width);
+            } else {
+                break; // buckets are ordered by value
+            }
+        }
+        Some((below / self.count as f64).clamp(0.0, 1.0))
+    }
 }
 
 /// Named metric store. Cloning is cheap (shared handles).
@@ -342,6 +379,46 @@ mod tests {
             let width = (hi - lo) as f64;
             assert!(width / lo as f64 <= 0.125 + 1e-12, "bucket {idx} too wide");
         }
+    }
+
+    #[test]
+    fn fraction_at_or_below_is_an_empirical_cdf() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 100] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Identity buckets (< 8) are exact.
+        assert_eq!(s.fraction_at_or_below(0), Some(0.0));
+        assert_eq!(s.fraction_at_or_below(4), Some(0.5));
+        assert_eq!(s.fraction_at_or_below(7), Some(7.0 / 8.0));
+        // At or beyond the observed max: everything attained.
+        assert_eq!(s.fraction_at_or_below(100), Some(1.0));
+        assert_eq!(s.fraction_at_or_below(u64::MAX), Some(1.0));
+        // Between 7 and the 100-bucket, the interpolated value stays
+        // monotone and inside (7/8, 1).
+        let mid = s.fraction_at_or_below(50).expect("non-empty");
+        assert!((7.0 / 8.0..1.0).contains(&mid), "mid={mid}");
+        // Empty histogram has no CDF.
+        assert_eq!(HistogramSnapshot::default().fraction_at_or_below(5), None);
+    }
+
+    #[test]
+    fn fraction_at_or_below_is_monotone() {
+        let h = Histogram::default();
+        let mut x = 1u64;
+        for _ in 0..64 {
+            h.record(x % 10_000);
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        }
+        let s = h.snapshot();
+        let mut prev = 0.0;
+        for v in (0..12_000).step_by(37) {
+            let f = s.fraction_at_or_below(v).expect("non-empty");
+            assert!(f >= prev - 1e-12, "CDF decreased at {v}: {f} < {prev}");
+            prev = f;
+        }
+        assert_eq!(s.fraction_at_or_below(10_000), Some(1.0));
     }
 
     #[test]

@@ -79,6 +79,51 @@ pub const ENGINE_TERMINAL_FAILED: &str = "engine.terminal.failed";
 /// Requests rejected at admission.
 pub const ENGINE_TERMINAL_REJECTED: &str = "engine.terminal.rejected";
 
+/// Requests offered to the serving gateway, accepted or not (counter).
+pub const GATEWAY_OFFERED: &str = "gateway.offered";
+/// Offers accepted into a tenant queue (counter).
+pub const GATEWAY_ACCEPTED: &str = "gateway.accepted";
+/// Offers refused by a tenant's token bucket (counter).
+pub const GATEWAY_REJECT_RATE_LIMITED: &str = "gateway.reject.rate_limited";
+/// Offers refused because the tenant's bounded queue was full (counter).
+pub const GATEWAY_REJECT_QUEUE_FULL: &str = "gateway.reject.queue_full";
+/// Offers refused by a brownout tier (shed or reject-all) (counter).
+pub const GATEWAY_REJECT_BROWNOUT: &str = "gateway.reject.brownout";
+/// Offers refused because the gateway was draining (counter).
+pub const GATEWAY_REJECT_DRAINING: &str = "gateway.reject.draining";
+/// Offers refused by admission validation (degenerate or unservable)
+/// (counter).
+pub const GATEWAY_REJECT_INVALID: &str = "gateway.reject.invalid";
+/// Engine attempts re-dispatched after a retryable terminal (counter).
+pub const GATEWAY_RETRIES: &str = "gateway.retries";
+/// Backoff delay assigned per retry, in ticks (histogram).
+pub const GATEWAY_BACKOFF_TICKS: &str = "gateway.retry.backoff_ticks";
+/// Accepted requests force-failed when the drain grace budget elapsed
+/// (counter).
+pub const GATEWAY_DRAIN_FORCED: &str = "gateway.drain.forced";
+/// Gateway-level terminal events by outcome (counters; retries collapse
+/// into one terminal per accepted request).
+pub const GATEWAY_TERMINAL_COMPLETED: &str = "gateway.terminal.completed";
+/// Accepted requests whose end-to-end deadline elapsed.
+pub const GATEWAY_TERMINAL_DEADLINE: &str = "gateway.terminal.deadline_exceeded";
+/// Accepted requests cancelled by the client.
+pub const GATEWAY_TERMINAL_CANCELLED: &str = "gateway.terminal.cancelled";
+/// Accepted requests that exhausted their retry budget or were drained.
+pub const GATEWAY_TERMINAL_FAILED: &str = "gateway.terminal.failed";
+/// Requests waiting in gateway tenant queues, sampled once per tick
+/// (histogram).
+pub const GATEWAY_QUEUE_DEPTH: &str = "gateway.queue.depth";
+/// Circuit-breaker brownout tier: 0 normal, 1 degraded-KV, 2 shed
+/// low-priority, 3 reject-all (gauge).
+pub const GATEWAY_BREAKER_TIER: &str = "gateway.breaker.tier";
+/// End-to-end time to first token per completed request, in gateway ticks
+/// — includes gateway queueing, backoff, and every retried attempt
+/// (histogram).
+pub const GATEWAY_TTFT_TICKS: &str = "gateway.request.ttft_ticks";
+/// End-to-end time per output token per completed request, in milli-ticks
+/// (histogram; 1000 = one tick per token).
+pub const GATEWAY_TPOT_MILLITICKS: &str = "gateway.request.tpot_milliticks";
+
 /// Chunks dispatched into thread-pool parallel regions (counter).
 pub const POOL_TASKS: &str = "pool.tasks";
 /// Chunks waiting to execute when a parallel region dispatches (gauge;
