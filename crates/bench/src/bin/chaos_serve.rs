@@ -16,7 +16,7 @@ use atom_nn::kv::Fp32KvCache;
 use atom_nn::zoo;
 use atom_serve::engine::CpuEngine;
 use atom_serve::fault::FaultRates;
-use atom_serve::{FaultPlan, PressurePolicy, SubmitOptions, Terminal};
+use atom_serve::{FaultPlan, PrefixConfig, PressurePolicy, SubmitOptions, Terminal};
 use std::fmt::Write as _;
 
 const DEFAULT_SEED: u64 = 0xC4A0;
@@ -107,9 +107,15 @@ fn main() {
     // exactly one terminal, none lost.
     let drain = drain_under_fault(&weights, seed);
 
+    // Scenario 3: prefix-cache reuse under fire. Requests sharing cached
+    // KV runs get timed out and cancelled mid-prefill; every shared
+    // refcount must still return to zero through drain + flush.
+    let prefix = prefix_reuse_under_fault(&weights, seed);
+
     // Invariant checks: collect every violation so a broken run reports all
     // of them, then fail with a non-zero exit (CI gates on this).
     let mut violations: Vec<String> = drain.violations.clone();
+    violations.extend(prefix.violations.clone());
     if engine.outcomes().len() != submitted {
         violations.push(format!(
             "expected exactly one terminal state per submission: {} outcomes for {submitted} submissions",
@@ -152,6 +158,11 @@ fn main() {
         row("drain scenario: accepted", drain.accepted),
         row("drain scenario: completed", drain.completed),
         row("drain scenario: force-failed", drain.force_failed),
+        row("prefix scenario: submitted", prefix.submitted),
+        row("prefix scenario: completed", prefix.completed),
+        row("prefix scenario: cache hits", prefix.hits),
+        row("prefix scenario: CoW forks", prefix.cow_forks),
+        row("prefix scenario: blocks flushed", prefix.flushed),
     ];
     let table = atom_bench::table(&["counter", "value"], &rows);
 
@@ -164,8 +175,10 @@ fn main() {
     let _ = writeln!(
         content,
         "invariants held: one terminal per submission, 0 leaked KV blocks; gateway\n\
-         drain-under-fault: {} accepted, {} terminals, zero lost ({elapsed:.2}s wall)",
-        drain.accepted, drain.accepted,
+         drain-under-fault: {} accepted, {} terminals, zero lost; prefix-reuse-under-\n\
+         fault: {} hits on shared INT4 runs, every refcount back to zero through\n\
+         drain + flush ({elapsed:.2}s wall)",
+        drain.accepted, drain.accepted, prefix.hits,
     );
     atom_bench::emit("chaos_serve", &content);
 
@@ -179,11 +192,17 @@ fn main() {
          \"alloc_faults_fired\": {injected},\n  \"planned_fault_points\": {planned_faults},\n  \
          \"tokens_generated\": {tokens},\n  \"engine_steps\": {steps},\n  \"leaked_blocks\": {leaked},\n  \
          \"drain_offered\": {},\n  \"drain_accepted\": {},\n  \"drain_completed\": {},\n  \
-         \"drain_force_failed\": {}\n}}\n",
+         \"drain_force_failed\": {},\n  \"prefix_submitted\": {},\n  \"prefix_completed\": {},\n  \
+         \"prefix_hits\": {},\n  \"prefix_cow_forks\": {},\n  \"prefix_blocks_flushed\": {}\n}}\n",
         drain.offered,
         drain.accepted,
         drain.completed,
         drain.force_failed,
+        prefix.submitted,
+        prefix.completed,
+        prefix.hits,
+        prefix.cow_forks,
+        prefix.flushed,
         steps = engine.steps(),
     );
     let path = atom_bench::results_dir().join("chaos_serve.json");
@@ -313,6 +332,151 @@ fn drain_under_fault(weights: &atom_nn::LlamaModel<atom::AnyLinear>, seed: u64) 
         accepted,
         completed,
         force_failed,
+        violations,
+    }
+}
+
+struct PrefixChaosStats {
+    submitted: usize,
+    completed: usize,
+    hits: usize,
+    cow_forks: usize,
+    flushed: usize,
+    violations: Vec<String>,
+}
+
+/// Prefix-cache block conservation under faults: shared-prefix prompts
+/// flow through an engine with the radix cache on while timeout, cancel,
+/// forward, and alloc faults fire — so requests holding *shared* KV
+/// blocks die mid-prefill and mid-decode. After drain the cache's own
+/// references must be the only ones left, and flushing it must return
+/// the pool to exactly empty.
+fn prefix_reuse_under_fault(
+    weights: &atom_nn::LlamaModel<atom::AnyLinear>,
+    seed: u64,
+) -> PrefixChaosStats {
+    let config = *weights.config();
+    let mut engine = match CpuEngine::new(
+        weights.clone(),
+        Box::new(move || Box::new(Fp32KvCache::new(config.layers, config.kv_dim()))),
+        MAX_BATCH,
+        KV_POOL_TOKENS,
+    ) {
+        Ok(e) => e,
+        Err(e) => {
+            return PrefixChaosStats {
+                submitted: 0,
+                completed: 0,
+                hits: 0,
+                cow_forks: 0,
+                flushed: 0,
+                violations: vec![format!("prefix scenario: engine refused config: {e}")],
+            }
+        }
+    };
+    engine = engine
+        .with_degraded_cache(Box::new(move || {
+            Box::new(QuantizedKvCache::new(
+                config.layers,
+                config.kv_dim(),
+                config.head_dim(),
+                4,
+            ))
+        }))
+        .with_policy(PressurePolicy {
+            degrade_kv_at: 0.5,
+            degrade_queue_depth: Some(4),
+            shed_queue_depth: None,
+        })
+        .with_prefix_cache(PrefixConfig {
+            max_cached_blocks: Some(6),
+        })
+        .with_fault_plan(FaultPlan::seeded_chaos(
+            seed ^ 0x9EF1,
+            400,
+            FaultRates {
+                alloc: 0.06,
+                forward: 0.06,
+                timeout: 0.08,
+                cancel: 0.05,
+            },
+        ));
+
+    // Two system prompts of two blocks each; every request reuses one and
+    // appends a unique suffix, staggered so later arrivals hit the runs
+    // earlier donors cached.
+    let prefixes: [Vec<u16>; 2] = [
+        (0..32u16).collect(),
+        (0..32u16).map(|t| 95 - t).collect(),
+    ];
+    let mut submitted = 0usize;
+    for wave in 0..5usize {
+        for i in 0..4usize {
+            let n = wave * 4 + i;
+            let mut prompt = prefixes[n % 2].clone();
+            prompt.extend((0..4 + n % 5).map(|t| atom_tensor::cast::usize_to_u16_saturating((n * 13 + t * 3) % 96)));
+            let opts = if n % 3 == 0 {
+                SubmitOptions::new(4 + n % 6).with_deadline(20 + n)
+            } else {
+                SubmitOptions::new(4 + n % 6)
+            };
+            let _ = engine.submit_with(prompt, opts);
+            submitted += 1;
+        }
+        engine.step();
+    }
+    let _ = engine.cancel(2);
+    let _ = engine.cancel(11);
+    engine.run_to_completion();
+
+    let mut violations = Vec::new();
+    if engine.outcomes().len() != submitted {
+        violations.push(format!(
+            "prefix scenario lost requests: {} terminals for {submitted} submissions",
+            engine.outcomes().len()
+        ));
+    }
+    let completed = engine
+        .outcomes()
+        .iter()
+        .filter(|o| o.terminal.is_completed())
+        .count();
+    let stats = engine.prefix_stats().unwrap_or_default();
+    if stats.hits == 0 {
+        violations.push("prefix scenario: no cache hits — faults were not exercised against shared blocks".to_string());
+    }
+    // At idle the cache holds exactly one reference per cached block;
+    // every request-held reference (shared or owned) must be gone even
+    // though many holders died to injected faults.
+    let alloc = engine.batcher().allocator();
+    if let Err(e) = alloc.leak_check() {
+        violations.push(format!("prefix scenario: {e}"));
+    }
+    if alloc.used_blocks() != stats.cached_blocks
+        || alloc.total_refs() != stats.cached_blocks as u64
+    {
+        violations.push(format!(
+            "prefix scenario: idle pool holds {} blocks / {} refs for {} cached",
+            alloc.used_blocks(),
+            alloc.total_refs(),
+            stats.cached_blocks
+        ));
+    }
+    let flushed = engine.flush_prefix_cache();
+    let alloc = engine.batcher().allocator();
+    if alloc.used_blocks() != 0 || alloc.total_refs() != 0 || alloc.leak_check().is_err() {
+        violations.push(format!(
+            "prefix scenario: flush left {} blocks / {} refs live",
+            alloc.used_blocks(),
+            alloc.total_refs()
+        ));
+    }
+    PrefixChaosStats {
+        submitted,
+        completed,
+        hits: usize::try_from(stats.hits).unwrap_or(usize::MAX),
+        cow_forks: usize::try_from(stats.cow_forks).unwrap_or(usize::MAX),
+        flushed,
         violations,
     }
 }

@@ -1,0 +1,419 @@
+//! Prefix-cache gate: the Atom W4A4 engine with the radix prefix cache
+//! under a shared-prefix flash-crowd trace, graded on correctness and on
+//! the two wins the cache exists for — TTFT collapse on hits and KV
+//! footprint reduction from block sharing.
+//!
+//! One deterministic trace (two system prompts, linearly skewed, unique
+//! user suffixes) is replayed through the engine six times: cache off and
+//! cache on, each at 1, 2, and 8 pool threads. The KV cache itself stays
+//! INT4-quantized in both modes, so shared blocks are the same low-bit
+//! pages the paper serves from. Gates — non-zero exit for CI — on:
+//!
+//! 1. bit-identical token streams across all six runs (the cache is a
+//!    pure optimization: attaching a shared run, forking a tail, or
+//!    replaying a snapshot never changes a single token);
+//! 2. cache-hit prefill collapse: mean prefill wall time of hit requests
+//!    cache-on is >= [`MIN_PREFILL_SPEEDUP`]x cheaper than the same
+//!    requests cache-off;
+//! 3. KV footprint reduction: peak logical blocks (what tables would
+//!    need without sharing) exceed peak physical blocks by
+//!    [`MIN_FOOTPRINT_RATIO`]x with the cache on;
+//! 4. block conservation: after drain the only live references are the
+//!    cache's own, and flushing it returns the pool to exactly empty —
+//!    zero leaked blocks, zero dangling refcounts.
+
+#![forbid(unsafe_code)]
+use atom::pipeline::{AtomScheme, Scheme};
+use atom::{Calibration, QuantizedKvCache};
+use atom_data::{ArrivalPattern, PromptArrival, ScenarioKind, ScenarioSpec, TenantTraffic, TrafficSpec};
+use atom_nn::zoo;
+use atom_parallel::Pool;
+use atom_serve::engine::CpuEngine;
+use atom_serve::{PrefixCacheStats, PrefixConfig};
+use atom_telemetry::Telemetry;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const DEFAULT_SEED: u64 = 0xCACE;
+const KV_POOL_TOKENS: usize = 2048; // 128 blocks of 16 tokens
+const MAX_BATCH: usize = 8;
+/// Cache cap in blocks. Every unique suffix leaves a one-off forked tail
+/// node behind; the cap makes LRU eviction churn those while the hot
+/// system-prompt runs stay resident.
+const MAX_CACHED_BLOCKS: usize = 32;
+const HORIZON_TICKS: u64 = 48;
+const STEP_BUDGET: usize = 20_000;
+
+/// Shared-prefix scenario shape: two system prompts of six blocks each.
+const PREFIX_POOL: usize = 2;
+const PREFIX_TOKENS: usize = 96;
+
+/// Gates. The speedup floor is the ISSUE's >= 5x cache-hit TTFT collapse,
+/// measured on prefill wall time (step-count TTFT is compute-independent
+/// by design); the footprint floor asserts sharing is material, not
+/// incidental.
+const MIN_PREFILL_SPEEDUP: f64 = 5.0;
+const MIN_FOOTPRINT_RATIO: f64 = 1.1;
+const MIN_HITS: u64 = 5;
+
+struct RunResult {
+    /// `(id, terminal_completed, tokens)` sorted by id — the bit-identity
+    /// surface.
+    streams: Vec<(usize, bool, Vec<u16>)>,
+    /// Ids whose admission attached a cached prefix (empty cache-off).
+    hit_ids: Vec<usize>,
+    /// Per-request prefill wall time, ns.
+    prefill_wall: HashMap<usize, u64>,
+    stats: Option<PrefixCacheStats>,
+    peak_used: usize,
+    peak_logical: usize,
+    /// Allocator state after drain, before and after flushing the cache:
+    /// (used_blocks, total_refs, leak_check_ok).
+    at_idle: (usize, u64, bool),
+    after_flush: (usize, u64, bool),
+    drained: bool,
+}
+
+fn main() {
+    let seed = atom_bench::arg_u64("seed", DEFAULT_SEED);
+
+    // Trained tiny model, quantized with the paper's W4A4 Atom scheme.
+    let model = zoo::trained(zoo::ZooId::Tiny);
+    let calib = Calibration::collect(&model, &zoo::calibration_sequences(64), true, 2);
+    let quantized = Scheme::Atom(AtomScheme::w4a4()).quantize(&model, &calib);
+    let weights = quantized.model;
+
+    // Shared-prefix flash crowd: every request opens with one of two
+    // 96-token system prompts (skewed hot/cold) plus a short unique
+    // suffix — the chat-assistant shape where the prompt is mostly the
+    // same bytes for everyone.
+    let spec = ScenarioSpec {
+        traffic: TrafficSpec {
+            base_rate_per_tick: 0.5,
+            pattern: ArrivalPattern::FlashCrowd {
+                at_tick: HORIZON_TICKS / 3,
+                magnitude: 4.0,
+                decay_ticks: 10,
+            },
+            horizon_ticks: HORIZON_TICKS,
+            tenants: vec![TenantTraffic {
+                share: 1.0,
+                prefill_range: (4, 12),
+                decode_range: (2, 6),
+                deadline_ticks: None,
+            }],
+            users_per_request: 50_000,
+        },
+        kind: ScenarioKind::SharedPrefix {
+            prefixes: PREFIX_POOL,
+            prefix_tokens: PREFIX_TOKENS,
+        },
+    };
+    let trace = spec.generate(seed);
+    let users = spec.traffic.simulated_users(trace.len());
+
+    let widths = [1usize, 2, 8];
+    let off: Vec<RunResult> = widths
+        .iter()
+        .map(|&t| run_engine(&weights, &trace, false, t))
+        .collect();
+    let on: Vec<RunResult> = widths
+        .iter()
+        .map(|&t| run_engine(&weights, &trace, true, t))
+        .collect();
+
+    let mut violations: Vec<String> = Vec::new();
+    let (Some(base_off), Some(base_on)) = (off.first(), on.first()) else {
+        eprintln!("PREFIX GATE VIOLATED: no runs executed");
+        std::process::exit(1);
+    };
+
+    // Gate 1 — the cache never changes output: every run (cache on or
+    // off, any width) produces the same terminal states and token
+    // streams.
+    for (mode, runs) in [("cache-off", &off), ("cache-on", &on)] {
+        for (&threads, r) in widths.iter().zip(runs.iter()) {
+            if !r.drained {
+                violations.push(format!("{mode} {threads}-thread run did not drain"));
+            }
+            if r.streams != base_off.streams {
+                violations.push(format!(
+                    "{mode} {threads}-thread token streams diverge from cache-off width-1"
+                ));
+            }
+        }
+    }
+
+    // Gate 2 — cache-hit TTFT collapse. The hit set comes from the
+    // cache-on run; the baseline is the *same requests* replayed with the
+    // cache off, so the only difference is the skipped prefill.
+    let hits = base_on.hit_ids.len();
+    let mean_off = mean_wall(&base_off.prefill_wall, &base_on.hit_ids);
+    let mean_on = mean_wall(&base_on.prefill_wall, &base_on.hit_ids);
+    let speedup = match (mean_off, mean_on) {
+        (Some(off_ns), Some(on_ns)) if on_ns > 0.0 => off_ns / on_ns,
+        _ => 0.0,
+    };
+    let stats = base_on.stats.unwrap_or_default();
+    if stats.hits < MIN_HITS {
+        violations.push(format!(
+            "only {} cache hits; the trace must exercise the cache (>= {MIN_HITS})",
+            stats.hits
+        ));
+    }
+    if speedup < MIN_PREFILL_SPEEDUP {
+        violations.push(format!(
+            "hit-request prefill speedup {speedup:.2}x below the {MIN_PREFILL_SPEEDUP}x floor"
+        ));
+    }
+
+    // Gate 3 — KV footprint: with sharing on, the blocks sequences
+    // logically map (counted once per mapping) must exceed the physical
+    // blocks actually allocated.
+    let footprint_ratio = if base_on.peak_used == 0 {
+        0.0
+    } else {
+        base_on.peak_logical as f64 / base_on.peak_used as f64
+    };
+    if footprint_ratio < MIN_FOOTPRINT_RATIO {
+        violations.push(format!(
+            "KV footprint ratio {footprint_ratio:.3} (logical/physical) below {MIN_FOOTPRINT_RATIO}"
+        ));
+    }
+
+    // Gate 4 — block conservation through drain + flush, every run.
+    for (mode, runs) in [("cache-off", &off), ("cache-on", &on)] {
+        for (&threads, r) in widths.iter().zip(runs.iter()) {
+            let (used, refs, ok) = r.at_idle;
+            if !ok {
+                violations.push(format!("{mode} {threads}-thread leak check failed at idle"));
+            }
+            if mode == "cache-off" && (used != 0 || refs != 0) {
+                violations.push(format!(
+                    "{mode} {threads}-thread run leaked blocks at idle: {used} used, {refs} refs"
+                ));
+            }
+            let (used, refs, ok) = r.after_flush;
+            if used != 0 || refs != 0 || !ok {
+                violations.push(format!(
+                    "{mode} {threads}-thread run leaked blocks after flush: {used} used, {refs} refs"
+                ));
+            }
+        }
+    }
+    // At idle the cache's nodes must be the *only* thing holding blocks:
+    // one ref per cached block, nothing else.
+    let (idle_used, idle_refs, _) = base_on.at_idle;
+    if idle_used != stats.cached_blocks || idle_refs != stats.cached_blocks as u64 {
+        violations.push(format!(
+            "cache-on idle accounting off: {idle_used} used / {idle_refs} refs for {} cached blocks",
+            stats.cached_blocks
+        ));
+    }
+
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("PREFIX GATE VIOLATED: {v}");
+        }
+        std::process::exit(1);
+    }
+
+    // Report.
+    let completed = base_on.streams.iter().filter(|s| s.1).count();
+    let rows = vec![
+        row("arrivals in trace", trace.len() as u64),
+        row("simulated users", users),
+        row("completed", completed as u64),
+        row("prefix hits", stats.hits),
+        row("prefix misses", stats.misses),
+        row("insertions", stats.insertions),
+        row("evictions", stats.evictions),
+        row("CoW forks", stats.cow_forks),
+        row("cached blocks at idle", stats.cached_blocks as u64),
+        row("peak physical blocks (cache-on)", base_on.peak_used as u64),
+        row("peak logical blocks (cache-on)", base_on.peak_logical as u64),
+        row("peak physical blocks (cache-off)", base_off.peak_used as u64),
+    ];
+    let counters = atom_bench::table(&["counter", "value"], &rows);
+    let lat = atom_bench::table(
+        &["metric", "cache off", "cache on", "ratio"],
+        &[vec![
+            format!("mean hit-request prefill wall ns ({hits} requests)"),
+            fmt_mean(mean_off),
+            fmt_mean(mean_on),
+            format!("{speedup:.2}x"),
+        ]],
+    );
+
+    let mut content = String::new();
+    let _ = writeln!(
+        content,
+        "prefix gate — Atom W4A4 engine + radix prefix cache, seed {seed:#x}\n\
+         shared-prefix flash crowd ({PREFIX_POOL} system prompts x {PREFIX_TOKENS} tokens,\n\
+         {} arrivals ~ {users} users over {HORIZON_TICKS} ticks); cache off/on x 1/2/8\n\
+         threads — all six token streams bit-identical.\n\n{counters}\n{lat}",
+        trace.len(),
+    );
+    let _ = writeln!(
+        content,
+        "gates held: bit-identical streams, hit prefill speedup {speedup:.2}x >= {MIN_PREFILL_SPEEDUP}x,\n\
+         KV footprint ratio {footprint_ratio:.3} >= {MIN_FOOTPRINT_RATIO}, zero leaked blocks through\n\
+         drain + flush at every width"
+    );
+    atom_bench::emit("prefix_gate", &content);
+
+    let json = format!(
+        "{{\n  \"seed\": {seed},\n  \"arrivals\": {},\n  \"simulated_users\": {users},\n  \
+         \"completed\": {completed},\n  \"prefix_hits\": {},\n  \"prefix_misses\": {},\n  \
+         \"insertions\": {},\n  \"evictions\": {},\n  \"cow_forks\": {},\n  \
+         \"cached_blocks_at_idle\": {},\n  \"mean_hit_prefill_wall_ns_cache_off\": {},\n  \
+         \"mean_hit_prefill_wall_ns_cache_on\": {},\n  \"hit_prefill_speedup\": {speedup:.3},\n  \
+         \"min_prefill_speedup\": {MIN_PREFILL_SPEEDUP},\n  \"peak_physical_blocks\": {},\n  \
+         \"peak_logical_blocks\": {},\n  \"kv_footprint_ratio\": {footprint_ratio:.4},\n  \
+         \"min_footprint_ratio\": {MIN_FOOTPRINT_RATIO},\n  \"thread_widths\": [1, 2, 8],\n  \
+         \"bit_identical\": true,\n  \"blocks_conserved\": true\n}}\n",
+        trace.len(),
+        stats.hits,
+        stats.misses,
+        stats.insertions,
+        stats.evictions,
+        stats.cow_forks,
+        stats.cached_blocks,
+        fmt_mean(mean_off),
+        fmt_mean(mean_on),
+        base_on.peak_used,
+        base_on.peak_logical,
+    );
+    let path = atom_bench::results_dir().join("prefix_gate.json");
+    std::fs::write(&path, json).expect("write json report");
+    eprintln!("[written to results/prefix_gate.json]");
+}
+
+/// Replays the prompt trace straight into the engine (no gateway — the
+/// gate isolates the cache) in tick order, drains, and snapshots every
+/// accounting surface the gates compare.
+fn run_engine(
+    weights: &atom_nn::LlamaModel<atom::AnyLinear>,
+    trace: &[PromptArrival],
+    cached: bool,
+    threads: usize,
+) -> RunResult {
+    let config = *weights.config();
+    let telemetry = Arc::new(Telemetry::enabled());
+    // INT4 KV as the *primary* cache: cached prefix runs stay low-bit, so
+    // a hit serves quantized pages directly (ISSUE: degraded admissions
+    // can still share).
+    let mut engine = CpuEngine::new(
+        weights.clone(),
+        Box::new(move || {
+            Box::new(QuantizedKvCache::new(
+                config.layers,
+                config.kv_dim(),
+                config.head_dim(),
+                4,
+            ))
+        }),
+        MAX_BATCH,
+        KV_POOL_TOKENS,
+    )
+    .expect("valid engine config")
+    .with_telemetry(telemetry)
+    .with_pool(Pool::new(threads));
+    if cached {
+        engine = engine.with_prefix_cache(PrefixConfig {
+            max_cached_blocks: Some(MAX_CACHED_BLOCKS),
+        });
+    }
+
+    let mut ids: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+    let last_tick = trace.last().map_or(0, |p| p.arrival.tick);
+    for tick in 0..=last_tick {
+        while next < trace.len() && trace[next].arrival.tick <= tick {
+            let p = &trace[next];
+            let id = engine
+                .submit(p.prompt.clone(), p.arrival.decode_tokens)
+                .expect("no shed policy configured; every submission is accepted");
+            ids.push(id);
+            next += 1;
+        }
+        engine.step();
+    }
+    let mut steps = 0usize;
+    let mut drained = true;
+    while engine.step() {
+        steps += 1;
+        if steps > STEP_BUDGET {
+            drained = false;
+            break;
+        }
+    }
+
+    let mut streams: Vec<(usize, bool, Vec<u16>)> = engine
+        .outcomes()
+        .iter()
+        .map(|o| (o.id, o.terminal.is_completed(), o.tokens.clone()))
+        .collect();
+    streams.sort_by_key(|s| s.0);
+    let mut hit_ids: Vec<usize> = engine
+        .outcomes()
+        .iter()
+        .filter(|o| o.stats.prefix_tokens > 0)
+        .map(|o| o.id)
+        .collect();
+    hit_ids.sort_unstable();
+    let prefill_wall: HashMap<usize, u64> = ids
+        .iter()
+        .filter_map(|&id| engine.prefill_wall_ns(id).map(|w| (id, w)))
+        .collect();
+
+    let stats = engine.prefix_stats();
+    let alloc = engine.batcher().allocator();
+    let peak_used = alloc.peak_used();
+    let peak_logical = alloc.peak_logical();
+    let at_idle = (
+        alloc.used_blocks(),
+        alloc.total_refs(),
+        alloc.leak_check().is_ok(),
+    );
+    engine.flush_prefix_cache();
+    let alloc = engine.batcher().allocator();
+    let after_flush = (
+        alloc.used_blocks(),
+        alloc.total_refs(),
+        alloc.leak_check().is_ok(),
+    );
+
+    RunResult {
+        streams,
+        hit_ids,
+        prefill_wall,
+        stats,
+        peak_used,
+        peak_logical,
+        at_idle,
+        after_flush,
+        drained,
+    }
+}
+
+/// Mean wall time over `ids`, ns; `None` if any id has no recorded wall.
+fn mean_wall(walls: &HashMap<usize, u64>, ids: &[usize]) -> Option<f64> {
+    if ids.is_empty() {
+        return None;
+    }
+    let mut total = 0u64;
+    for id in ids {
+        total += *walls.get(id)?;
+    }
+    Some(total as f64 / ids.len() as f64)
+}
+
+fn fmt_mean(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), |x| format!("{:.0}", x))
+}
+
+fn row(name: &str, v: u64) -> Vec<String> {
+    vec![name.to_string(), v.to_string()]
+}

@@ -24,6 +24,7 @@ use atom_nn::kv::Fp32KvCache;
 use atom_nn::zoo;
 use atom_nn::LlamaModel;
 use atom_serve::engine::CpuEngine;
+use atom_serve::PrefixConfig;
 use atom_telemetry::{export, names, MetricsSnapshot, Telemetry};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -48,11 +49,18 @@ fn run_workload(model: LlamaModel<AnyLinear>) -> RunStats {
         MAX_BATCH,
         KV_POOL_TOKENS,
     )
-    .expect("valid engine config");
+    .expect("valid engine config")
+    .with_prefix_cache(PrefixConfig::default());
+    // Every prompt opens with the same 16-token system prefix so the
+    // prefix-cache metrics show up in the report with real traffic behind
+    // them (the first request donates, the rest hit).
     for i in 0..REQUESTS {
         let len = 8 + (i * 5) % 17;
         let max_new = 8 + (i * 3) % 9;
-        let prompt: Vec<u16> = (0..len).map(|t| atom_tensor::cast::usize_to_u16_saturating((i * 13 + t * 7) % 96)).collect();
+        let mut prompt: Vec<u16> = (0..16u16).map(|t| (t * 5) % 96).collect();
+        prompt.extend(
+            (0..len).map(|t| atom_tensor::cast::usize_to_u16_saturating((i * 13 + t * 7) % 96)),
+        );
         engine.submit(prompt, max_new).expect("admission under a roomy pool");
     }
     let start = Instant::now();
@@ -185,6 +193,16 @@ fn main() {
         snap.counter(names::ENGINE_DEGRADED_ADMISSIONS),
         snap.counter(names::ENGINE_FAULTS),
     );
+    let hit_ttft = snap.histograms.get(names::PREFIX_HIT_TTFT_STEPS);
+    let _ = writeln!(
+        content,
+        "prefix cache: hits={} misses={} evictions={} cow_forks={} hit-TTFT p50={} steps",
+        snap.counter(names::PREFIX_HITS),
+        snap.counter(names::PREFIX_MISSES),
+        snap.counter(names::PREFIX_EVICTIONS),
+        snap.counter(names::PREFIX_COW_FORKS),
+        q(hit_ttft, 0.5),
+    );
     atom_bench::emit("telemetry_report", &content);
 
     // JSON twin plus the raw exporter outputs and the Chrome trace.
@@ -198,8 +216,14 @@ fn main() {
          \"attention_ns\": {sim_attn},\n    \"quant_ns\": {sim_quant},\n    \"other_ns\": {sim_other}\n  }},\n  \
          \"overhead\": {{\n    \"disabled_tok_per_s\": {disabled_tps:.1},\n    \
          \"enabled_tok_per_s\": {enabled_tps:.1},\n    \
-         \"enabled_over_disabled\": {:.4}\n  }}\n}}\n",
+         \"enabled_over_disabled\": {:.4}\n  }},\n  \
+         \"prefix_cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \
+         \"evictions\": {},\n    \"cow_forks\": {}\n  }}\n}}\n",
         enabled_tps / disabled_tps,
+        snap.counter(names::PREFIX_HITS),
+        snap.counter(names::PREFIX_MISSES),
+        snap.counter(names::PREFIX_EVICTIONS),
+        snap.counter(names::PREFIX_COW_FORKS),
     );
     std::fs::write(dir.join("telemetry_report.json"), json).expect("write json report");
     std::fs::write(dir.join("telemetry_metrics.prom"), export::prometheus_text(&snap))

@@ -19,6 +19,7 @@
 //! | `table5_kernel_ablation` | §5.4.2 — fused-kernel TOPS and reorder fusion |
 //! | `chaos_serve` | robustness — engine under seeded faults + KV pressure |
 //! | `slo_gate` | robustness — gateway SLO attainment under chaos, 1/2/8 threads |
+//! | `prefix_gate` | prefix cache — hit TTFT collapse + KV sharing, bit-identical |
 //!
 //! Each binary prints an aligned text table and writes the same content to
 //! `results/<name>.txt`. Criterion benches (`cargo bench -p atom-bench`)

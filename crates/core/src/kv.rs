@@ -12,7 +12,7 @@ use atom_parallel::Pool;
 use atom_tensor::Matrix;
 
 /// KV cache storing each layer/head block in low-bit asymmetric form.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct QuantizedKvCache {
     layers: Vec<Vec<QuantizedKvHead>>,
     kv_dim: usize,
@@ -118,6 +118,18 @@ impl KvStore for QuantizedKvCache {
             }
         }
     }
+
+    fn clone_box(&self) -> Box<dyn KvStore> {
+        Box::new(self.clone())
+    }
+
+    fn truncate(&mut self, tokens: usize) {
+        for heads in &mut self.layers {
+            for h in heads.iter_mut() {
+                h.truncate(tokens);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +211,33 @@ mod tests {
         c.clear();
         assert_eq!(c.len(0), 0);
         assert_eq!(c.len(1), 0);
+    }
+
+    #[test]
+    fn clone_box_truncate_is_bit_identical_to_short_history() {
+        // Appending [a; b] then truncating back to |a| must be bit-identical
+        // to appending only `a` — the invariant the prefix cache replays rely
+        // on (per-(token, head) asymmetric quantization is row-independent).
+        let mut rng = SeededRng::new(11);
+        let a_k = rng.normal_matrix(5, 16, 0.0, 1.0);
+        let a_v = rng.normal_matrix(5, 16, 0.0, 1.0);
+        let b_k = rng.normal_matrix(3, 16, 1.0, 0.5);
+        let b_v = rng.normal_matrix(3, 16, -1.0, 0.5);
+        let mut long = QuantizedKvCache::new(2, 16, 8, 4);
+        let mut short = QuantizedKvCache::new(2, 16, 8, 4);
+        for layer in 0..2 {
+            long.append(layer, &a_k, &a_v);
+            long.append(layer, &b_k, &b_v);
+            short.append(layer, &a_k, &a_v);
+        }
+        let mut cut = long.clone_box();
+        cut.truncate(5);
+        for layer in 0..2 {
+            assert_eq!(cut.len(layer), 5);
+            assert_eq!(cut.keys(layer).as_slice(), short.keys(layer).as_slice());
+            assert_eq!(cut.values(layer).as_slice(), short.values(layer).as_slice());
+        }
+        assert_eq!(long.len(0), 8, "truncating the clone must not touch the original");
     }
 
     #[test]

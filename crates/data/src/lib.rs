@@ -17,6 +17,9 @@
 //! - [`traffic`] — open-loop multi-tenant arrival traces (diurnal, bursty,
 //!   flash-crowd) at simulated millions-of-users scale for the gateway's
 //!   overload and SLO experiments.
+//! - [`scenario`] — prompt-level content models (shared system prompts,
+//!   multi-turn conversations, long-context documents) layered on traffic
+//!   traces for the prefix-cache experiments.
 //!
 //! Everything is seeded and exactly reproducible.
 //!
@@ -34,12 +37,14 @@
 
 #![forbid(unsafe_code)]
 pub mod corpus;
+pub mod scenario;
 pub mod tasks;
 pub mod tokenizer;
 pub mod traffic;
 pub mod workload;
 
 pub use corpus::{Corpus, CorpusStyle};
+pub use scenario::{PromptArrival, ScenarioKind, ScenarioSpec};
 pub use tasks::{Task, TaskKind, TaskSuite};
 pub use tokenizer::Tokenizer;
 pub use traffic::{Arrival, ArrivalPattern, TenantTraffic, TrafficSpec};

@@ -526,6 +526,13 @@ impl<L: LinearLayer> Gateway<L> {
         &self.engine
     }
 
+    /// Prefix-cache statistics from the engine, if its radix cache is
+    /// enabled (`None` otherwise) — surfaced here so operators reading
+    /// gateway dashboards need not reach through [`Self::engine`].
+    pub fn prefix_stats(&self) -> Option<atom_serve::PrefixCacheStats> {
+        self.engine.prefix_stats()
+    }
+
     /// Requests currently waiting in gateway tenant queues.
     pub fn queued_depth(&self) -> usize {
         self.queues.iter().map(VecDeque::len).sum()
@@ -1047,6 +1054,28 @@ mod tests {
         assert_eq!(o.tenant, 0);
         assert!(o.first_token_tick.is_some());
         assert!(o.finished_tick >= o.first_token_tick.unwrap());
+    }
+
+    #[test]
+    fn prefix_stats_surface_through_the_gateway() {
+        let engine = tiny_engine(4, 2048).with_prefix_cache(atom_serve::PrefixConfig::default());
+        let mut g = Gateway::new(engine, GatewayConfig::single_tenant()).expect("valid config");
+        assert!(g.prefix_stats().is_some(), "cache enabled: stats present");
+        // Two requests sharing a 16-token prefix: the second hits the run
+        // the first donated, and the gateway reports it.
+        let shared: Vec<u16> = (0..16).collect();
+        let mut a = shared.clone();
+        a.extend([20, 21, 22]);
+        let mut b = shared;
+        b.extend([30, 31]);
+        g.offer(0, a, 2, None).expect("accepted");
+        assert!(g.run_until_idle(100));
+        g.offer(0, b, 2, None).expect("accepted");
+        assert!(g.run_until_idle(100));
+        let stats = g.prefix_stats().expect("cache enabled");
+        assert_eq!(stats.hits, 1, "second prompt reuses the donated prefix");
+        let plain = gw(GatewayConfig::single_tenant());
+        assert!(plain.prefix_stats().is_none(), "cache disabled: no stats");
     }
 
     #[test]

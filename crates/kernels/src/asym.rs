@@ -167,6 +167,30 @@ impl AsymQuantized {
         self.mins.extend_from_slice(&added.mins);
     }
 
+    /// Truncates to the first `rows` rows, dropping later codes and their
+    /// scale/minimum pairs. A no-op when `rows >= self.rows()`.
+    ///
+    /// Because quantization is strictly per row, the surviving rows keep the
+    /// exact codes/scales/mins they were written with — truncation is
+    /// bit-identical to never having appended the dropped rows (the prefix
+    /// cache relies on this when replaying a KV snapshot cut mid-sequence).
+    pub fn truncate_rows(&mut self, rows: usize) {
+        if rows >= self.rows() {
+            return;
+        }
+        let mut trimmed = PackedMatrix::zeros(rows, self.cols(), self.bits);
+        let mut buf = vec![0i8; self.cols()];
+        for r in 0..rows {
+            self.codes.unpack_row(r, &mut buf);
+            for (c, &v) in buf.iter().enumerate() {
+                trimmed.set(r, c, v);
+            }
+        }
+        self.codes = trimmed;
+        self.scales.truncate(rows);
+        self.mins.truncate(rows);
+    }
+
     /// Real memory footprint: packed codes plus 16-bit scale and minimum
     /// per row.
     pub fn packed_bytes(&self) -> usize {
@@ -264,6 +288,21 @@ mod tests {
         let b4 = AsymQuantized::quantize(&x, 4).packed_bytes();
         let b8 = AsymQuantized::quantize(&x, 8).packed_bytes();
         assert!(b4 * 2 <= b8 + 64 * 4);
+    }
+
+    #[test]
+    fn truncate_rows_is_bit_identical_to_short_history() {
+        let mut rng = SeededRng::new(6);
+        let a = rng.normal_matrix(3, 8, 0.0, 1.0);
+        let b = rng.normal_matrix(4, 8, 1.0, 0.5);
+        let mut grown = AsymQuantized::quantize(&a, 4);
+        grown.append_rows(&b);
+        grown.truncate_rows(3);
+        let fresh = AsymQuantized::quantize(&a, 4);
+        assert_eq!(grown, fresh);
+        // Truncating past the end changes nothing.
+        grown.truncate_rows(99);
+        assert_eq!(grown, fresh);
     }
 
     #[test]

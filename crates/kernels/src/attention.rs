@@ -51,6 +51,13 @@ impl QuantizedKvHead {
     pub fn packed_bytes(&self) -> usize {
         self.keys.packed_bytes() + self.values.packed_bytes()
     }
+
+    /// Drops cached tokens beyond the first `tokens` (see
+    /// [`AsymQuantized::truncate_rows`]); surviving rows are bit-identical.
+    pub fn truncate(&mut self, tokens: usize) {
+        self.keys.truncate_rows(tokens);
+        self.values.truncate_rows(tokens);
+    }
 }
 
 /// Single-head attention over a quantized KV block with dequantize-on-load.

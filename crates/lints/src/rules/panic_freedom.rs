@@ -27,12 +27,15 @@ use crate::{FileCtx, Finding, RULE_PANIC_FREEDOM};
 /// because the pool's whole purpose is *containing* worker panics — a
 /// panicking construct inside the pool itself would defeat that guarantee.
 /// `atom-gateway` owns the request lifecycle above the engine, so a panic
-/// there strands every queued and in-flight request.
+/// there strands every queued and in-flight request. `atom-prefix` sits on
+/// the admission hot path: every request's prompt flows through its radix
+/// lookup, so it inherits the serving contract.
 const SCOPED_CRATES: &[&str] = &[
     "atom-serve",
     "atom-kernels",
     "atom-parallel",
     "atom-gateway",
+    "atom-prefix",
 ];
 
 const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];

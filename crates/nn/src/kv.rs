@@ -15,8 +15,10 @@ use atom_tensor::Matrix;
 /// the cache holds position-encoded keys.
 ///
 /// `Send` is a supertrait so boxed caches can move across the serving
-/// engine's scoped worker threads during batched prefill/decode.
-pub trait KvStore: std::fmt::Debug + Send {
+/// engine's scoped worker threads during batched prefill/decode; `Sync`
+/// so frozen prefix-cache snapshots (`Arc<Snapshot>` in `atom-prefix`)
+/// can be shared immutably between those workers.
+pub trait KvStore: std::fmt::Debug + Send + Sync {
     /// Appends `k` and `v` rows (one per new token) to layer `layer`.
     ///
     /// Both matrices are `new_tokens x kv_dim`.
@@ -38,6 +40,23 @@ pub trait KvStore: std::fmt::Debug + Send {
 
     /// Clears all layers.
     fn clear(&mut self);
+
+    /// Deep-copies the cache behind a fresh box.
+    ///
+    /// The prefix cache snapshots per-request KV state through this hook:
+    /// a snapshot must be bit-identical to the original (same codes, same
+    /// scales for quantized stores), so later replays decode the exact
+    /// rows the donor request produced.
+    fn clone_box(&self) -> Box<dyn KvStore>;
+
+    /// Drops every cached position beyond the first `tokens` in *all*
+    /// layers. A no-op when the cache already holds `tokens` or fewer.
+    ///
+    /// Because both stores in this workspace quantize/record per token row,
+    /// truncating to `n` rows is bit-identical to having only ever appended
+    /// those first `n` rows — the property the radix prefix cache relies on
+    /// when it replays a snapshot cut at a block boundary.
+    fn truncate(&mut self, tokens: usize);
 }
 
 /// Full-precision KV cache (the FP16-serving baseline; values are kept in
@@ -94,6 +113,26 @@ impl KvStore for Fp32KvCache {
             *v = Matrix::zeros(0, self.kv_dim);
         }
     }
+
+    fn clone_box(&self) -> Box<dyn KvStore> {
+        Box::new(self.clone())
+    }
+
+    fn truncate(&mut self, tokens: usize) {
+        let top_rows = |m: &Matrix, n: usize| {
+            let mut out = Matrix::zeros(n, m.cols());
+            for r in 0..n {
+                out.row_mut(r).copy_from_slice(m.row(r));
+            }
+            out
+        };
+        for (k, v) in &mut self.layers {
+            if k.rows() > tokens {
+                *k = top_rows(k, tokens);
+                *v = top_rows(v, tokens);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -127,5 +166,33 @@ mod tests {
     fn wrong_width_panics() {
         let mut c = Fp32KvCache::new(1, 4);
         c.append(0, &Matrix::full(1, 3, 0.0), &Matrix::full(1, 3, 0.0));
+    }
+
+    #[test]
+    fn clone_box_then_truncate_matches_short_append() {
+        let mut long = Fp32KvCache::new(2, 4);
+        let mut short = Fp32KvCache::new(2, 4);
+        for t in 0..5u32 {
+            let k = Matrix::full(1, 4, t as f32);
+            let v = Matrix::full(1, 4, -(t as f32));
+            long.append(0, &k, &v);
+            long.append(1, &k, &v);
+            if t < 3 {
+                short.append(0, &k, &v);
+                short.append(1, &k, &v);
+            }
+        }
+        let mut cut = long.clone_box();
+        cut.truncate(3);
+        for layer in 0..2 {
+            assert_eq!(cut.len(layer), 3);
+            assert_eq!(cut.keys(layer).as_slice(), short.keys(layer).as_slice());
+            assert_eq!(cut.values(layer).as_slice(), short.values(layer).as_slice());
+        }
+        // The original is untouched by truncating the clone.
+        assert_eq!(long.len(0), 5);
+        // Truncating past the end is a no-op.
+        cut.truncate(10);
+        assert_eq!(cut.len(0), 3);
     }
 }

@@ -1,0 +1,58 @@
+//! Immutable KV snapshots backing radix-tree nodes.
+
+use atom_nn::KvStore;
+
+/// A donor request's KV state at the end of its prefill, frozen for reuse.
+///
+/// The snapshot owns a deep copy of the donor's cache (taken via
+/// [`KvStore::clone_box`]), so later truncation or the donor's own decode
+/// steps can never disturb it. Replaying a hit clones the snapshot again
+/// and truncates to the matched token count — bit-identical to a fresh
+/// prefill of those tokens because both stores quantize per token row.
+#[derive(Debug)]
+pub struct Snapshot {
+    kv: Box<dyn KvStore>,
+    tokens: usize,
+}
+
+impl Snapshot {
+    /// Freezes `kv` as a snapshot covering `tokens` prompt tokens.
+    pub fn new(kv: Box<dyn KvStore>, tokens: usize) -> Self {
+        Snapshot { kv, tokens }
+    }
+
+    /// Prompt tokens this snapshot covers.
+    pub fn tokens(&self) -> usize {
+        self.tokens
+    }
+
+    /// Clones the snapshot's KV state cut to the first `tokens` positions.
+    pub fn clone_prefix(&self, tokens: usize) -> Box<dyn KvStore> {
+        let mut kv = self.kv.clone_box();
+        if tokens < self.tokens {
+            kv.truncate(tokens);
+        }
+        kv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atom_nn::Fp32KvCache;
+    use atom_tensor::Matrix;
+
+    #[test]
+    fn clone_prefix_truncates_without_touching_the_original() {
+        let mut kv = Fp32KvCache::new(1, 2);
+        for t in 0..4 {
+            let m = Matrix::full(1, 2, t as f32);
+            kv.append(0, &m, &m);
+        }
+        let snap = Snapshot::new(Box::new(kv), 4);
+        let cut = snap.clone_prefix(2);
+        assert_eq!(cut.len(0), 2);
+        assert_eq!(snap.clone_prefix(4).len(0), 4);
+        assert_eq!(snap.clone_prefix(9).len(0), 4, "over-long cut is a no-op");
+    }
+}

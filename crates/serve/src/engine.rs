@@ -27,16 +27,21 @@
 
 use crate::error::{RejectReason, ServeError, Terminal};
 use crate::fault::FaultPlan;
-use crate::paged::PagedAllocator;
-use crate::scheduler::{BatchEvent, ContinuousBatcher};
+use crate::paged::{PagedAllocator, SharedPrefix};
+use crate::scheduler::{AdmitOutcome, BatchEvent, ContinuousBatcher};
 use atom_data::Request;
 use atom_nn::{KvStore, LinearLayer, LlamaModel};
 use atom_parallel::{Pool, PoolError};
+use atom_prefix::{
+    Flavor, MatchOutcome, PrefixCacheStats, PrefixConfig, RadixIndex, Snapshot, FLAVOR_DEGRADED,
+    FLAVOR_NORMAL,
+};
 use atom_telemetry::{names, Telemetry};
 use atom_tensor::cast;
 use atom_tensor::ops;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A completed generation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +68,9 @@ pub struct RequestStats {
     pub preemptions: usize,
     /// Whether admission placed it in a degraded (low-bit) KV cache.
     pub degraded_kv: bool,
+    /// Prompt tokens served from the prefix cache instead of being
+    /// prefilled (0 = no hit or cache disabled).
+    pub prefix_tokens: usize,
     /// The step budget the request was submitted with, if any.
     pub deadline_steps: Option<usize>,
     /// Step at which the request reached its terminal state (`None` while
@@ -171,11 +179,44 @@ struct SeqState {
 /// One unit of batched model work handed to the thread pool. `Some(prompt)`
 /// runs a full prefill forward; `None` advances the sequence by one decode
 /// token from `state.next_input`. Each job exclusively owns its state, so
-/// workers never share mutable data.
+/// workers never share mutable data. `wall_ns` is filled by the worker with
+/// the forward's wall time — measurement only, never control flow, so token
+/// streams stay bit-identical at any pool width.
 struct ForwardJob {
     id: usize,
     state: SeqState,
     prompt: Option<Vec<u16>>,
+    wall_ns: u64,
+}
+
+/// Admission-time plan for one cache-on request: the KV flavor its pressure
+/// prediction chose, and the prefix hit (if any) its prefill will replay
+/// instead of recomputing.
+struct PlannedAdmission {
+    flavor: Flavor,
+    tokens: usize,
+    snapshot: Option<Arc<Snapshot>>,
+}
+
+/// Monotonic prefix-cache event totals. A second copy tracks what was
+/// already reported so per-step telemetry can emit deltas.
+#[derive(Clone, Copy, Default)]
+struct PrefixCounters {
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    cow_forks: u64,
+}
+
+/// Engine-side prefix-cache runtime: the radix index over completed
+/// prefills, per-request admission plans, and event counters.
+struct PrefixCacheState {
+    index: RadixIndex,
+    planned: HashMap<usize, PlannedAdmission>,
+    config: PrefixConfig,
+    totals: PrefixCounters,
+    reported: PrefixCounters,
 }
 
 /// Job indices whose pool worker panicked (chunk size 1 ⇒ chunk index ==
@@ -255,9 +296,11 @@ pub struct CpuEngine<L: LinearLayer> {
     policy: PressurePolicy,
     fault: FaultPlan,
     batcher: ContinuousBatcher,
+    prefix: Option<PrefixCacheState>,
     prompts: HashMap<usize, Vec<u16>>,
     states: HashMap<usize, SeqState>,
     meta: HashMap<usize, RequestStats>,
+    prefill_wall: HashMap<usize, u64>,
     outcomes: Vec<Outcome>,
     completions: Vec<Completion>,
     next_id: usize,
@@ -315,9 +358,11 @@ impl<L: LinearLayer> CpuEngine<L> {
             policy: PressurePolicy::default(),
             fault: FaultPlan::none(),
             batcher: ContinuousBatcher::new(max_batch, allocator)?,
+            prefix: None,
             prompts: HashMap::new(),
             states: HashMap::new(),
             meta: HashMap::new(),
+            prefill_wall: HashMap::new(),
             outcomes: Vec::new(),
             completions: Vec::new(),
             next_id: 0,
@@ -383,6 +428,23 @@ impl<L: LinearLayer> CpuEngine<L> {
     /// Installs a deterministic fault-injection plan (chaos testing).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault = plan;
+        self
+    }
+
+    /// Enables the radix-tree prefix cache: completed prefills are indexed
+    /// by token content, and later admissions whose prompt shares a cached
+    /// prefix attach the existing (refcounted, copy-on-write) KV blocks and
+    /// prefill only the suffix. Token streams are bit-identical with the
+    /// cache on or off — only the prefill work changes.
+    pub fn with_prefix_cache(mut self, config: PrefixConfig) -> Self {
+        let block_size = self.batcher.allocator().block_size();
+        self.prefix = Some(PrefixCacheState {
+            index: RadixIndex::new(block_size),
+            planned: HashMap::new(),
+            config,
+            totals: PrefixCounters::default(),
+            reported: PrefixCounters::default(),
+        });
         self
     }
 
@@ -480,6 +542,9 @@ impl<L: LinearLayer> CpuEngine<L> {
         self.telemetry.get().counter_add(terminal_metric(&terminal), 1);
         self.batcher.cancel(id);
         self.prompts.remove(&id);
+        if let Some(prefix) = self.prefix.as_mut() {
+            prefix.planned.remove(&id);
+        }
         let tokens = self
             .states
             .remove(&id)
@@ -531,10 +596,14 @@ impl<L: LinearLayer> CpuEngine<L> {
             tel.counter_add(names::ENGINE_FAULTS, 1);
         }
 
-        for event in self.batcher.admit() {
-            if let BatchEvent::Admitted(req) = event {
-                if let Some(stats) = self.meta.get_mut(&req.id) {
-                    stats.admitted_step.get_or_insert(self.clock);
+        if self.prefix.is_some() {
+            self.admit_with_cache();
+        } else {
+            for event in self.batcher.admit() {
+                if let BatchEvent::Admitted(req) = event {
+                    if let Some(stats) = self.meta.get_mut(&req.id) {
+                        stats.admitted_step.get_or_insert(self.clock);
+                    }
                 }
             }
         }
@@ -558,15 +627,35 @@ impl<L: LinearLayer> CpuEngine<L> {
                 .degrade_queue_depth
                 .is_some_and(|d| self.batcher.queued() >= d);
         let mut prefill_jobs: Vec<ForwardJob> = Vec::new();
+        let mut prefill_flavor: HashMap<usize, Flavor> = HashMap::new();
         for req in self.batcher.complete_prefill() {
             let Some(prompt) = self.prompts.get(&req.id).cloned() else {
                 debug_assert!(false, "prefill without stored prompt");
                 continue;
             };
-            let degraded = pressured && self.degraded_cache.is_some();
-            let cache = match (&self.degraded_cache, degraded) {
-                (Some(factory), true) => factory(),
-                _ => (self.new_cache)(),
+            // Cache-on admissions chose their flavor (and possibly a prefix
+            // hit) at admission time; the cache-off path keeps the original
+            // per-step pressure decision.
+            let planned = self.prefix.as_mut().and_then(|p| p.planned.remove(&req.id));
+            let degraded = match &planned {
+                Some(plan) => plan.flavor == FLAVOR_DEGRADED && self.degraded_cache.is_some(),
+                None => pressured && self.degraded_cache.is_some(),
+            };
+            let reused = planned.as_ref().and_then(|plan| {
+                plan.snapshot
+                    .as_ref()
+                    .filter(|_| plan.tokens > 0)
+                    .map(|snap| (plan.tokens, Arc::clone(snap)))
+            });
+            let cache = match &reused {
+                // A hit replays the donor's snapshot cut to the matched
+                // prefix — bit-identical to prefilling those tokens, since
+                // both stores quantize per token row.
+                Some((tokens, snapshot)) => snapshot.clone_prefix(*tokens),
+                None => match (&self.degraded_cache, degraded) {
+                    (Some(factory), true) => factory(),
+                    _ => (self.new_cache)(),
+                },
             };
             if degraded {
                 self.degraded_admissions += 1;
@@ -575,6 +664,22 @@ impl<L: LinearLayer> CpuEngine<L> {
                     stats.degraded_kv = true;
                 }
             }
+            if self.prefix.is_some() {
+                prefill_flavor.insert(
+                    req.id,
+                    if degraded { FLAVOR_DEGRADED } else { FLAVOR_NORMAL },
+                );
+            }
+            let skip = reused.as_ref().map(|(t, _)| *t).unwrap_or(0);
+            if skip > 0 {
+                if let Some(stats) = self.meta.get_mut(&req.id) {
+                    stats.prefix_tokens = stats.prefix_tokens.max(skip);
+                }
+            }
+            // A hit forwards only the un-cached suffix; the match cap of
+            // `prompt_len - 1` guarantees at least one token remains to
+            // produce the first decode logits.
+            let forward = prompt.get(skip..).unwrap_or(prompt.as_slice()).to_vec();
             prefill_jobs.push(ForwardJob {
                 id: req.id,
                 state: SeqState {
@@ -582,7 +687,8 @@ impl<L: LinearLayer> CpuEngine<L> {
                     generated: Vec::new(),
                     next_input: 0,
                 },
-                prompt: Some(prompt),
+                prompt: Some(forward),
+                wall_ns: 0,
             });
         }
         // One chunk per request: every worker shares `&self.model` read-only
@@ -590,6 +696,7 @@ impl<L: LinearLayer> CpuEngine<L> {
         // the sequential loop bit-for-bit at any pool width; a panicking
         // forward fails only its own request (terminalized below).
         let prefill_failed = self.run_forwards(&mut prefill_jobs);
+        let mut prefilled_ok: Vec<usize> = Vec::new();
         for (idx, job) in prefill_jobs.into_iter().enumerate() {
             if let Some(reason) = prefill_failed.reason_for(idx) {
                 self.terminalize(
@@ -600,7 +707,15 @@ impl<L: LinearLayer> CpuEngine<L> {
                 );
                 continue;
             }
+            *self.prefill_wall.entry(job.id).or_insert(0) += job.wall_ns;
             self.states.insert(job.id, job.state);
+            prefilled_ok.push(job.id);
+        }
+        if self.prefix.is_some() {
+            for id in prefilled_ok {
+                let flavor = prefill_flavor.get(&id).copied().unwrap_or(FLAVOR_NORMAL);
+                self.cache_completed_prefill(id, flavor);
+            }
         }
 
         // Injected forward fault: kill one in-flight sequence, surfacing a
@@ -637,6 +752,18 @@ impl<L: LinearLayer> CpuEngine<L> {
             }
         }
 
+        // Cache-on: guarantee decode headroom before the scheduler commits
+        // this step. Every decoding sequence may need one fresh block, and
+        // blocks held only by the cache must yield rather than stall (or
+        // preempt) live work.
+        if self.prefix.is_some() {
+            while self.batcher.allocator().free_blocks() < self.batcher.decoding() {
+                if self.evict_one_cached().is_none() {
+                    break;
+                }
+            }
+        }
+
         // Decode phase: let the scheduler commit its block accounting first,
         // then run the model for exactly the sequences it advanced. (A
         // sequence can advance even when the pool looked full beforehand —
@@ -659,6 +786,7 @@ impl<L: LinearLayer> CpuEngine<L> {
                 id: *id,
                 state,
                 prompt: None,
+                wall_ns: 0,
             });
         }
         // Same disjoint-ownership argument as prefill: each decode forward
@@ -692,6 +820,11 @@ impl<L: LinearLayer> CpuEngine<L> {
                     }
                     if let Some(tpot) = stats.tpot_millisteps(tokens.len()) {
                         tel.record(names::ENGINE_TPOT_MILLISTEPS, tpot);
+                    }
+                    if stats.prefix_tokens > 0 {
+                        if let Some(ttft) = stats.ttft_steps() {
+                            tel.record(names::PREFIX_HIT_TTFT_STEPS, ttft as u64);
+                        }
                     }
                     self.completions.push(Completion {
                         id: req.id,
@@ -730,8 +863,232 @@ impl<L: LinearLayer> CpuEngine<L> {
                 );
             }
         }
+        // Cache-cap enforcement runs once per step as well as at insert
+        // time: blocks shared with a live donor are unevictable when
+        // inserted, and only fall to refcount 1 (cache-only) after the
+        // donor finishes — which may be this step's Finished events.
+        if let Some(cap) = self.prefix.as_ref().and_then(|p| p.config.max_cached_blocks) {
+            while self.prefix.as_ref().is_some_and(|p| p.index.len() > cap) {
+                if self.evict_one_cached().is_none() {
+                    break;
+                }
+            }
+        }
+
+        // Prefix-cache telemetry: per-step counter deltas plus the shared-
+        // block gauge (the allocator owns the copy-on-write fork total).
+        if let Some(prefix) = self.prefix.as_mut() {
+            let alloc = self.batcher.allocator();
+            let totals = PrefixCounters {
+                cow_forks: alloc.cow_forks() as u64,
+                ..prefix.totals
+            };
+            tel.counter_add(names::PREFIX_HITS, totals.hits - prefix.reported.hits);
+            tel.counter_add(names::PREFIX_MISSES, totals.misses - prefix.reported.misses);
+            tel.counter_add(
+                names::PREFIX_EVICTIONS,
+                totals.evictions - prefix.reported.evictions,
+            );
+            tel.counter_add(
+                names::PREFIX_COW_FORKS,
+                totals.cow_forks - prefix.reported.cow_forks,
+            );
+            tel.gauge_set(names::PREFIX_SHARED_BLOCKS, alloc.shared_blocks() as i64);
+            prefix.reported = totals;
+        }
         self.batcher.disarm_alloc_fault();
         true
+    }
+
+    /// Cache-on admission: for each head-of-queue request, predict its
+    /// pressure flavor, look up the longest cached prefix of its prompt,
+    /// pin the matched blocks, and admit it seeded with the shared run —
+    /// evicting cold cached runs when the pool is short. Stops at the first
+    /// request that cannot be admitted (FCFS head-of-line, exactly like the
+    /// cache-off path).
+    fn admit_with_cache(&mut self) {
+        while let Some(head) = self.batcher.queue_head().copied() {
+            if self.batcher.allocator().fault_armed() {
+                break;
+            }
+            let degraded = self.predict_degraded(&head);
+            let flavor = if degraded { FLAVOR_DEGRADED } else { FLAVOR_NORMAL };
+            let tick = self.clock as u64;
+            let outcome = {
+                let (prefix_slot, prompts) = (&mut self.prefix, &self.prompts);
+                let Some(prefix) = prefix_slot.as_mut() else {
+                    return;
+                };
+                match prompts.get(&head.id) {
+                    // Cap at `prompt_len - 1`: at least one prompt token
+                    // must be forwarded to produce the first decode logits.
+                    Some(prompt) => prefix.index.match_prefix(
+                        prompt,
+                        flavor,
+                        head.prefill_tokens.saturating_sub(1),
+                        tick,
+                    ),
+                    None => MatchOutcome::default(),
+                }
+            };
+            // Pin the planned blocks so the eviction loop below can never
+            // free part of the plan we are about to attach.
+            let alloc = self.batcher.allocator_mut();
+            for &block in &outcome.blocks {
+                alloc.retain_block(block);
+            }
+            let shared = if outcome.tokens > 0 && outcome.snapshot.is_some() {
+                SharedPrefix {
+                    blocks: outcome.blocks.clone(),
+                    tokens: outcome.tokens,
+                }
+            } else {
+                SharedPrefix::default()
+            };
+            let mut admitted = None;
+            loop {
+                match self.batcher.try_admit_head(&shared) {
+                    AdmitOutcome::Admitted(req) => {
+                        admitted = Some(req);
+                        break;
+                    }
+                    AdmitOutcome::NeedBlocks { .. } => {
+                        if self.evict_one_cached().is_none() {
+                            break;
+                        }
+                    }
+                    AdmitOutcome::Blocked => break,
+                }
+            }
+            let alloc = self.batcher.allocator_mut();
+            for &block in &outcome.blocks {
+                alloc.release_block(block);
+            }
+            let Some(req) = admitted else {
+                break;
+            };
+            let hit = !shared.is_empty();
+            if let Some(prefix) = self.prefix.as_mut() {
+                if hit {
+                    prefix.totals.hits += 1;
+                } else {
+                    prefix.totals.misses += 1;
+                }
+                prefix.planned.insert(
+                    req.id,
+                    PlannedAdmission {
+                        flavor,
+                        tokens: shared.tokens,
+                        snapshot: outcome.snapshot,
+                    },
+                );
+            }
+            if let Some(stats) = self.meta.get_mut(&req.id) {
+                stats.admitted_step.get_or_insert(self.clock);
+            }
+        }
+    }
+
+    /// Indexes a just-completed prefill into the prefix cache: freezes the
+    /// sequence's KV state as a snapshot, shares its full prompt blocks
+    /// with the radix index, and copy-forks the partial tail so the
+    /// sequence's own tail stays writable. Enforces the configured cache
+    /// cap afterwards.
+    fn cache_completed_prefill(&mut self, id: usize, flavor: Flavor) {
+        let tick = self.clock as u64;
+        let Some(prompt) = self.prompts.get(&id) else {
+            return;
+        };
+        let Some(state) = self.states.get(&id) else {
+            return;
+        };
+        let snapshot = Arc::new(Snapshot::new(state.cache.clone_box(), prompt.len()));
+        let (prefix_slot, batcher) = (&mut self.prefix, &mut self.batcher);
+        let Some(prefix) = prefix_slot.as_mut() else {
+            return;
+        };
+        let alloc = batcher.allocator_mut();
+        let prompt_blocks = alloc.blocks_for(prompt.len());
+        let Some(blocks) = alloc
+            .table(id)
+            .and_then(|t| t.blocks().get(..prompt_blocks))
+            .map(<[usize]>::to_vec)
+        else {
+            debug_assert!(false, "prefilled sequence {id} has no block table");
+            return;
+        };
+        let report = prefix.index.insert(
+            prompt,
+            &blocks,
+            flavor,
+            snapshot,
+            tick,
+            &mut |src, fill| alloc.fork_copy(src, fill).ok(),
+        );
+        for &block in &report.newly_shared {
+            let retained = alloc.retain_block(block);
+            debug_assert!(retained, "cache retained an unallocated block");
+        }
+        if report.new_nodes > 0 {
+            prefix.totals.insertions += 1;
+        }
+        if let Some(cap) = prefix.config.max_cached_blocks {
+            while prefix.index.len() > cap {
+                let Some(block) = prefix.index.evict_lru(&|b| alloc.refcount(b) == 1) else {
+                    break;
+                };
+                alloc.release_block(block);
+                prefix.totals.evictions += 1;
+            }
+        }
+    }
+
+    /// Evicts the least-recently-used cache-only block (allocator refcount
+    /// 1: no live sequence maps it) and frees it, returning the block id.
+    /// `None` when the cache holds nothing evictable.
+    fn evict_one_cached(&mut self) -> Option<usize> {
+        let (prefix_slot, batcher) = (&mut self.prefix, &mut self.batcher);
+        let prefix = prefix_slot.as_mut()?;
+        let alloc = batcher.allocator_mut();
+        let block = prefix.index.evict_lru(&|b| alloc.refcount(b) == 1)?;
+        alloc.release_block(block);
+        prefix.totals.evictions += 1;
+        Some(block)
+    }
+
+    /// Counts cached blocks no live sequence maps (allocator refcount 1) —
+    /// pool headroom the cache surrenders on demand. Pressure prediction
+    /// subtracts it so a warm cache does not read as load.
+    fn reclaimable_blocks(&self) -> usize {
+        let Some(prefix) = self.prefix.as_ref() else {
+            return 0;
+        };
+        let alloc = self.batcher.allocator();
+        prefix
+            .index
+            .blocks()
+            .iter()
+            .filter(|&&b| alloc.refcount(b) == 1)
+            .count()
+    }
+
+    /// Predicts whether admitting `head` should hand it the degraded KV
+    /// cache. The cache-on path decides per request *before* its prefix
+    /// lookup so the lookup queries the matching flavor.
+    fn predict_degraded(&self, head: &Request) -> bool {
+        if self.degraded_cache.is_none() {
+            return false;
+        }
+        let alloc = self.batcher.allocator();
+        let total = alloc.total_blocks().max(1);
+        let projected = alloc.used_blocks() + alloc.blocks_for(head.prefill_tokens + 1);
+        let load = projected.saturating_sub(self.reclaimable_blocks());
+        let util = load as f64 / total as f64;
+        util >= self.policy.degrade_kv_at
+            || self
+                .policy
+                .degrade_queue_depth
+                .is_some_and(|d| self.batcher.queued().saturating_sub(1) >= d)
     }
 
     /// Resolves an injected fault's victim: the prefilled in-flight request
@@ -755,12 +1112,14 @@ impl<L: LinearLayer> CpuEngine<L> {
         let model = &self.model;
         match self.pool.par_chunks_mut(jobs, 1, |_, chunk| {
             let Some(job) = chunk.first_mut() else { return };
+            let start = Instant::now();
             let logits = match &job.prompt {
                 Some(prompt) => model.forward(prompt, job.state.cache.as_mut()),
                 None => model.forward(&[job.state.next_input], job.state.cache.as_mut()),
             };
             let last = logits.rows().saturating_sub(1);
             job.state.next_input = cast::usize_to_u16_saturating(ops::argmax(logits.row(last)));
+            job.wall_ns = start.elapsed().as_nanos() as u64;
         }) {
             Ok(()) => PoolFailure {
                 failed: Vec::new(),
@@ -850,6 +1209,48 @@ impl<L: LinearLayer> CpuEngine<L> {
     /// The underlying batcher (for memory/queue introspection).
     pub fn batcher(&self) -> &ContinuousBatcher {
         &self.batcher
+    }
+
+    /// Point-in-time prefix-cache statistics (`None` when the cache is
+    /// disabled).
+    pub fn prefix_stats(&self) -> Option<PrefixCacheStats> {
+        let prefix = self.prefix.as_ref()?;
+        let alloc = self.batcher.allocator();
+        Some(PrefixCacheStats {
+            hits: prefix.totals.hits,
+            misses: prefix.totals.misses,
+            insertions: prefix.totals.insertions,
+            evictions: prefix.totals.evictions,
+            cow_forks: alloc.cow_forks() as u64,
+            cached_blocks: prefix.index.len(),
+            shared_blocks: alloc.shared_blocks(),
+        })
+    }
+
+    /// Drops every cached prefix run, releasing the cache's block
+    /// references (blocks still mapped by live sequences survive until
+    /// those sequences release them). Returns the number of cache
+    /// references dropped. No-op when the cache is disabled.
+    pub fn flush_prefix_cache(&mut self) -> usize {
+        let (prefix_slot, batcher) = (&mut self.prefix, &mut self.batcher);
+        let Some(prefix) = prefix_slot.as_mut() else {
+            return 0;
+        };
+        let alloc = batcher.allocator_mut();
+        let blocks = prefix.index.clear();
+        for &block in &blocks {
+            alloc.release_block(block);
+        }
+        prefix.totals.evictions += blocks.len() as u64;
+        blocks.len()
+    }
+
+    /// Accumulated wall time of `id`'s prefill forwards, in nanoseconds
+    /// (recomputed prefills after a preemption add up). `None` before the
+    /// first prefill. Wall time is measurement only — it never feeds back
+    /// into scheduling, so token streams stay deterministic.
+    pub fn prefill_wall_ns(&self, id: usize) -> Option<u64> {
+        self.prefill_wall.get(&id).copied()
     }
 
     /// The telemetry instance this engine records into (the process global
@@ -1299,6 +1700,148 @@ mod tests {
         e.set_policy(PressurePolicy::default());
         e.submit(vec![4], 2).unwrap();
         assert_eq!(e.run_to_completion().len(), 3);
+    }
+
+    fn prefix_engine(max_batch: usize, pool: usize) -> CpuEngine<DenseLinear> {
+        tiny_engine(max_batch, pool).with_prefix_cache(PrefixConfig::default())
+    }
+
+    /// Shared-prefix workload: `n` prompts of `len` tokens sharing the
+    /// first `shared` tokens, each decoding `decode` tokens.
+    fn shared_prompts(n: usize, shared: usize, len: usize) -> Vec<Vec<u16>> {
+        (0..n)
+            .map(|i| {
+                let mut p: Vec<u16> = (0..shared as u16).collect();
+                p.extend((0..(len - shared) as u16).map(|t| 40 + t + i as u16));
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cache_on_token_streams_match_cache_off() {
+        let prompts = shared_prompts(6, 32, 40);
+        let run = |cached: bool| {
+            let mut e = if cached {
+                prefix_engine(3, 1024)
+            } else {
+                tiny_engine(3, 1024)
+            };
+            for p in &prompts {
+                e.submit(p.clone(), 5).unwrap();
+            }
+            let mut done = e.run_to_completion().to_vec();
+            done.sort_by_key(|c| c.id);
+            let stats = e.prefix_stats();
+            (done, stats)
+        };
+        let (off, off_stats) = run(false);
+        let (on, on_stats) = run(true);
+        assert_eq!(off, on, "prefix cache must never change a token");
+        assert!(off_stats.is_none());
+        let stats = on_stats.expect("cache enabled");
+        assert!(stats.hits >= 1, "later requests hit the shared prefix: {stats:?}");
+        assert!(stats.insertions >= 1);
+    }
+
+    #[test]
+    fn prefix_hits_skip_prefill_and_record_stats() {
+        let mut e = prefix_engine(1, 1024);
+        let prompts = shared_prompts(3, 32, 40);
+        let ids: Vec<usize> = prompts
+            .iter()
+            .map(|p| e.submit(p.clone(), 3).unwrap())
+            .collect();
+        e.run_to_completion();
+        let first = e.outcome_of(ids[0]).unwrap().stats;
+        assert_eq!(first.prefix_tokens, 0, "the donor prefilled everything");
+        for &id in &ids[1..] {
+            let stats = e.outcome_of(id).unwrap().stats;
+            assert_eq!(stats.prefix_tokens, 32, "followers reuse the shared 2 blocks");
+        }
+        let stats = e.prefix_stats().expect("cache enabled");
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        // At idle no sequence is live: every cached block is refcount 1.
+        assert_eq!(e.batcher().allocator().shared_blocks(), 0);
+        e.batcher().allocator().leak_check().unwrap();
+    }
+
+    #[test]
+    fn flush_prefix_cache_returns_pool_to_empty() {
+        let mut e = prefix_engine(2, 1024);
+        for p in shared_prompts(4, 32, 40) {
+            e.submit(p, 3).unwrap();
+        }
+        e.run_to_completion();
+        let alloc_used = e.batcher().allocator().used_blocks();
+        assert!(alloc_used > 0, "cache retains blocks after drain");
+        let freed = e.flush_prefix_cache();
+        assert_eq!(freed, alloc_used, "flush releases exactly the cached blocks");
+        assert_eq!(e.batcher().allocator().used_blocks(), 0);
+        assert_eq!(e.batcher().allocator().total_refs(), 0);
+        e.batcher().allocator().leak_check().unwrap();
+        assert_eq!(e.prefix_stats().unwrap().cached_blocks, 0);
+    }
+
+    #[test]
+    fn cache_yields_blocks_under_memory_pressure() {
+        // Pool of 6 blocks (96 slots). Each 40-token request needs 3
+        // blocks; the cache fills up between waves and must be evicted to
+        // admit later arrivals rather than deadlock or preempt forever.
+        let mut e = prefix_engine(1, 96);
+        let prompts = shared_prompts(4, 32, 40);
+        for p in &prompts {
+            e.submit(p.clone(), 3).unwrap();
+        }
+        let done = e.run_to_completion().len();
+        assert_eq!(done, 4, "pressure evictions keep admissions flowing");
+        let stats = e.prefix_stats().expect("cache enabled");
+        assert!(stats.evictions > 0, "pool pressure forced evictions: {stats:?}");
+        e.batcher().allocator().leak_check().unwrap();
+    }
+
+    #[test]
+    fn cache_on_streams_identical_across_pool_widths() {
+        let prompts = shared_prompts(5, 16, 24);
+        let run = |threads: usize| {
+            let mut e = prefix_engine(3, 1024).with_pool(Pool::new(threads));
+            for p in &prompts {
+                e.submit(p.clone(), 4).unwrap();
+            }
+            let mut done = e.run_to_completion().to_vec();
+            done.sort_by_key(|c| c.id);
+            done
+        };
+        let solo = run(1);
+        assert_eq!(solo, run(2));
+        assert_eq!(solo, run(8));
+    }
+
+    #[test]
+    fn max_cached_blocks_cap_is_enforced() {
+        let mut e = tiny_engine(2, 1024).with_prefix_cache(PrefixConfig {
+            max_cached_blocks: Some(2),
+        });
+        // Disjoint prompts (within the 96-token vocabulary): each inserts
+        // 2 blocks (one full chunk + a forked tail), so the cap must evict.
+        for i in 0..4u16 {
+            e.submit((0..20).map(|t| t + i * 24).collect(), 2).unwrap();
+        }
+        e.run_to_completion();
+        let stats = e.prefix_stats().expect("cache enabled");
+        assert!(stats.cached_blocks <= 2, "cap respected: {stats:?}");
+        assert!(stats.evictions > 0);
+        e.batcher().allocator().leak_check().unwrap();
+    }
+
+    #[test]
+    fn prefill_wall_ns_is_recorded_per_request() {
+        let mut e = prefix_engine(1, 1024);
+        let id = e.submit(vec![1, 2, 3, 4], 2).unwrap();
+        assert_eq!(e.prefill_wall_ns(id), None);
+        e.run_to_completion();
+        assert!(e.prefill_wall_ns(id).is_some());
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub mod simulate;
 pub use engine::{Completion, CpuEngine, Outcome, PressurePolicy, RequestStats, SubmitOptions};
 pub use error::{RejectReason, ServeError, Terminal};
 pub use fault::FaultPlan;
-pub use paged::{BlockTable, PagedAllocator};
-pub use scheduler::{BatchEvent, ContinuousBatcher, RequestState};
+pub use paged::{BlockTable, PagedAllocator, SharedPrefix};
+pub use scheduler::{AdmitOutcome, BatchEvent, ContinuousBatcher, RequestState};
 pub use simulate::{ServingReport, ServingSimulator};
+
+// The prefix-cache configuration and stats types cross the engine's public
+// API (`CpuEngine::with_prefix_cache` / `prefix_stats`); re-export them so
+// downstream crates need no direct `atom-prefix` dependency.
+pub use atom_prefix::{PrefixCacheStats, PrefixConfig};

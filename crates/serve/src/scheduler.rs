@@ -6,10 +6,27 @@
 //! boundary — the continuous batching of §5.3.2.
 
 use crate::error::{RejectReason, ServeError};
-use crate::paged::PagedAllocator;
+use crate::paged::{PagedAllocator, SharedPrefix};
 use atom_data::Request;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// Outcome of a single head-of-queue admission attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmitOutcome {
+    /// The head request was admitted (its prefill is now pending).
+    Admitted(Request),
+    /// The head request would fit the batch but the pool is short of
+    /// blocks; freeing `short_by` blocks (e.g. by evicting cached prefix
+    /// runs) and retrying may succeed this same step.
+    NeedBlocks {
+        /// Additional free blocks required, watermark included.
+        short_by: usize,
+    },
+    /// Nothing can be admitted right now: the queue is empty, the batch is
+    /// at its cap, or an injected allocation fault is armed.
+    Blocked,
+}
 
 /// Lifecycle state of a request inside the batcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -199,6 +216,20 @@ impl ContinuousBatcher {
         &self.allocator
     }
 
+    /// Mutable access to the KV allocator, for prefix-cache maintenance
+    /// (retaining/releasing cached blocks and copy-on-write tail forks).
+    /// Engine-internal use: external callers observe via
+    /// [`Self::allocator`].
+    pub fn allocator_mut(&mut self) -> &mut PagedAllocator {
+        &mut self.allocator
+    }
+
+    /// The request at the head of the FCFS queue (the only admission
+    /// candidate), if any.
+    pub fn queue_head(&self) -> Option<&Request> {
+        self.queue.front()
+    }
+
     /// Admits queued requests while the batch cap and block pool allow,
     /// strictly in FCFS order (head-of-line blocking is intentional — it is
     /// what the paper's serving setup does).
@@ -209,43 +240,75 @@ impl ContinuousBatcher {
     /// and the batch would thrash forever.
     pub fn admit(&mut self) -> Vec<BatchEvent> {
         let mut events = Vec::new();
-        while self.active.len() < self.max_batch {
-            if self.allocator.fault_armed() {
-                break; // injected memory stall: no admissions this step
-            }
-            let Some(front) = self.queue.front() else {
-                break;
-            };
-            // Admission reserves the prompt plus one decode block so a
-            // newly admitted request can always make progress.
-            let reserve = front.prefill_tokens + 1;
-            let id = front.id;
-            let needed = self.allocator.blocks_for(reserve);
-            let watermark = if self.active.is_empty() {
-                0 // a lone request may take the whole pool
-            } else {
-                (self.allocator.total_blocks() / 100).max(1)
-            };
-            if self.allocator.free_blocks() < needed + watermark {
-                break;
-            }
-            if !self.allocator.contains(id) {
-                self.allocator.register(id);
-            }
-            if self.allocator.grow(id, reserve).is_err() {
-                break; // unreachable given the headroom check; stay safe
-            }
-            let Some(request) = self.queue.pop_front() else {
-                break; // unreachable: `front()` was Some above and nothing else pops
-            };
+        let no_prefix = SharedPrefix::default();
+        while let AdmitOutcome::Admitted(request) = self.try_admit_head(&no_prefix) {
             events.push(BatchEvent::Admitted(request));
-            self.active.push(ActiveSeq {
-                request,
-                decoded: 0,
-                prefilled: false,
-            });
         }
         events
+    }
+
+    /// Attempts to admit exactly the head-of-queue request, optionally
+    /// seeding it with a prefix-cache block run (`shared`; pass an empty
+    /// plan for a plain admission — [`Self::admit`] is exactly that in a
+    /// loop).
+    ///
+    /// On [`AdmitOutcome::NeedBlocks`] nothing was mutated; the caller may
+    /// free blocks (evict cached runs) and retry within the same step. The
+    /// caller guarantees `shared.tokens < head.prefill_tokens` and that the
+    /// shared blocks are pinned (refcount ≥ 1) for the duration of the
+    /// call.
+    pub fn try_admit_head(&mut self, shared: &SharedPrefix) -> AdmitOutcome {
+        if self.active.len() >= self.max_batch || self.allocator.fault_armed() {
+            return AdmitOutcome::Blocked;
+        }
+        let Some(front) = self.queue.front() else {
+            return AdmitOutcome::Blocked;
+        };
+        // Admission reserves the prompt plus one decode block so a newly
+        // admitted request can always make progress.
+        let reserve = front.prefill_tokens + 1;
+        let id = front.id;
+        debug_assert!(
+            shared.is_empty() || shared.tokens < front.prefill_tokens,
+            "shared prefix must leave at least one prompt token to prefill"
+        );
+        let needed = self.allocator.fresh_blocks_for(reserve, shared);
+        let watermark = if self.active.is_empty() {
+            0 // a lone request may take the whole pool
+        } else {
+            (self.allocator.total_blocks() / 100).max(1)
+        };
+        if self.allocator.free_blocks() < needed + watermark {
+            return AdmitOutcome::NeedBlocks {
+                short_by: needed + watermark - self.allocator.free_blocks(),
+            };
+        }
+        if !self.allocator.contains(id) {
+            self.allocator.register(id);
+        }
+        let attached = if shared.is_empty() {
+            0
+        } else if self.allocator.attach_shared(id, shared) {
+            shared.tokens
+        } else {
+            0 // inconsistent plan (caller bug): fall back to a full prefill
+        };
+        if self.allocator.grow(id, reserve - attached).is_err() {
+            // Unreachable given the headroom check; stay safe and leave the
+            // request queued (any attached blocks are released with the
+            // table so nothing leaks).
+            self.allocator.release(id);
+            return AdmitOutcome::Blocked;
+        }
+        let Some(request) = self.queue.pop_front() else {
+            return AdmitOutcome::Blocked; // unreachable: `front()` was Some above
+        };
+        self.active.push(ActiveSeq {
+            request,
+            decoded: 0,
+            prefilled: false,
+        });
+        AdmitOutcome::Admitted(request)
     }
 
     /// Marks the pending prefills as done (called after the engine runs the
@@ -625,6 +688,60 @@ mod tests {
             b.step_decode(); // fill the second block (context 32)
         }
         assert!(b.is_idle(), "in-block tokens finish the request");
+    }
+
+    #[test]
+    fn try_admit_head_attaches_shared_prefix() {
+        let mut b = batcher(2, 8); // 8 blocks of 16
+        // Donor: 40-token prompt -> reserve 41 -> 3 blocks.
+        b.submit(req(0, 40, 2)).unwrap();
+        assert!(matches!(
+            b.try_admit_head(&SharedPrefix::default()),
+            AdmitOutcome::Admitted(_)
+        ));
+        let donor_blocks: Vec<usize> = b.allocator().table(0).unwrap().blocks()[..2].to_vec();
+        // Pretend a prefix cache holds the donor's first 2 full blocks.
+        for &blk in &donor_blocks {
+            assert!(b.allocator_mut().retain_block(blk));
+        }
+        // Consumer shares 32 of its 40 prompt tokens.
+        b.submit(req(1, 40, 2)).unwrap();
+        let plan = SharedPrefix { blocks: donor_blocks.clone(), tokens: 32 };
+        let used_before = b.allocator().used_blocks();
+        assert!(matches!(b.try_admit_head(&plan), AdmitOutcome::Admitted(_)));
+        // Reserve 41 = 3 blocks; 2 came shared, 1 fresh (no fork: the
+        // shared run is block-aligned).
+        assert_eq!(b.allocator().used_blocks(), used_before + 1);
+        assert_eq!(&b.allocator().table(1).unwrap().blocks()[..2], &donor_blocks[..]);
+        assert_eq!(b.allocator().table(1).unwrap().tokens(), 41);
+        assert_eq!(b.allocator().shared_blocks(), 2);
+        b.allocator().leak_check().unwrap();
+    }
+
+    #[test]
+    fn try_admit_head_reports_shortfall_without_mutating() {
+        let mut b = batcher(4, 3);
+        b.submit(req(0, 16, 2)).unwrap();
+        assert!(matches!(
+            b.try_admit_head(&SharedPrefix::default()),
+            AdmitOutcome::Admitted(_)
+        ));
+        // Head needs 3 blocks (33 tokens) + watermark 1, only 1 free.
+        b.submit(req(1, 32, 2)).unwrap();
+        let used = b.allocator().used_blocks();
+        match b.try_admit_head(&SharedPrefix::default()) {
+            AdmitOutcome::NeedBlocks { short_by } => assert_eq!(short_by, 3),
+            other => panic!("expected NeedBlocks, got {other:?}"),
+        }
+        assert_eq!(b.allocator().used_blocks(), used, "failed attempt allocates nothing");
+        assert_eq!(b.queued(), 1);
+        assert!(matches!(
+            b.try_admit_head(&SharedPrefix::default()),
+            AdmitOutcome::NeedBlocks { .. }
+        ));
+        // Empty queue or armed fault block outright.
+        b.arm_alloc_fault();
+        assert_eq!(b.try_admit_head(&SharedPrefix::default()), AdmitOutcome::Blocked);
     }
 
     #[test]

@@ -79,6 +79,22 @@ pub const ENGINE_TERMINAL_FAILED: &str = "engine.terminal.failed";
 /// Requests rejected at admission.
 pub const ENGINE_TERMINAL_REJECTED: &str = "engine.terminal.rejected";
 
+/// Admissions that attached a cached prefix run (counter).
+pub const PREFIX_HITS: &str = "prefix.cache.hits";
+/// Admissions that found no cached prefix for their prompt (counter).
+pub const PREFIX_MISSES: &str = "prefix.cache.misses";
+/// Cached prefix runs evicted — LRU pressure, cap enforcement, or flush
+/// (counter).
+pub const PREFIX_EVICTIONS: &str = "prefix.cache.evictions";
+/// Copy-on-write forks of shared KV blocks (counter).
+pub const PREFIX_COW_FORKS: &str = "prefix.kv.cow_forks";
+/// Physical KV blocks currently referenced by more than one owner (gauge).
+pub const PREFIX_SHARED_BLOCKS: &str = "prefix.kv.shared_blocks";
+/// Time to first token for requests admitted with a cached prefix, in
+/// scheduler steps (histogram) — compare against
+/// [`ENGINE_TTFT_STEPS`] to see the cache-hit TTFT collapse.
+pub const PREFIX_HIT_TTFT_STEPS: &str = "prefix.request.hit_ttft_steps";
+
 /// Requests offered to the serving gateway, accepted or not (counter).
 pub const GATEWAY_OFFERED: &str = "gateway.offered";
 /// Offers accepted into a tenant queue (counter).
