@@ -20,7 +20,7 @@
 //! triple reproduces admission decisions, retry schedules, and outcomes
 //! bit-identically at any worker-pool width.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use atom_data::Arrival;
 use atom_nn::LinearLayer;
@@ -150,7 +150,7 @@ pub struct Gateway<L: LinearLayer> {
     vft: Vec<u64>,
     /// Live (accepted, not yet terminal) request count per tenant.
     live: Vec<usize>,
-    requests: HashMap<usize, GwRequest>,
+    requests: BTreeMap<usize, GwRequest>,
     parked: BTreeMap<u64, Vec<usize>>,
     inflight: BTreeMap<usize, InFlight>,
     outcomes: Vec<GatewayOutcome>,
@@ -223,7 +223,7 @@ impl<L: LinearLayer> Gateway<L> {
             queues,
             vft,
             live,
-            requests: HashMap::new(),
+            requests: BTreeMap::new(),
             parked: BTreeMap::new(),
             inflight: BTreeMap::new(),
             outcomes: Vec::new(),

@@ -1,0 +1,39 @@
+//! Known-bad fixture for the `lock-order` rule: an undocumented nested
+//! acquisition, a documented one (clean), and sequential statement-scoped
+//! temporaries (clean — the first guard dies at its `;`). The nested
+//! sites also contribute `a → b` edges to the cross-file lock graph,
+//! asserted in `tests/golden.rs`.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn undocumented(&self) -> u32 {
+        let ga = self.a.lock().expect("a");
+        let gb = self.b.lock().expect("b");
+        *ga + *gb
+    }
+
+    pub fn documented(&self) -> u32 {
+        let ga = self.a.lock().expect("a");
+        // lock order: a → b (matches every other multi-lock site)
+        let gb = self.b.lock().expect("b");
+        *ga + *gb
+    }
+
+    pub fn sequential_temporaries(&self) {
+        *self.a.lock().expect("a") += 1;
+        *self.b.lock().expect("b") += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn exempt_in_tests(p: &super::Pair) -> u32 {
+        p.undocumented()
+    }
+}

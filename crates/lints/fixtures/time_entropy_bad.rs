@@ -1,0 +1,43 @@
+//! Known-bad fixture for the `time-entropy` rule: wall-clock reads,
+//! ambient environment reads, and OS-entropy RNG construction in
+//! production code, plus the exempt shapes (storing an `Instant` someone
+//! else produced, a justified allow, `#[cfg(test)]` code).
+
+use std::time::{Instant, SystemTime};
+
+pub fn bad_instant() -> Instant {
+    Instant::now()
+}
+
+pub fn bad_system_time() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn bad_epoch() -> SystemTime {
+    std::time::UNIX_EPOCH
+}
+
+pub fn bad_env() -> Option<String> {
+    std::env::var("ATOM_FIXTURE").ok()
+}
+
+pub fn bad_entropy_rng() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+pub fn ok_stored_instant(t: Instant) -> Instant {
+    t
+}
+
+pub fn justified_wall_clock() -> Instant {
+    // lint: allow(time-entropy) — observability-only timing for the report
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn exempt_in_tests() -> std::time::Instant {
+        std::time::Instant::now()
+    }
+}

@@ -1,0 +1,58 @@
+//! Known-bad fixture for the `unordered-iteration` rule: hash-ordered
+//! traversals in a deterministic-scope crate, with the escape shapes
+//! (sort in the statement window, BTreeMap re-keying, order-insensitive
+//! reductions) and a justified allow shown clean alongside.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn bad_for_loop(m: HashMap<u32, u32>) -> u32 {
+    let mut acc = 0;
+    for (_, v) in &m {
+        acc ^= v;
+    }
+    acc
+}
+
+pub fn bad_values(m: &HashMap<String, u64>) -> Vec<u64> {
+    m.values().copied().collect()
+}
+
+pub fn bad_drain(s: &mut HashSet<u64>) -> Vec<u64> {
+    s.drain().collect()
+}
+
+pub fn bad_retain(m: &mut HashMap<String, u64>) {
+    m.retain(|_, v| *v > 0);
+}
+
+pub fn ok_collect_then_sort(m: &HashMap<String, u64>) -> Vec<String> {
+    let mut out: Vec<String> = m.keys().cloned().collect();
+    out.sort_unstable();
+    out
+}
+
+pub fn ok_rekeyed_btree(m: &HashMap<String, u64>) -> BTreeMap<String, u64> {
+    m.iter().map(|(k, v)| (k.clone(), *v)).collect::<BTreeMap<_, _>>()
+}
+
+pub fn ok_order_insensitive(m: &HashMap<String, u64>) -> usize {
+    m.keys().count()
+}
+
+pub fn ok_point_lookup(m: &HashMap<String, u64>, k: &str) -> Option<u64> {
+    m.get(k).copied()
+}
+
+pub fn justified(m: &HashMap<String, u64>) -> u64 {
+    // lint: allow(unordered-iteration) — xor reduction is order-insensitive
+    m.values().fold(0, |a, b| a ^ b)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    pub fn exempt_in_tests(m: &HashMap<u32, u32>) -> Vec<u32> {
+        m.values().copied().collect()
+    }
+}

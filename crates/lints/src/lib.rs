@@ -16,18 +16,29 @@
 //! 4. **unsafe-containment** — `#![forbid(unsafe_code)]` on every crate
 //!    except `telemetry`, where each `unsafe` block needs a `// SAFETY:`
 //!    comment.
+//! 5. **unordered-iteration** — hash-ordered traversal must not reach the
+//!    deterministic-scope crates' outputs: the bit-identical-at-any-width
+//!    gates rest on it.
+//! 6. **time-entropy** — wall-clock, environment, and OS-entropy reads
+//!    stay inside telemetry and the audited config entry points.
+//! 7. **lock-order** — nested lock acquisitions carry a documented global
+//!    order, and the cross-file acquisition graph stays acyclic.
 //!
 //! Escape hatch: a violating line may carry (or be preceded by)
 //! `// lint: allow(<rule>) — <reason>`. The reason is mandatory and the
 //! directive must actually suppress something, or it is itself a finding —
-//! stale allowances are how audit layers rot.
+//! stale allowances are how audit layers rot. The whole-workspace pass
+//! also emits a machine-readable report (`results/lint_report.json`) with
+//! per-rule counts, every finding, and the full allow-directive inventory,
+//! so CI and reviewers can diff the audit surface over time.
 #![forbid(unsafe_code)]
 
 pub mod lexer;
 pub mod rules;
 
 use lexer::{cfg_test_ranges, lex, Lexed};
-use std::collections::BTreeMap;
+use rules::lock_order::LockEdge;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::fs;
 use std::io;
@@ -38,6 +49,9 @@ pub const RULE_PANIC_FREEDOM: &str = "panic-freedom";
 pub const RULE_LOSSY_CAST: &str = "lossy-cast";
 pub const RULE_TELEMETRY_NAMES: &str = "telemetry-names";
 pub const RULE_UNSAFE_CONTAINMENT: &str = "unsafe-containment";
+pub const RULE_UNORDERED_ITERATION: &str = "unordered-iteration";
+pub const RULE_TIME_ENTROPY: &str = "time-entropy";
+pub const RULE_LOCK_ORDER: &str = "lock-order";
 /// Meta-rule: malformed or stale `lint:` directives.
 pub const RULE_DIRECTIVE: &str = "lint-directive";
 
@@ -47,6 +61,22 @@ pub const ALL_RULES: &[&str] = &[
     RULE_LOSSY_CAST,
     RULE_TELEMETRY_NAMES,
     RULE_UNSAFE_CONTAINMENT,
+    RULE_UNORDERED_ITERATION,
+    RULE_TIME_ENTROPY,
+    RULE_LOCK_ORDER,
+];
+
+/// Every rule name that can appear in a report: [`ALL_RULES`] plus the
+/// directive meta-rule (which cannot be allowed away).
+pub const REPORTABLE_RULES: &[&str] = &[
+    RULE_PANIC_FREEDOM,
+    RULE_LOSSY_CAST,
+    RULE_TELEMETRY_NAMES,
+    RULE_UNSAFE_CONTAINMENT,
+    RULE_UNORDERED_ITERATION,
+    RULE_TIME_ENTROPY,
+    RULE_LOCK_ORDER,
+    RULE_DIRECTIVE,
 ];
 
 /// One violation, formatted as `file:line: rule: message`.
@@ -124,8 +154,38 @@ struct AllowDirective {
     /// trails code, otherwise the next line holding code).
     target_line: usize,
     rules: Vec<String>,
-    has_reason: bool,
-    used: bool,
+    reason: String,
+    suppressed: usize,
+}
+
+/// One allow directive as recorded in the machine-readable report: where
+/// it sits, what it names, why, and how many findings it suppressed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowRecord {
+    /// Workspace-relative path of the directive.
+    pub file: String,
+    /// 1-based line of the directive comment.
+    pub line: usize,
+    /// Rule names the directive suppresses.
+    pub rules: Vec<String>,
+    /// The mandatory justification (empty when missing — itself a finding).
+    pub reason: String,
+    /// Findings actually suppressed (zero means the directive is stale —
+    /// itself a finding).
+    pub suppressed: usize,
+}
+
+/// Per-workspace state threaded through every [`lint_file`] call: the
+/// telemetry usage scan, the lock acquisition graph, and the allow
+/// inventory — the three pieces whose judgments span files.
+#[derive(Debug, Default)]
+pub struct CrossFileState {
+    /// `names::X` references seen in production code.
+    pub used_names: Vec<String>,
+    /// Nested lock-acquisition edges for workspace cycle detection.
+    pub lock_edges: Vec<LockEdge>,
+    /// Every parsed allow directive, for the report inventory.
+    pub allows: Vec<AllowRecord>,
 }
 
 fn parse_directives(lexed: &Lexed) -> Vec<AllowDirective> {
@@ -149,9 +209,11 @@ fn parse_directives(lexed: &Lexed) -> Vec<AllowDirective> {
             .collect();
         // The reason is whatever follows a dash after the closing paren.
         let tail = tail.trim_start();
-        let has_reason = ["—", "–", "--", "-"]
+        let reason = ["—", "–", "--", "-"]
             .iter()
-            .any(|d| tail.strip_prefix(d).is_some_and(|r| !r.trim().is_empty()));
+            .find_map(|d| tail.strip_prefix(d))
+            .map(|r| r.trim().trim_end_matches("*/").trim().to_string())
+            .unwrap_or_default();
         let target_line = if lexed.has_code_on(c.line) {
             c.line
         } else {
@@ -161,8 +223,8 @@ fn parse_directives(lexed: &Lexed) -> Vec<AllowDirective> {
             line: c.line,
             target_line,
             rules,
-            has_reason,
-            used: false,
+            reason,
+            suppressed: 0,
         });
     }
     out
@@ -170,12 +232,13 @@ fn parse_directives(lexed: &Lexed) -> Vec<AllowDirective> {
 
 /// Runs every rule on one lexed file and applies `lint: allow` directives.
 /// `names` is the parsed constants table (None while collecting it, e.g. in
-/// fixture tests that exercise other rules).
+/// fixture tests that exercise other rules); `state` accumulates the
+/// cross-file evidence (telemetry usage, lock edges, allow inventory).
 pub fn lint_file(
     ctx: &FileCtx,
     source: &str,
     names: Option<&NamesTable>,
-    used_names: &mut Vec<String>,
+    state: &mut CrossFileState,
 ) -> Vec<Finding> {
     let lexed = lex(source);
     let test_ranges = cfg_test_ranges(&lexed);
@@ -183,8 +246,18 @@ pub fn lint_file(
 
     rules::panic_freedom::check(ctx, &lexed, &test_ranges, &mut findings);
     rules::lossy_cast::check(ctx, &lexed, &test_ranges, &mut findings);
-    rules::telemetry_names::check(ctx, &lexed, &test_ranges, names, used_names, &mut findings);
+    rules::telemetry_names::check(
+        ctx,
+        &lexed,
+        &test_ranges,
+        names,
+        &mut state.used_names,
+        &mut findings,
+    );
     rules::unsafe_containment::check(ctx, &lexed, &mut findings);
+    rules::unordered_iteration::check(ctx, &lexed, &test_ranges, &mut findings);
+    rules::time_entropy::check(ctx, &lexed, &test_ranges, &mut findings);
+    rules::lock_order::check(ctx, &lexed, &test_ranges, &mut state.lock_edges, &mut findings);
 
     // This crate's own sources quote the directive syntax in docs and
     // messages, so directives are not honored here: atom-lint must be
@@ -197,7 +270,7 @@ pub fn lint_file(
 
     // Malformed directives are findings in their own right.
     for d in &directives {
-        if !d.has_reason {
+        if d.reason.is_empty() {
             findings.push(Finding {
                 file: ctx.path.clone(),
                 line: d.line,
@@ -228,7 +301,7 @@ pub fn lint_file(
             if (f.line == d.target_line || f.line == d.line)
                 && d.rules.iter().any(|r| r == f.rule)
             {
-                d.used = true;
+                d.suppressed += 1;
                 return false;
             }
         }
@@ -237,7 +310,10 @@ pub fn lint_file(
 
     // A directive that suppressed nothing is stale and must go.
     for d in &directives {
-        if !d.used && d.has_reason && d.rules.iter().all(|r| ALL_RULES.contains(&r.as_str())) {
+        if d.suppressed == 0
+            && !d.reason.is_empty()
+            && d.rules.iter().all(|r| ALL_RULES.contains(&r.as_str()))
+        {
             findings.push(Finding {
                 file: ctx.path.clone(),
                 line: d.line,
@@ -251,6 +327,97 @@ pub fn lint_file(
         }
     }
 
+    state.allows.extend(directives.into_iter().map(|d| AllowRecord {
+        file: ctx.path.clone(),
+        line: d.line,
+        rules: d.rules,
+        reason: d.reason,
+        suppressed: d.suppressed,
+    }));
+
+    findings
+}
+
+/// Detects cycles in the workspace lock-acquisition graph and reports each
+/// one once, deterministically. A self-edge (re-acquiring a lock already
+/// held) is the degenerate cycle and reported directly.
+pub fn lock_cycle_findings(edges: &[LockEdge]) -> Vec<Finding> {
+    // First acquisition site per distinct (from, to) pair, in sorted order.
+    let mut distinct: Vec<&LockEdge> = edges.iter().collect();
+    distinct.sort();
+    distinct.dedup_by(|a, b| a.from == b.from && a.to == b.to);
+
+    let mut adj: BTreeMap<&str, Vec<&LockEdge>> = BTreeMap::new();
+    for e in &distinct {
+        adj.entry(e.from.as_str()).or_default().push(e);
+    }
+
+    let mut findings = Vec::new();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for e in &distinct {
+        if e.from == e.to {
+            findings.push(Finding {
+                file: e.file.clone(),
+                line: e.line,
+                rule: RULE_LOCK_ORDER,
+                message: format!(
+                    "`{}` re-acquired while already held: self-deadlock (or writer \
+                     starvation on an RwLock)",
+                    e.from
+                ),
+            });
+            continue;
+        }
+        // BFS from e.to back to e.from closes a cycle through this edge.
+        let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut queue = VecDeque::from([e.to.as_str()]);
+        let mut seen = BTreeSet::from([e.to.as_str()]);
+        while let Some(node) = queue.pop_front() {
+            if node == e.from.as_str() {
+                break;
+            }
+            for next in adj.get(node).into_iter().flatten() {
+                if seen.insert(next.to.as_str()) {
+                    parent.insert(next.to.as_str(), node);
+                    queue.push_back(next.to.as_str());
+                }
+            }
+        }
+        if !parent.contains_key(e.from.as_str()) {
+            continue;
+        }
+        // Walk parents e.from → ... → e.to, then flip into cycle order
+        // `e.from → e.to → ... → e.from`.
+        let mut chain: Vec<&str> = vec![e.from.as_str()];
+        while let Some(&p) = parent.get(chain[chain.len() - 1]) {
+            chain.push(p);
+            if p == e.to.as_str() {
+                break;
+            }
+        }
+        chain.reverse();
+        let mut path: Vec<String> = vec![e.from.clone()];
+        path.extend(chain.into_iter().map(str::to_string));
+        let mut canonical: Vec<String> = path.clone();
+        canonical.sort();
+        canonical.dedup();
+        if reported.insert(canonical) {
+            findings.push(Finding {
+                file: e.file.clone(),
+                line: e.line,
+                rule: RULE_LOCK_ORDER,
+                message: format!(
+                    "lock-order cycle: {} → back to `{}` — a consistent global \
+                     acquisition order is required to rule out deadlock",
+                    path.iter()
+                        .map(|n| format!("`{n}`"))
+                        .collect::<Vec<_>>()
+                        .join(" → "),
+                    e.from
+                ),
+            });
+        }
+    }
     findings
 }
 
@@ -344,6 +511,104 @@ fn collect_rs_files(dir: &Path, acc: &mut Vec<PathBuf>) -> io::Result<()> {
 pub struct WorkspaceReport {
     pub findings: Vec<Finding>,
     pub files_checked: usize,
+    /// Every allow directive in the workspace (the audit's escape-hatch
+    /// inventory), sorted by file then line.
+    pub allows: Vec<AllowRecord>,
+}
+
+impl WorkspaceReport {
+    /// Findings per rule, over every reportable rule (zeros included so a
+    /// report diff shows a rule going quiet).
+    pub fn rule_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts: BTreeMap<&'static str, usize> =
+            REPORTABLE_RULES.iter().map(|r| (*r, 0)).collect();
+        for f in &self.findings {
+            *counts.entry(f.rule).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Drops every finding not produced by `rule` (for `--rule` runs).
+    pub fn filter_rule(&mut self, rule: &str) {
+        self.findings.retain(|f| f.rule == rule);
+    }
+
+    /// Serializes the report as the `atom-lint-report/v1` JSON document:
+    /// schema tag, file count, per-rule counts, findings, and the allow
+    /// inventory. Hand-rolled (this crate is zero-dependency), with full
+    /// string escaping.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": \"atom-lint-report/v1\",\n");
+        out.push_str(&format!("  \"files_checked\": {},\n", self.files_checked));
+        out.push_str(&format!(
+            "  \"total_findings\": {},\n",
+            self.findings.len()
+        ));
+        out.push_str("  \"rules\": {\n");
+        let counts = self.rule_counts();
+        let last = counts.len().saturating_sub(1);
+        for (i, (rule, n)) in counts.iter().enumerate() {
+            out.push_str(&format!(
+                "    {}: {}{}\n",
+                json_str(rule),
+                n,
+                if i == last { "" } else { "," }
+            ));
+        }
+        out.push_str("  },\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}{}\n",
+                json_str(&f.file),
+                f.line,
+                json_str(f.rule),
+                json_str(&f.message),
+                if i + 1 == self.findings.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n  \"allow_directives\": [\n");
+        for (i, a) in self.allows.iter().enumerate() {
+            let rules = a
+                .rules
+                .iter()
+                .map(|r| json_str(r))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "    {{\"file\": {}, \"line\": {}, \"rules\": [{}], \"reason\": {}, \
+                 \"suppressed\": {}}}{}\n",
+                json_str(&a.file),
+                a.line,
+                rules,
+                json_str(&a.reason),
+                a.suppressed,
+                if i + 1 == self.allows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// JSON string literal with escaping for quotes, backslashes, and control
+/// characters.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Lints every crate under `<root>/crates`. `root` must be the workspace
@@ -365,7 +630,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceReport> {
 
     let mut findings = Vec::new();
     let mut files_checked = 0usize;
-    let mut used_names: Vec<String> = Vec::new();
+    let mut state = CrossFileState::default();
 
     for crate_dir in &crate_dirs {
         let manifest = fs::read_to_string(crate_dir.join("Cargo.toml"))?;
@@ -401,7 +666,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceReport> {
                 path: rel,
                 kind,
             };
-            findings.extend(lint_file(&ctx, &source, names.as_ref(), &mut used_names));
+            findings.extend(lint_file(&ctx, &source, names.as_ref(), &mut state));
             files_checked += 1;
         }
     }
@@ -410,7 +675,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceReport> {
     // be used by at least one production call site.
     if let Some(table) = &names {
         for (ident, (value, line)) in &table.consts {
-            if !used_names.iter().any(|u| u == ident) {
+            if !state.used_names.iter().any(|u| u == ident) {
                 findings.push(Finding {
                     file: table.path.clone(),
                     line: *line,
@@ -442,11 +707,18 @@ pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceReport> {
         }
     }
 
+    // Cross-file half of the lock-order rule: cycles in the acquisition
+    // graph assembled from every nested-lock site.
+    findings.extend(lock_cycle_findings(&state.lock_edges));
+
     findings.sort();
     findings.dedup();
+    let mut allows = state.allows;
+    allows.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(WorkspaceReport {
         findings,
         files_checked,
+        allows,
     })
 }
 

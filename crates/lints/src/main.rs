@@ -2,8 +2,17 @@
 //! invariants, print findings as `file:line: rule: message`, and exit
 //! non-zero if anything is wrong.
 //!
-//! Usage: `atom-lint [--root <workspace-root>]` (the root is auto-detected
-//! from the current directory otherwise).
+//! Usage: `atom-lint [--root <workspace-root>] [--rule <name>]`.
+//!
+//! * `--root` — workspace root (auto-detected from the current directory
+//!   otherwise).
+//! * `--rule <name>` — run the full pass but report (and gate on) a single
+//!   rule, so CI and developers can bisect one rule family in isolation.
+//!   The machine-readable report is only written on unfiltered runs.
+//!
+//! Full runs also write `results/lint_report.json` (schema
+//! `atom-lint-report/v1`): per-rule counts, every finding, and the
+//! allow-directive inventory with reasons and suppression counts.
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
@@ -12,18 +21,29 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut root: Option<PathBuf> = None;
+    let mut rule: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
+            "--rule" => rule = args.next(),
             "--help" | "-h" => {
-                println!("atom-lint [--root <workspace-root>]");
-                println!("rules: {}", atom_lint::ALL_RULES.join(", "));
+                println!("atom-lint [--root <workspace-root>] [--rule <name>]");
+                println!("rules: {}", atom_lint::REPORTABLE_RULES.join(", "));
                 return ExitCode::SUCCESS;
             }
             other => {
                 eprintln!("atom-lint: unknown argument `{other}`");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if let Some(r) = &rule {
+        if !atom_lint::REPORTABLE_RULES.contains(&r.as_str()) {
+            eprintln!(
+                "atom-lint: unknown rule `{r}` (rules: {})",
+                atom_lint::REPORTABLE_RULES.join(", ")
+            );
+            return ExitCode::FAILURE;
         }
     }
     let root = root.or_else(|| {
@@ -37,19 +57,36 @@ fn main() -> ExitCode {
     };
 
     match atom_lint::lint_workspace(&root) {
-        Ok(report) => {
+        Ok(mut report) => {
+            match &rule {
+                Some(r) => report.filter_rule(r),
+                None => {
+                    // Machine-readable report for CI artifacts and diffing.
+                    let results = root.join("results");
+                    let path = results.join("lint_report.json");
+                    let write = std::fs::create_dir_all(&results)
+                        .and_then(|()| std::fs::write(&path, report.to_json()));
+                    if let Err(e) = write {
+                        eprintln!("atom-lint: cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("atom-lint: wrote {}", path.display());
+                }
+            }
             for f in &report.findings {
                 println!("{f}");
             }
+            let scope = rule.map(|r| format!(" [rule {r}]")).unwrap_or_default();
             if report.findings.is_empty() {
                 eprintln!(
-                    "atom-lint: workspace clean ({} files checked)",
-                    report.files_checked
+                    "atom-lint: workspace clean{scope} ({} files checked, {} allow directives)",
+                    report.files_checked,
+                    report.allows.len()
                 );
                 ExitCode::SUCCESS
             } else {
                 eprintln!(
-                    "atom-lint: {} finding(s) across {} files",
+                    "atom-lint: {} finding(s){scope} across {} files",
                     report.findings.len(),
                     report.files_checked
                 );

@@ -1,0 +1,181 @@
+//! Rule `lock-order`: nested lock acquisitions must follow a documented
+//! global order, and the cross-file acquisition graph must be acyclic.
+//!
+//! The workspace keeps almost all concurrency inside the deterministic
+//! thread pool, but the few shared-state locks that exist (`Mutex`,
+//! `RwLock` — today in `atom-telemetry`'s registry and tracer) are exactly
+//! where a future refactor can introduce a deadlock the test suite will
+//! never reproduce on one machine. This rule makes the acquisition
+//! structure auditable:
+//!
+//! * **per-file** (this pass): inside each function, a second lock
+//!   acquired while another lock's guard is still live is a
+//!   *multi-lock site*. Every such site must carry a `// lock order:`
+//!   comment (same convention as `// SAFETY:`) documenting the global
+//!   order it respects — or a justified `lint: allow(lock-order)`.
+//! * **cross-file** (the workspace pass, [`crate::lock_cycle_findings`]):
+//!   every nested acquisition contributes an edge
+//!   `held-lock → acquired-lock` to a workspace-wide graph, with nodes
+//!   named `crate::binding`. A cycle in that graph — `a → b` somewhere,
+//!   `b → a` somewhere else, possibly in different files — is reported as
+//!   a potential deadlock regardless of comments: a documented wrong
+//!   order is still wrong.
+//!
+//! Guard lifetimes use a lightweight model over the lexer's function
+//! spans: a guard bound by a `let` statement is held to the end of the
+//! function (block-scope drops and explicit `drop(guard)` are not
+//! modeled — the over-approximation may require an allow, never misses a
+//! nesting); any other acquisition (method-chain temporary, `if let`
+//! scrutinee) is held to the end of its statement, which matches Rust's
+//! temporary-lifetime extension to the enclosing statement. Lock
+//! receivers come from the lexer's type tracking, so `file.read(buf)` on
+//! an untracked binding never confuses the rule.
+
+use crate::lexer::{fn_spans, in_ranges, type_bindings, Lexed, TokKind};
+use crate::{FileCtx, Finding, RULE_LOCK_ORDER};
+
+/// Lock types whose guards the rule models.
+const LOCK_TYPES: &[&str] = &["Mutex", "RwLock"];
+
+/// Guard-producing methods on those types.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// One nested-acquisition edge in the workspace lock graph.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// Lock already held, as `crate::binding`.
+    pub from: String,
+    /// Lock acquired while `from` is held.
+    pub to: String,
+    /// Workspace-relative file of the acquisition site.
+    pub file: String,
+    /// 1-based line of the acquisition site.
+    pub line: usize,
+}
+
+/// Whether the acquisition on `line` is documented by a `lock order:`
+/// comment — on the line itself or in the contiguous comment block above
+/// (blank lines allowed), mirroring the `// SAFETY:` convention.
+fn has_order_comment(lexed: &Lexed, line: usize) -> bool {
+    let marker = "lock order:";
+    if lexed
+        .comments
+        .iter()
+        .any(|c| c.line == line && c.text.contains(marker))
+    {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        match lexed.comments.iter().find(|c| c.line == l) {
+            Some(c) if c.text.contains(marker) => return true,
+            Some(_) => {}
+            None if lexed.has_code_on(l) => break,
+            None => {}
+        }
+    }
+    false
+}
+
+/// Index of the next `;` token at or after `i` (any depth — good enough
+/// for the statement-temporary model), or `end` if none before it.
+fn next_semi(lexed: &Lexed, i: usize, end: usize) -> usize {
+    let mut j = i;
+    while j < end {
+        if lexed.tokens[j].text == ";" {
+            return j;
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Whether the statement containing token `i` starts with `let` (scanning
+/// back to the previous statement boundary).
+fn stmt_is_let(lexed: &Lexed, i: usize) -> bool {
+    let toks = &lexed.tokens;
+    let mut j = i;
+    while j > 0 {
+        match toks[j - 1].text.as_str() {
+            ";" | "{" | "}" => break,
+            _ => j -= 1,
+        }
+    }
+    toks.get(j).is_some_and(|t| t.text == "let")
+}
+
+pub fn check(
+    ctx: &FileCtx,
+    lexed: &Lexed,
+    test_ranges: &[(usize, usize)],
+    edges: &mut Vec<LockEdge>,
+    findings: &mut Vec<Finding>,
+) {
+    if ctx.crate_name == "atom-lint" || !ctx.kind.is_production() {
+        return;
+    }
+    let bindings = type_bindings(lexed, LOCK_TYPES);
+    if bindings.is_empty() {
+        return;
+    }
+    let is_lock = |name: &str| bindings.iter().any(|b| b.name == name);
+    let toks = &lexed.tokens;
+
+    for span in fn_spans(lexed) {
+        // Held guards as (lock node, release token index, acquire line).
+        let mut held: Vec<(String, usize, usize)> = Vec::new();
+        let mut i = span.body_start;
+        while i + 2 <= span.body_end {
+            let t = &toks[i];
+            let acquisition = t.kind == TokKind::Ident
+                && is_lock(&t.text)
+                && toks.get(i + 1).is_some_and(|d| d.text == ".")
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|m| ACQUIRE_METHODS.contains(&m.text.as_str()))
+                && toks.get(i + 3).is_some_and(|p| p.text == "(");
+            if !acquisition {
+                i += 1;
+                continue;
+            }
+            let line = t.line;
+            let node = format!("{}::{}", ctx.crate_name, t.text);
+            held.retain(|&(_, release, _)| release > i);
+            if !held.is_empty() && !in_ranges(test_ranges, line) {
+                for (from, _, _) in &held {
+                    edges.push(LockEdge {
+                        from: from.clone(),
+                        to: node.clone(),
+                        file: ctx.path.clone(),
+                        line,
+                    });
+                }
+                if !has_order_comment(lexed, line) {
+                    findings.push(Finding {
+                        file: ctx.path.clone(),
+                        line,
+                        rule: RULE_LOCK_ORDER,
+                        message: format!(
+                            "`{}` acquired while `{}` is held: document the global \
+                             acquisition order with a `// lock order:` comment at \
+                             this site",
+                            t.text,
+                            held.iter()
+                                .map(|(f, _, _)| f.rsplit(':').next().unwrap_or(f))
+                                .collect::<Vec<_>>()
+                                .join("`, `"),
+                        ),
+                    });
+                }
+            }
+            let release = if stmt_is_let(lexed, i) {
+                span.body_end
+            } else {
+                next_semi(lexed, i, span.body_end)
+            };
+            held.push((node, release, line));
+            i += 3;
+        }
+    }
+}

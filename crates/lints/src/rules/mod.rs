@@ -2,9 +2,12 @@
 //! token stream; scoping (which crates, which file kinds, test exemptions)
 //! lives inside the rule so the orchestrator stays trivial.
 
+pub mod lock_order;
 pub mod lossy_cast;
 pub mod panic_freedom;
 pub mod telemetry_names;
+pub mod time_entropy;
+pub mod unordered_iteration;
 pub mod unsafe_containment;
 
 /// Rust keywords that can directly precede `[` without forming an index

@@ -6,9 +6,11 @@
 //! synthesized bad workspace.
 
 use atom_lint::{
-    lint_file, lint_workspace, FileCtx, FileKind, NamesTable, RULE_DIRECTIVE, RULE_LOSSY_CAST,
-    RULE_PANIC_FREEDOM, RULE_TELEMETRY_NAMES, RULE_UNSAFE_CONTAINMENT,
+    lint_file, lint_workspace, lock_cycle_findings, CrossFileState, FileCtx, FileKind, NamesTable,
+    RULE_DIRECTIVE, RULE_LOCK_ORDER, RULE_LOSSY_CAST, RULE_PANIC_FREEDOM, RULE_TELEMETRY_NAMES,
+    RULE_TIME_ENTROPY, RULE_UNORDERED_ITERATION, RULE_UNSAFE_CONTAINMENT,
 };
+use atom_lint::rules::lock_order::LockEdge;
 use std::path::{Path, PathBuf};
 
 fn fixture(name: &str) -> String {
@@ -28,11 +30,22 @@ fn ctx(crate_name: &str, path: &str, kind: FileKind) -> FileCtx {
 
 /// Runs the linter on a fixture and returns `(rule, line)` pairs.
 fn run(source: &str, ctx: &FileCtx, names: Option<&NamesTable>) -> Vec<(&'static str, usize)> {
-    let mut used = Vec::new();
-    lint_file(ctx, source, names, &mut used)
+    run_state(source, ctx, names).0
+}
+
+/// Like [`run`], but also returns the cross-file state (used names, lock
+/// edges, allow inventory) the file contributed.
+fn run_state(
+    source: &str,
+    ctx: &FileCtx,
+    names: Option<&NamesTable>,
+) -> (Vec<(&'static str, usize)>, CrossFileState) {
+    let mut state = CrossFileState::default();
+    let findings = lint_file(ctx, source, names, &mut state)
         .into_iter()
         .map(|f| (f.rule, f.line))
-        .collect()
+        .collect();
+    (findings, state)
 }
 
 #[test]
@@ -95,11 +108,7 @@ fn telemetry_names_fixture() {
         "POOL_UTILIZATION_PERMILLE".into(),
         ("pool.utilization_permille".into(), 3),
     );
-    let mut used = Vec::new();
-    let got: Vec<(&'static str, usize)> = lint_file(&ctx, &src, Some(&names), &mut used)
-        .into_iter()
-        .map(|f| (f.rule, f.line))
-        .collect();
+    let (got, state) = run_state(&src, &ctx, Some(&names));
     let want = vec![
         (RULE_TELEMETRY_NAMES, 6),  // literal metric name
         (RULE_TELEMETRY_NAMES, 10), // literal span name
@@ -107,6 +116,7 @@ fn telemetry_names_fixture() {
     ];
     assert_eq!(got, want, "findings: {got:?}");
     // The usage scan must register both referenced constants.
+    let used = &state.used_names;
     assert!(used.contains(&"GOOD".to_string()));
     assert!(used.contains(&"NOT_DECLARED".to_string()));
     // The pool span/histogram usages lint clean AND count as recorded, so
@@ -173,11 +183,193 @@ fn malformed_and_stale_allows_are_findings() {
     assert_eq!(got, want, "findings: {got:?}");
 }
 
+#[test]
+fn unordered_iteration_fixture() {
+    let src = fixture("unordered_iteration_bad.rs");
+    let ctx = ctx("atom-serve", "crates/serve/src/fixture.rs", FileKind::Src);
+    let got = run(&src, &ctx, None);
+    let want = vec![
+        (RULE_UNORDERED_ITERATION, 10), // for (_, v) in &m
+        (RULE_UNORDERED_ITERATION, 17), // m.values() with no escape
+        (RULE_UNORDERED_ITERATION, 21), // s.drain()
+        (RULE_UNORDERED_ITERATION, 25), // m.retain(..)
+    ];
+    // The sorted-collect, BTreeMap-rekey, reduction, point-lookup, allow,
+    // and #[cfg(test)] shapes must all stay clean.
+    assert_eq!(got, want, "findings: {got:?}");
+}
+
+#[test]
+fn unordered_iteration_is_scoped_to_deterministic_crates() {
+    // Same source in a crate outside the deterministic scope (telemetry's
+    // registries are keyed stores, not gated outputs) must not be flagged.
+    let src = fixture("unordered_iteration_bad.rs");
+    let ctx = ctx(
+        "atom-telemetry",
+        "crates/telemetry/src/fixture.rs",
+        FileKind::Src,
+    );
+    let got = run(&src, &ctx, None);
+    assert!(
+        got.iter().all(|(r, _)| *r != RULE_UNORDERED_ITERATION),
+        "out-of-scope crate flagged: {got:?}"
+    );
+}
+
+#[test]
+fn time_entropy_fixture() {
+    let src = fixture("time_entropy_bad.rs");
+    let ctx = ctx("atom-serve", "crates/serve/src/fixture.rs", FileKind::Src);
+    let got = run(&src, &ctx, None);
+    let want = vec![
+        (RULE_TIME_ENTROPY, 9),  // Instant::now()
+        (RULE_TIME_ENTROPY, 13), // SystemTime::now()
+        (RULE_TIME_ENTROPY, 17), // UNIX_EPOCH
+        (RULE_TIME_ENTROPY, 21), // std::env::var
+        (RULE_TIME_ENTROPY, 25), // thread_rng()
+    ];
+    // Storing an Instant, the justified allow, and the #[cfg(test)] read
+    // must all stay clean.
+    assert_eq!(got, want, "findings: {got:?}");
+}
+
+#[test]
+fn time_entropy_exempts_telemetry_crate() {
+    let src = fixture("time_entropy_bad.rs");
+    let ctx = ctx(
+        "atom-telemetry",
+        "crates/telemetry/src/fixture.rs",
+        FileKind::Src,
+    );
+    let got = run(&src, &ctx, None);
+    assert!(
+        got.iter().all(|(r, _)| *r != RULE_TIME_ENTROPY),
+        "telemetry crate flagged: {got:?}"
+    );
+}
+
+#[test]
+fn time_entropy_env_allowlist_is_per_file() {
+    // The audited config entry point may read env vars, but its wall-clock
+    // reads are still findings — the allowlist covers `env::var` only.
+    let src = fixture("time_entropy_bad.rs");
+    let ctx = ctx("atom-parallel", "crates/parallel/src/lib.rs", FileKind::Src);
+    let got = run(&src, &ctx, None);
+    assert!(
+        got.iter().all(|&(r, l)| r != RULE_TIME_ENTROPY || l != 21),
+        "audited file's env read flagged: {got:?}"
+    );
+    assert!(
+        got.contains(&(RULE_TIME_ENTROPY, 9)),
+        "audited file's wall-clock read must still be flagged: {got:?}"
+    );
+}
+
+#[test]
+fn lock_order_fixture() {
+    let src = fixture("lock_order_bad.rs");
+    let ctx = ctx("atom-badlock", "crates/bad/src/fixture.rs", FileKind::Src);
+    let (got, state) = run_state(&src, &ctx, None);
+    // Only the undocumented nested acquisition is a finding; the
+    // documented site and the sequential statement-scoped temporaries are
+    // clean.
+    let want = vec![(RULE_LOCK_ORDER, 17)];
+    assert_eq!(got, want, "findings: {got:?}");
+    // Both nested sites (documented or not) contribute a→b graph edges.
+    let edges: Vec<(&str, &str, usize)> = state
+        .lock_edges
+        .iter()
+        .map(|e| (e.from.as_str(), e.to.as_str(), e.line))
+        .collect();
+    assert_eq!(
+        edges,
+        vec![
+            ("atom-badlock::a", "atom-badlock::b", 17),
+            ("atom-badlock::a", "atom-badlock::b", 24),
+        ],
+        "edges: {edges:?}"
+    );
+}
+
+#[test]
+fn lock_cycle_detection() {
+    let edge = |from: &str, to: &str, file: &str, line: usize| LockEdge {
+        from: from.into(),
+        to: to.into(),
+        file: file.into(),
+        line,
+    };
+    // Acyclic graph: no findings, however many edges agree on the order.
+    let acyclic = [
+        edge("t::counters", "t::gauges", "a.rs", 10),
+        edge("t::counters", "t::gauges", "b.rs", 20),
+        edge("t::gauges", "t::histograms", "a.rs", 11),
+    ];
+    assert!(lock_cycle_findings(&acyclic).is_empty());
+
+    // Two files disagreeing on the order is a cycle, reported once.
+    let cyclic = [
+        edge("t::a", "t::b", "first.rs", 5),
+        edge("t::b", "t::a", "second.rs", 9),
+    ];
+    let got = lock_cycle_findings(&cyclic);
+    assert_eq!(got.len(), 1, "cycle findings: {got:?}");
+    assert_eq!(got[0].rule, RULE_LOCK_ORDER);
+    assert!(
+        got[0].message.contains("t::a") && got[0].message.contains("t::b"),
+        "cycle message should name both locks: {}",
+        got[0].message
+    );
+
+    // Re-acquiring the same lock while it is held is a self-deadlock.
+    let reentrant = [edge("t::m", "t::m", "r.rs", 3)];
+    let got = lock_cycle_findings(&reentrant);
+    assert_eq!(got.len(), 1, "self-deadlock findings: {got:?}");
+}
+
+#[test]
+fn allow_inventory_records_reason_and_suppression_count() {
+    let src = fixture("unordered_iteration_bad.rs");
+    let ctx = ctx("atom-serve", "crates/serve/src/fixture.rs", FileKind::Src);
+    let (_, state) = run_state(&src, &ctx, None);
+    assert_eq!(state.allows.len(), 1, "allows: {:?}", state.allows);
+    let a = &state.allows[0];
+    assert_eq!(a.rules, vec!["unordered-iteration".to_string()]);
+    assert!(
+        a.reason.contains("order-insensitive"),
+        "reason captured: {:?}",
+        a.reason
+    );
+    assert_eq!(a.suppressed, 1, "directive must suppress exactly one finding");
+}
+
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .canonicalize()
         .expect("workspace root resolves")
+}
+
+#[test]
+fn report_json_has_schema_rule_counts_and_allow_inventory() {
+    let report = lint_workspace(&workspace_root()).expect("workspace lints");
+    let json = report.to_json();
+    assert!(json.contains("\"schema\": \"atom-lint-report/v1\""));
+    // Every reportable rule appears in the counts object even at zero.
+    for rule in atom_lint::REPORTABLE_RULES {
+        assert!(json.contains(&format!("\"{rule}\":")), "missing count for {rule}");
+    }
+    // The allow inventory is present with reasons and suppression counts.
+    assert!(!report.allows.is_empty(), "live tree has allow directives");
+    assert!(json.contains("\"allow_directives\""));
+    assert!(json.contains("\"suppressed\""));
+    assert!(
+        report.allows.iter().all(|a| !a.reason.is_empty()),
+        "every live allow carries a reason"
+    );
+    // Counts reconcile with the findings list (clean tree: all zeros).
+    let total: usize = report.rule_counts().values().sum();
+    assert_eq!(total, report.findings.len());
 }
 
 #[test]

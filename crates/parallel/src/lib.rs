@@ -455,6 +455,7 @@ impl Region {
         }
         Region {
             timed,
+            // lint: allow(time-entropy) — region wall time is pool telemetry only; chunk assignment and results never read the clock
             start: timed.then(Instant::now),
             workers,
         }
@@ -499,6 +500,7 @@ where
             &[("chunks", count as f64), ("worker", worker as f64)],
         )
     });
+    // lint: allow(time-entropy) — worker busy time feeds the utilization histogram only; never scheduling
     let busy_start = timed.then(Instant::now);
     let mut failures = Vec::new();
     for (j, piece) in data.chunks_mut(chunk).enumerate().take(count) {

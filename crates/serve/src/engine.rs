@@ -39,7 +39,7 @@ use atom_prefix::{
 use atom_telemetry::{names, Telemetry};
 use atom_tensor::cast;
 use atom_tensor::ops;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -213,7 +213,7 @@ struct PrefixCounters {
 /// prefills, per-request admission plans, and event counters.
 struct PrefixCacheState {
     index: RadixIndex,
-    planned: HashMap<usize, PlannedAdmission>,
+    planned: BTreeMap<usize, PlannedAdmission>,
     config: PrefixConfig,
     totals: PrefixCounters,
     reported: PrefixCounters,
@@ -297,10 +297,10 @@ pub struct CpuEngine<L: LinearLayer> {
     fault: FaultPlan,
     batcher: ContinuousBatcher,
     prefix: Option<PrefixCacheState>,
-    prompts: HashMap<usize, Vec<u16>>,
-    states: HashMap<usize, SeqState>,
-    meta: HashMap<usize, RequestStats>,
-    prefill_wall: HashMap<usize, u64>,
+    prompts: BTreeMap<usize, Vec<u16>>,
+    states: BTreeMap<usize, SeqState>,
+    meta: BTreeMap<usize, RequestStats>,
+    prefill_wall: BTreeMap<usize, u64>,
     outcomes: Vec<Outcome>,
     completions: Vec<Completion>,
     next_id: usize,
@@ -359,10 +359,10 @@ impl<L: LinearLayer> CpuEngine<L> {
             fault: FaultPlan::none(),
             batcher: ContinuousBatcher::new(max_batch, allocator)?,
             prefix: None,
-            prompts: HashMap::new(),
-            states: HashMap::new(),
-            meta: HashMap::new(),
-            prefill_wall: HashMap::new(),
+            prompts: BTreeMap::new(),
+            states: BTreeMap::new(),
+            meta: BTreeMap::new(),
+            prefill_wall: BTreeMap::new(),
             outcomes: Vec::new(),
             completions: Vec::new(),
             next_id: 0,
@@ -440,7 +440,7 @@ impl<L: LinearLayer> CpuEngine<L> {
         let block_size = self.batcher.allocator().block_size();
         self.prefix = Some(PrefixCacheState {
             index: RadixIndex::new(block_size),
-            planned: HashMap::new(),
+            planned: BTreeMap::new(),
             config,
             totals: PrefixCounters::default(),
             reported: PrefixCounters::default(),
@@ -573,10 +573,12 @@ impl<L: LinearLayer> CpuEngine<L> {
         self.clock += 1;
 
         // Deadline sweep: a request whose step budget elapsed terminates
-        // before it can consume another iteration. Sorted so same-step
-        // expiries terminalize in id order — outcome order must not
-        // depend on HashMap iteration order.
-        let mut expired: Vec<usize> = self
+        // before it can consume another iteration. `meta` is a BTreeMap
+        // keyed by request id, so same-step expiries terminalize in id
+        // order by construction (the PR 5 HashMap-ordered sweep bug is
+        // structurally impossible now; atom-lint's unordered-iteration
+        // rule keeps it that way).
+        let expired: Vec<usize> = self
             .meta
             .iter()
             .filter(|(_, s)| {
@@ -585,7 +587,6 @@ impl<L: LinearLayer> CpuEngine<L> {
             })
             .map(|(&id, _)| id)
             .collect();
-        expired.sort_unstable();
         for id in expired {
             self.terminalize(id, Terminal::DeadlineExceeded);
         }
@@ -627,7 +628,7 @@ impl<L: LinearLayer> CpuEngine<L> {
                 .degrade_queue_depth
                 .is_some_and(|d| self.batcher.queued() >= d);
         let mut prefill_jobs: Vec<ForwardJob> = Vec::new();
-        let mut prefill_flavor: HashMap<usize, Flavor> = HashMap::new();
+        let mut prefill_flavor: BTreeMap<usize, Flavor> = BTreeMap::new();
         for req in self.batcher.complete_prefill() {
             let Some(prompt) = self.prompts.get(&req.id).cloned() else {
                 debug_assert!(false, "prefill without stored prompt");
@@ -1112,6 +1113,7 @@ impl<L: LinearLayer> CpuEngine<L> {
         let model = &self.model;
         match self.pool.par_chunks_mut(jobs, 1, |_, chunk| {
             let Some(job) = chunk.first_mut() else { return };
+            // lint: allow(time-entropy) — per-job wall clock feeds kernel telemetry and the prefill-wall report only; scheduling and token choice never read it
             let start = Instant::now();
             let logits = match &job.prompt {
                 Some(prompt) => model.forward(prompt, job.state.cache.as_mut()),
@@ -1148,8 +1150,8 @@ impl<L: LinearLayer> CpuEngine<L> {
             if self.progress_mark() == before {
                 quiet += 1;
                 if quiet > Self::STALL_LIMIT {
-                    let mut stuck: Vec<usize> = self.meta.keys().copied().collect();
-                    stuck.sort_unstable();
+                    // BTreeMap keys iterate in ascending id order already.
+                    let stuck: Vec<usize> = self.meta.keys().copied().collect();
                     for id in stuck {
                         self.terminalize(
                             id,

@@ -28,7 +28,7 @@
 //! donor ran (or was degraded to) the quantized KV store.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Sequence identity within the allocator.
 pub type SeqId = usize;
@@ -92,7 +92,7 @@ impl SharedPrefix {
 pub struct PagedAllocator {
     block_size: usize,
     free: Vec<usize>,
-    tables: HashMap<SeqId, BlockTable>,
+    tables: BTreeMap<SeqId, BlockTable>,
     total_blocks: usize,
     /// Per-block reference count: 0 = free, 1 = owned, >1 = shared.
     refs: Vec<u32>,
@@ -141,7 +141,7 @@ impl PagedAllocator {
         PagedAllocator {
             block_size,
             free: (0..total_blocks).rev().collect(),
-            tables: HashMap::new(),
+            tables: BTreeMap::new(),
             total_blocks,
             refs: vec![0; total_blocks],
             fill: vec![0; total_blocks],
@@ -577,8 +577,8 @@ impl PagedAllocator {
         }
         let mut mapped = vec![0u32; self.total_blocks];
         let mut table_refs = 0usize;
-        let mut seqs: Vec<&SeqId> = self.tables.keys().collect();
-        seqs.sort_unstable();
+        // BTreeMap keys iterate in ascending sequence order already.
+        let seqs: Vec<&SeqId> = self.tables.keys().collect();
         for seq in seqs {
             let Some(table) = self.tables.get(seq) else {
                 continue;

@@ -310,7 +310,7 @@ impl MetricsRegistry {
                 .collect(),
             gauges: self
                 .inner
-                .gauges
+                .gauges // lock order: counters → gauges → histograms (snapshot is the only multi-lock site; writers take exactly one map lock)
                 .read()
                 .expect("registry lock")
                 .iter()
@@ -318,7 +318,7 @@ impl MetricsRegistry {
                 .collect(),
             histograms: self
                 .inner
-                .histograms
+                .histograms // lock order: counters → gauges → histograms
                 .read()
                 .expect("registry lock")
                 .iter()
