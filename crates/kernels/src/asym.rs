@@ -53,7 +53,12 @@ impl AsymQuantized {
     ///
     /// Panics unless `2 <= bits <= 8`.
     pub fn quantize(x: &Matrix, bits: u8) -> Self {
-        assert!((2..=8).contains(&bits), "bits must be in 2..=8");
+        assert!(
+            (crate::group::MIN_BITS..=crate::group::MAX_BITS).contains(&bits),
+            "bits must be in {}..={}",
+            crate::group::MIN_BITS,
+            crate::group::MAX_BITS
+        );
         let (rows, cols) = x.shape();
         let levels = ((1u32 << bits) - 1) as f32;
         let bias = 1i16 << (bits - 1); // shift unsigned codes into signed storage

@@ -198,7 +198,7 @@ mod tests {
         let k = rng.normal_matrix(kv_len, hd, 0.0, 1.0);
         let v = rng.normal_matrix(kv_len, hd, 0.0, 1.0);
         let q = rng.normal_matrix(4, hd, 0.0, 1.0);
-        let scale = 1.0 / (hd as f32).sqrt();
+        let scale = 1.0 / atom_tensor::cast::usize_to_f32(hd).sqrt();
         let reference = attention_reference(&q, &k, &v, scale);
 
         let mut kv = QuantizedKvHead::new(hd, 8);
@@ -215,7 +215,7 @@ mod tests {
         let k = rng.normal_matrix(kv_len, hd, 0.0, 1.0);
         let v = rng.normal_matrix(kv_len, hd, 0.0, 1.0);
         let q = rng.normal_matrix(2, hd, 0.0, 1.0);
-        let scale = 1.0 / (hd as f32).sqrt();
+        let scale = 1.0 / atom_tensor::cast::usize_to_f32(hd).sqrt();
         let reference = attention_reference(&q, &k, &v, scale);
         let rel_of = |bits| {
             let mut kv = QuantizedKvHead::new(hd, bits);

@@ -12,11 +12,22 @@
 //! outlier channels INT8; the two regions multiply separately and their FP32
 //! results sum.
 
-use crate::group::GroupQuantized;
+use crate::group::{GroupQuantized, MAX_BITS};
 use crate::KernelError;
 use atom_parallel::Pool;
 use atom_telemetry::{names, span, Telemetry};
 use atom_tensor::Matrix;
+
+/// Largest reduction length `K` an `i32` accumulator provably survives at
+/// the widest quantizer setting. One summand is a product of two values
+/// quantized at at most [`MAX_BITS`] bits, so its magnitude is at most
+/// `2^(MAX_BITS-1) * 2^(MAX_BITS-1) = 2^14`, and `K` such summands stay
+/// below `2^31` exactly when `K <= (2^31 - 1) >> 14 = 131071` — i.e. the
+/// W8A8 path is safe for every `K < 2^17`. Narrower widths only widen the
+/// margin. The GEMM entry points `debug_assert!` this cap; the
+/// `accumulator-width` lint proves the same inequality from the
+/// `// bound:` comments at the reduction sites.
+pub const MAX_ACC_K: usize = (i32::MAX as usize) >> (2 * (MAX_BITS as usize - 1));
 
 /// Plain integer GEMM with i32 accumulation: `a (m x k) @ b_t (n x k)^T`,
 /// returning the raw i32 accumulators. This is the "pure INT4/INT8 GEMM
@@ -24,21 +35,31 @@ use atom_tensor::Matrix;
 ///
 /// # Panics
 ///
-/// Panics if the inner dimensions disagree.
+/// Panics if the inner dimensions disagree. Debug builds also panic when
+/// `k` exceeds [`MAX_ACC_K`], the largest reduction length the i32
+/// accumulator provably survives.
 pub fn int_gemm_i32(a: &[i8], b_t: &[i8], m: usize, n: usize, k: usize) -> Vec<i32> {
     assert_eq!(a.len(), m * k, "a size mismatch");
     assert_eq!(b_t.len(), n * k, "b size mismatch");
+    debug_assert!(
+        k <= MAX_ACC_K,
+        "k = {k} exceeds MAX_ACC_K = {MAX_ACC_K}: i32 accumulation could overflow"
+    );
     // `chunks_exact` walks the row-major operands without bounds checks;
     // `k.max(1)` keeps the chunk size legal when k == 0 (both inputs are
     // then empty and the all-zero output is already correct).
     let mut out = vec![0i32; m * n];
     for (ar, out_row) in a.chunks_exact(k.max(1)).zip(out.chunks_mut(n.max(1))) {
         for (br, o) in b_t.chunks_exact(k.max(1)).zip(out_row.iter_mut()) {
-            *o = ar
+            // Each |product| <= 2^(bA-1) * 2^(bW-1) and k <= MAX_ACC_K, so
+            // the reduction stays inside i32 at the widest setting:
+            // bound: K * 2 ^ (2 * (MAX_BITS - 1)) < 2 ^ 31
+            let dot: i32 = ar
                 .iter()
                 .zip(br)
                 .map(|(&x, &w)| i32::from(x) * i32::from(w))
                 .sum();
+            *o = dot;
         }
     }
     out
@@ -135,6 +156,11 @@ pub fn fused_group_gemm_with(
     // one-row chunks: chunk i owns out[i*n .. (i+1)*n] exclusively and is
     // computed by the same sequential code at any pool width.
     let group = group.max(1);
+    debug_assert!(
+        group <= MAX_ACC_K,
+        "group {group} exceeds MAX_ACC_K = {MAX_ACC_K}: per-group i32 accumulation \
+         could overflow"
+    );
     let mut out = Matrix::zeros(m, n);
     pool.par_chunks_mut(out.as_mut_slice(), n.max(1), |i, out_row| {
         let Some(ar) = av.get(i * k..(i + 1) * k) else {
@@ -152,6 +178,8 @@ pub fn fused_group_gemm_with(
                 .zip(sa.iter().zip(sw_row))
                 .map(|((ga, gw), (&scale_a, &scale_w))| {
                     // Step 1: low-bit integer MMA with i32 accumulation.
+                    // The group length is capped at MAX_ACC_K above, so:
+                    // bound: K * 2 ^ (2 * (MAX_BITS - 1)) < 2 ^ 31
                     let iacc: i32 = ga
                         .iter()
                         .zip(gw)
@@ -232,6 +260,28 @@ mod tests {
         let b_t: Vec<i8> = vec![5, 6, 7, 8]; // b_t row 0 = (5,6), row 1 = (7,8)
         let out = int_gemm_i32(&a, &b_t, 2, 2, 2);
         assert_eq!(out, vec![17, 23, 39, 53]);
+    }
+
+    #[test]
+    fn int_gemm_survives_largest_admissible_k() {
+        // W8A8 worst case: every product is (-128)*(-128) = 2^14, and
+        // MAX_ACC_K of them sum to 131071 * 16384 = 2147467264, inside
+        // i32::MAX = 2147483647 with exactly 16383 to spare.
+        assert_eq!(MAX_ACC_K, 131_071);
+        let a = vec![-128i8; MAX_ACC_K];
+        let b_t = vec![-128i8; MAX_ACC_K];
+        let out = int_gemm_i32(&a, &b_t, 1, 1, MAX_ACC_K);
+        assert_eq!(out, vec![2_147_467_264i32]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "MAX_ACC_K")]
+    fn int_gemm_rejects_k_beyond_bound() {
+        let k = MAX_ACC_K + 1;
+        let a = vec![0i8; k];
+        let b_t = vec![0i8; k];
+        let _ = int_gemm_i32(&a, &b_t, 1, 1, k);
     }
 
     #[test]

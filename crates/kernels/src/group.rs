@@ -21,10 +21,19 @@ use atom_tensor::f16::round_f16;
 use atom_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
+/// Smallest quantizer width any spec may carry. Together with
+/// [`MAX_BITS`] this bounds every `bits` value in the workspace —
+/// `QuantSpec::validate` (and the asserts at the other quantizer entry
+/// points) enforce it at runtime, and `atom-lint`'s interval analysis
+/// assumes exactly this range when proving shift/accumulator bounds.
+pub const MIN_BITS: u8 = 2;
+/// Largest quantizer width any spec may carry; see [`MIN_BITS`].
+pub const MAX_BITS: u8 = 8;
+
 /// Parameters of a symmetric group quantization.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QuantSpec {
-    /// Bit width (2–8).
+    /// Bit width ([`MIN_BITS`]–[`MAX_BITS`]).
     pub bits: u8,
     /// Group size along the channel dimension; the final group of a row may
     /// be smaller if `cols % group != 0`. Use `usize::MAX` for per-channel
@@ -64,8 +73,11 @@ impl QuantSpec {
     ///
     /// Returns a message when bits or clip are out of range.
     pub fn validate(&self) -> Result<(), String> {
-        if !(2..=8).contains(&self.bits) {
-            return Err(format!("bits {} out of 2..=8", self.bits));
+        if !(MIN_BITS..=MAX_BITS).contains(&self.bits) {
+            return Err(format!(
+                "bits {} out of {MIN_BITS}..={MAX_BITS}",
+                self.bits
+            ));
         }
         if self.group == 0 {
             return Err("group must be positive".into());
@@ -448,8 +460,7 @@ mod tests {
         let x = rng.normal_matrix(4, 32, 0.0, 10.0);
         for bits in [3u8, 4, 8] {
             let q = GroupQuantized::quantize(&x, QuantSpec::new(bits, 8));
-            let lo = -(1i16 << (bits - 1)) as i8;
-            let hi = ((1i16 << (bits - 1)) - 1) as i8;
+            let (lo, hi) = (q.values().min_value(), q.values().max_value());
             for v in q.values().unpack() {
                 assert!(v >= lo && v <= hi, "bits {bits}: {v}");
             }

@@ -34,7 +34,7 @@ pub use attention::{
     attention_quant_kv, attention_quant_kv_heads, attention_quant_kv_heads_with, QuantizedKvHead,
 };
 pub use gemm::{fused_group_gemm, fused_group_gemm_with, mixed_gemm, mixed_gemm_with};
-pub use group::{GroupQuantized, QuantSpec};
+pub use group::{GroupQuantized, QuantSpec, MAX_BITS, MIN_BITS};
 pub use packed::PackedMatrix;
 
 /// Error type for kernel-level shape and parameter validation.

@@ -286,18 +286,20 @@ impl PackedMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use atom_tensor::cast::{i32_to_i8_saturating, usize_to_i32_saturating};
 
     #[test]
     fn roundtrip_all_bit_widths() {
         for bits in 2..=8u8 {
-            let lo = -(1i16 << (bits - 1)) as i8;
-            let hi = ((1i16 << (bits - 1)) - 1) as i8;
             let cols = 13; // odd to exercise byte-boundary crossings
             let mut m = PackedMatrix::zeros(3, cols, bits);
+            let (lo, hi) = (m.min_value(), m.max_value());
+            let span = i32::from(hi) - i32::from(lo) + 1;
             let mut expected = Vec::new();
             for r in 0..3 {
                 for c in 0..cols {
-                    let v = (lo as i32 + ((r * cols + c) as i32 % (hi as i32 - lo as i32 + 1))) as i8;
+                    let code = usize_to_i32_saturating(r * cols + c) % span;
+                    let v = i32_to_i8_saturating(i32::from(lo) + code);
                     m.set(r, c, v);
                     expected.push(v);
                 }
@@ -355,8 +357,8 @@ mod tests {
     #[test]
     fn neighbors_do_not_clobber() {
         let mut m = PackedMatrix::zeros(1, 8, 3);
-        for c in 0..8 {
-            m.set(0, c, (c as i8) - 4);
+        for (c, v) in (-4i8..4).enumerate() {
+            m.set(0, c, v);
         }
         m.set(0, 3, 3); // rewrite middle element
         let expect: Vec<i8> = vec![-4, -3, -2, 3, 0, 1, 2, 3];

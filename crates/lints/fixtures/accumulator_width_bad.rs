@@ -1,0 +1,63 @@
+//! Fixture: quantized reductions with proving, missing, understated,
+//! K-less, and over-wide `// bound:` proof comments.
+
+pub const FIX_MAX_BITS: u8 = 8;
+
+/// Proven: each product is at most `2^14` in magnitude and the claim
+/// dominates it within `i32`.
+pub fn proven(a: &[i8], b: &[i8]) -> i32 {
+    // bound: K * 2 ^ (2 * (FIX_MAX_BITS - 1)) < 2 ^ 31
+    let dot: i32 = a.iter().zip(b).map(|(&x, &w)| i32::from(x) * i32::from(w)).sum();
+    dot
+}
+
+pub fn missing(a: &[i8], b: &[i8]) -> i32 {
+    let dot: i32 = a.iter().zip(b).map(|(&x, &w)| i32::from(x) * i32::from(w)).sum();
+    dot
+}
+
+/// The claim parses but understates the per-element magnitude (`2^7`
+/// against the derived `2^14`).
+pub fn understated(a: &[i8], b: &[i8]) -> i32 {
+    // bound: K * 2 ^ 7 < 2 ^ 31
+    let dot: i32 = a.iter().zip(b).map(|(&x, &w)| i32::from(x) * i32::from(w)).sum();
+    dot
+}
+
+/// The claim never mentions the free reduction-length variable `K`.
+pub fn no_k(a: &[i8], b: &[i8]) -> i32 {
+    // bound: 2 ^ 14 <= 2 ^ 31
+    let dot: i32 = a.iter().zip(b).map(|(&x, &w)| i32::from(x) * i32::from(w)).sum();
+    dot
+}
+
+/// The claimed total does not fit the `i32` accumulator.
+pub fn too_wide(a: &[i8], b: &[i8]) -> i32 {
+    // bound: K * 2 ^ 14 <= 2 ^ 40
+    let dot: i32 = a.iter().zip(b).map(|(&x, &w)| i32::from(x) * i32::from(w)).sum();
+    dot
+}
+
+/// Loop accumulation without a proof comment.
+pub fn loop_acc(a: &[i8]) -> i32 {
+    let mut acc: i32 = 0;
+    for &x in a {
+        acc += i32::from(x);
+    }
+    acc
+}
+
+/// Loop accumulation discharged by a trailing proof comment.
+pub fn loop_acc_proven(a: &[i8]) -> i32 {
+    let mut acc: i32 = 0;
+    for &x in a {
+        acc += i32::from(x); // bound: K * 2 ^ 7 < 2 ^ 31
+    }
+    acc
+}
+
+/// A turbofish reduction over widened elements, proven.
+pub fn turbofish(a: &[i8]) -> i64 {
+    // bound: K * 2 ^ 7 < 2 ^ 31
+    a.iter().map(|&x| i64::from(x)).sum::<i64>()
+}

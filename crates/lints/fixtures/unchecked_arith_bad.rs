@@ -1,0 +1,50 @@
+//! Fixture: bare signed arithmetic the interval analysis cannot prove
+//! in-range, next to provable, explicitly-wrapping, and justified shapes.
+
+pub const FIX_LIMIT: i32 = 1 << 14;
+
+/// Proven: a widened `u8` plus a workspace constant stays far inside
+/// `i32`.
+pub fn fine(x: u8) -> i32 {
+    i32::from(x) + FIX_LIMIT
+}
+
+/// Two full-range `i32` operands can overflow on multiply.
+pub fn bad_mul(x: i32, y: i32) -> i32 {
+    x * y
+}
+
+/// Addition at the top of the `i32` range can overflow.
+pub fn bad_add(x: i32) -> i32 {
+    x + 1
+}
+
+/// A shift whose amount the analysis cannot bound.
+pub fn bad_shl(x: i32) -> i32 {
+    1i32 << x
+}
+
+/// Explicit wrapping is a statement of intent, not a finding.
+pub fn wrapping(x: i32, y: i32) -> i32 {
+    x.wrapping_mul(y)
+}
+
+/// Unsigned arithmetic is index/bit-packing domain, out of scope.
+pub fn unsigned(x: u32, y: u32) -> u32 {
+    x * y
+}
+
+/// A justified allow suppresses the finding.
+pub fn allowed(x: i32, y: i32) -> i32 {
+    // lint: allow(unchecked-arith) — fixture: caller guarantees |x*y| small
+    x * y
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let x = i32::MAX;
+        let _ = x + 1;
+    }
+}

@@ -1,0 +1,97 @@
+//! A per-crate call graph over the lexer's function spans.
+//!
+//! Resolution is name-based: an identifier followed by `(` (or a turbofish
+//! `::<..>(`) inside one function's body, matching the name of a function
+//! defined in the same crate, is an edge. Method calls resolve the same
+//! way (an `impl` block's `fn` appears in `fn_spans` too). Name collisions
+//! across types over-approximate — fine for an audit layer, where the
+//! graph only *attributes* findings ("reached from ...") and never
+//! suppresses them.
+
+use crate::lexer::{fn_spans, Lexed, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Call edges of one crate: callee → set of direct callers.
+#[derive(Debug, Default, Clone)]
+pub struct CallGraph {
+    /// callee name → direct caller names.
+    pub callers: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl CallGraph {
+    /// Adds one file's functions to the graph. `defined` must hold every
+    /// function name of the crate (collected in a prior pass over all its
+    /// files), so cross-file calls within the crate resolve.
+    pub fn add_file(&mut self, lexed: &Lexed, defined: &BTreeSet<String>) {
+        let toks = &lexed.tokens;
+        for span in fn_spans(lexed) {
+            for i in span.body_start..=span.body_end.min(toks.len().saturating_sub(1)) {
+                let t = &toks[i];
+                if t.kind != TokKind::Ident || !defined.contains(&t.text) {
+                    continue;
+                }
+                // `fn` keyword introduces a definition, not a call.
+                if i > 0 && toks[i - 1].text == "fn" {
+                    continue;
+                }
+                let next = toks.get(i + 1).map(|t| t.text.as_str());
+                let is_call = next == Some("(")
+                    || (next == Some(":")
+                        && toks.get(i + 2).is_some_and(|t| t.text == ":")
+                        && toks.get(i + 3).is_some_and(|t| t.text == "<"));
+                if is_call && t.text != span.name {
+                    self.callers
+                        .entry(t.text.clone())
+                        .or_default()
+                        .insert(span.name.clone());
+                }
+            }
+        }
+    }
+
+    /// Transitive callers of `name`, breadth-first, capped at `limit`
+    /// names — enough to say where a hot-path helper is reached from
+    /// without exploding the message.
+    pub fn reached_from(&self, name: &str, limit: usize) -> Vec<String> {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut queue: Vec<&str> = vec![name];
+        let mut out = Vec::new();
+        while let Some(n) = queue.pop() {
+            let Some(direct) = self.callers.get(n) else { continue };
+            for c in direct {
+                if seen.insert(c.as_str()) {
+                    out.push(c.clone());
+                    if out.len() >= limit {
+                        return out;
+                    }
+                    queue.push(c.as_str());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn edges_and_transitive_callers() {
+        let src = "fn leaf(x: i32) -> i32 { x }\n\
+                   fn mid(x: i32) -> i32 { leaf(x) + 1 }\n\
+                   fn top(x: i32) -> i32 { mid(x) }\n\
+                   fn other() { let leaf = 3; let _ = leaf; }\n";
+        let lexed = lex(src);
+        let defined: BTreeSet<String> =
+            ["leaf", "mid", "top", "other"].iter().map(|s| s.to_string()).collect();
+        let mut g = CallGraph::default();
+        g.add_file(&lexed, &defined);
+        let mut reached = g.reached_from("leaf", 8);
+        reached.sort();
+        assert_eq!(reached, ["mid", "top"]);
+        // `let leaf = 3;` is not a call.
+        assert!(!g.callers.get("leaf").expect("has callers").contains("other"));
+    }
+}

@@ -1,0 +1,2046 @@
+//! A tolerant expression parser over the lexer's token stream, plus
+//! evaluation into the interval domain.
+//!
+//! This is deliberately **not** a Rust parser. It recognizes the statement
+//! and expression shapes that integer arithmetic in this workspace's hot
+//! paths actually takes — literals, paths, casts, `iN::from`, method
+//! chains, closures, blocks, loops, `let` bindings — and collapses
+//! everything else to an `Unknown` node whose value is top. Failure is
+//! isolated per statement: a statement the grammar cannot parse becomes
+//! `Unknown` and the rest of the block is still analyzed. An `Unknown`
+//! operand can never prove a range claim, so parser gaps cost coverage,
+//! never soundness.
+//!
+//! The same `Expr` AST doubles as the representation for `// bound:`
+//! proof-comment expressions (see [`parse_bound_comment`]), which add a
+//! `^` power operator and unicode `·`/`−`/`≤` spellings.
+
+use super::interval::{IntTy, Interval};
+use crate::lexer::{TokKind, Token};
+use std::collections::BTreeMap;
+
+/// Binary operators the analysis distinguishes. Everything else parses as
+/// [`ExprKind::Unknown`]-valued but still recurses into its operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^` (bit-xor in code; exponentiation in `// bound:` comments)
+    BitXor,
+    /// `^` in a proof comment: exact integer power.
+    Pow,
+    /// Comparison / logical operators, folded together: the value is a
+    /// bool, unknown to the integer domain.
+    Cmp,
+    /// `..` / `..=`
+    Range,
+}
+
+impl BinOp {
+    fn sym(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Pow => "^",
+            BinOp::Cmp => "<cmp>",
+            BinOp::Range => "..",
+        }
+    }
+}
+
+/// One parsed expression node.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    /// What the node is.
+    pub kind: ExprKind,
+    /// 1-based source line of the node's leading (or operator) token.
+    pub line: usize,
+}
+
+/// Expression shapes. `Unknown` is the catch-all: top in the value domain.
+#[derive(Debug, Clone)]
+pub enum ExprKind {
+    /// Integer literal, with its suffix type if any.
+    Int(i128, Option<IntTy>),
+    /// `ident(::ident)*` — locals, consts, unit paths (`i32::MAX`).
+    Path(Vec<String>),
+    /// Field access `recv.name` (also tuple index `recv.0`).
+    Field(Box<Expr>, String),
+    /// `-e`.
+    Neg(Box<Expr>),
+    /// `e as ty` (None when the target is not an integer type).
+    Cast(Box<Expr>, Option<IntTy>),
+    /// `iN::from(e)` / `uN::from(e)` — lossless widening.
+    From(IntTy, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Free/path call that is not `From`; value unknown, args analyzed.
+    Call(Box<Expr>, Vec<Expr>),
+    /// `recv.name::<tf>(args)`.
+    Method {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Turbofish integer type, when simple (`sum::<i32>`).
+        turbofish: Option<IntTy>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `|params| body` (`params` are the leaf identifiers of the patterns,
+    /// in order, with `&`/`mut`/parens stripped).
+    Closure(Vec<String>, Box<Expr>),
+    /// `{ stmts; tail }`.
+    Block(Vec<Stmt>, Option<Box<Expr>>),
+    /// `if cond { .. } else ..`; value is the hull of the branches.
+    If(Box<Expr>, Box<Expr>, Option<Box<Expr>>),
+    /// `loop`/`while`/`while let` body (condition folded away).
+    Loop(Box<Expr>),
+    /// `for <pat> in <iter> { body }`.
+    For {
+        /// Leaf identifiers of the loop pattern.
+        pat: Vec<String>,
+        /// The iterated expression.
+        iter: Box<Expr>,
+        /// Loop body.
+        body: Box<Expr>,
+    },
+    /// `recv[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `(a, b, ..)` / `[a, b, ..]` — elements analyzed, value unknown.
+    Seq(Vec<Expr>),
+    /// Anything the grammar does not model: top.
+    Unknown,
+}
+
+/// One parsed statement inside a block.
+#[derive(Debug, Clone)]
+pub struct Stmt {
+    /// What the statement is.
+    pub kind: StmtKind,
+    /// 1-based line the statement starts on.
+    pub line: usize,
+}
+
+/// Statement shapes.
+#[derive(Debug, Clone)]
+pub enum StmtKind {
+    /// `let <pat>[: ty] = init;` (`init` is `Unknown` for `let x;`).
+    Let {
+        /// Leaf identifiers of the pattern, in order.
+        pat: Vec<String>,
+        /// `true` for `let Some(x) = ..` / `let Ok(x) = ..` — the binding
+        /// takes the *inner* value of the initializer.
+        unwraps: bool,
+        /// Parsed type ascription.
+        ann: Option<TyAnn>,
+        /// Initializer.
+        init: Box<Expr>,
+    },
+    /// `place = value;`
+    Assign(Box<Expr>, Box<Expr>),
+    /// `place <op>= value;`
+    Compound(BinOp, Box<Expr>, Box<Expr>),
+    /// A bare expression statement.
+    Expr(Box<Expr>),
+}
+
+/// A type ascription the analysis understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TyAnn {
+    /// A plain integer type.
+    Int(IntTy),
+    /// `&[T]` / `&mut [T]` / `Vec<T>` / `[T; N]` with integer elements.
+    SliceOf(IntTy),
+    /// Anything else.
+    Other,
+}
+
+/// Classifies a type-token slice into a [`TyAnn`].
+pub fn classify_ty(toks: &[Token]) -> TyAnn {
+    let mut i = 0;
+    while i < toks.len()
+        && (toks[i].text == "&"
+            || toks[i].text == "mut"
+            || toks[i].kind == TokKind::Lifetime)
+    {
+        i += 1;
+    }
+    let rest = &toks[i..];
+    if rest.is_empty() {
+        return TyAnn::Other;
+    }
+    if rest[0].text == "[" {
+        if let Some(t) = rest.get(1).and_then(|t| IntTy::parse(&t.text)) {
+            if rest.get(2).is_some_and(|t| t.text == "]" || t.text == ";") {
+                return TyAnn::SliceOf(t);
+            }
+        }
+        return TyAnn::Other;
+    }
+    if rest[0].text == "Vec" && rest.get(1).is_some_and(|t| t.text == "<") {
+        if let Some(t) = rest.get(2).and_then(|t| IntTy::parse(&t.text)) {
+            if rest.get(3).is_some_and(|t| t.text == ">") {
+                return TyAnn::SliceOf(t);
+            }
+        }
+        return TyAnn::Other;
+    }
+    if rest.len() == 1 {
+        if let Some(t) = IntTy::parse(&rest[0].text) {
+            return TyAnn::Int(t);
+        }
+    }
+    TyAnn::Other
+}
+
+/// Keywords that begin a statement-like expression the parser models (or
+/// deliberately consumes).
+const EXPR_KEYWORDS: &[&str] = &[
+    "if", "match", "loop", "while", "for", "unsafe", "return", "break", "continue", "move",
+];
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    end: usize,
+    /// Inside a loop/if/match header: a `{` terminates the expression
+    /// instead of starting a struct literal.
+    no_struct: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self, k: usize) -> Option<&'a Token> {
+        let i = self.pos + k;
+        (i < self.end).then(|| &self.toks[i])
+    }
+
+    fn at(&self, s: &str) -> bool {
+        self.peek(0).is_some_and(|t| t.text == s)
+    }
+
+    fn at2(&self, a: &str, b: &str) -> bool {
+        self.peek(0).is_some_and(|t| t.text == a) && self.peek(1).is_some_and(|t| t.text == b)
+    }
+
+    fn line(&self) -> usize {
+        self.peek(0)
+            .map(|t| t.line)
+            .unwrap_or_else(|| self.toks.get(self.end.saturating_sub(1)).map_or(1, |t| t.line))
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Advances past a balanced `open`..`close` group whose opening token
+    /// is current. Tolerates truncation.
+    fn skip_balanced(&mut self) {
+        let open = match self.peek(0) {
+            Some(t) => t.text.clone(),
+            None => return,
+        };
+        let close = match open.as_str() {
+            "(" => ")",
+            "[" => "]",
+            "{" => "}",
+            _ => {
+                self.bump();
+                return;
+            }
+        };
+        let mut depth = 0usize;
+        while let Some(t) = self.peek(0) {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Binary operator at the current position: `(op, token_count,
+    /// binding_power)`. `None` at a non-operator or at a compound
+    /// assignment (`+=`), which the statement layer owns.
+    fn peek_binop(&self) -> Option<(BinOp, usize, u8)> {
+        let t = self.peek(0)?;
+        if t.kind == TokKind::Ident {
+            return None; // `as` handled in the climb loop directly
+        }
+        let a = t.text.as_str();
+        let b = self.peek(1).map(|t| t.text.as_str());
+        let c = self.peek(2).map(|t| t.text.as_str());
+        let r = match (a, b) {
+            (".", Some(".")) => {
+                if c == Some("=") {
+                    (BinOp::Range, 3, 1)
+                } else {
+                    (BinOp::Range, 2, 1)
+                }
+            }
+            ("|", Some("|")) => (BinOp::Cmp, 2, 2),
+            ("&", Some("&")) => (BinOp::Cmp, 2, 2),
+            ("=", Some("=")) => (BinOp::Cmp, 2, 3),
+            ("!", Some("=")) => (BinOp::Cmp, 2, 3),
+            ("<", Some("<")) => {
+                if c == Some("=") {
+                    return None; // `<<=`
+                }
+                (BinOp::Shl, 2, 7)
+            }
+            (">", Some(">")) => {
+                if c == Some("=") {
+                    return None; // `>>=`
+                }
+                (BinOp::Shr, 2, 7)
+            }
+            ("<", Some("=")) => (BinOp::Cmp, 2, 3),
+            (">", Some("=")) => (BinOp::Cmp, 2, 3),
+            ("<", _) => (BinOp::Cmp, 1, 3),
+            (">", _) => (BinOp::Cmp, 1, 3),
+            ("|", other) if other != Some("=") => (BinOp::BitOr, 1, 4),
+            ("^", other) if other != Some("=") => (BinOp::BitXor, 1, 5),
+            ("&", other) if other != Some("=") => (BinOp::BitAnd, 1, 6),
+            ("+", other) if other != Some("=") => (BinOp::Add, 1, 8),
+            ("-", other) if other != Some("=") => (BinOp::Sub, 1, 8),
+            ("*", other) if other != Some("=") => (BinOp::Mul, 1, 9),
+            ("/", other) if other != Some("=") => (BinOp::Div, 1, 9),
+            ("%", other) if other != Some("=") => (BinOp::Rem, 1, 9),
+            _ => return None,
+        };
+        Some(r)
+    }
+
+    /// Precedence-climbing expression parser.
+    fn expr(&mut self, min_bp: u8) -> Option<Expr> {
+        let line = self.line();
+        // Prefix range `..end` / bare `..`.
+        let mut lhs = if self.at2(".", ".") {
+            self.bump();
+            self.bump();
+            if self.at("=") {
+                self.bump();
+            }
+            let hi = self.expr(2); // best-effort end bound
+            let _ = hi;
+            Expr { kind: ExprKind::Unknown, line }
+        } else {
+            self.unary()?
+        };
+        loop {
+            // `as <ty>` binds tighter than every binary operator.
+            if self.peek(0).is_some_and(|t| t.text == "as" && t.kind == TokKind::Ident) {
+                let line = self.line();
+                self.bump();
+                let ty = self.cast_ty()?;
+                lhs = Expr { kind: ExprKind::Cast(Box::new(lhs), ty), line };
+                continue;
+            }
+            let Some((op, ntoks, bp)) = self.peek_binop() else { break };
+            if bp < min_bp {
+                break;
+            }
+            let line = self.line();
+            for _ in 0..ntoks {
+                self.bump();
+            }
+            // `a..` with no end bound (e.g. `&xs[k..]`).
+            if op == BinOp::Range
+                && self
+                    .peek(0)
+                    .is_none_or(|t| matches!(t.text.as_str(), "]" | ")" | "," | ";" | "{"))
+            {
+                lhs = Expr { kind: ExprKind::Bin(op, Box::new(lhs), Box::new(Expr { kind: ExprKind::Unknown, line })), line };
+                continue;
+            }
+            let rhs = self.expr(bp + 1)?;
+            lhs = Expr { kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)), line };
+        }
+        Some(lhs)
+    }
+
+    /// The target of an `as` cast: a type path, possibly with generics we
+    /// do not model. Returns `Some(None)` for non-integer targets.
+    fn cast_ty(&mut self) -> Option<Option<IntTy>> {
+        let t = self.peek(0)?;
+        if t.kind != TokKind::Ident {
+            return None;
+        }
+        let ty = IntTy::parse(&t.text);
+        self.bump();
+        // Swallow a path tail (`as std::os::raw::c_int` — none in tree,
+        // defensive) and a simple generic suffix.
+        while self.at2(":", ":") {
+            self.bump();
+            self.bump();
+            if self.peek(0).map(|t| t.kind) == Some(TokKind::Ident) {
+                self.bump();
+            } else {
+                return None;
+            }
+        }
+        Some(ty)
+    }
+
+    fn unary(&mut self) -> Option<Expr> {
+        let t = self.peek(0)?;
+        let line = t.line;
+        match t.text.as_str() {
+            "-" => {
+                self.bump();
+                let inner = self.unary()?;
+                Some(Expr { kind: ExprKind::Neg(Box::new(inner)), line })
+            }
+            "!" => {
+                self.bump();
+                let inner = self.unary()?;
+                Some(Expr { kind: ExprKind::Call(Box::new(Expr { kind: ExprKind::Unknown, line }), vec![inner]), line })
+            }
+            "&" => {
+                self.bump();
+                if self.at("mut") {
+                    self.bump();
+                }
+                self.unary()
+            }
+            "*" => {
+                self.bump();
+                self.unary()
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Option<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            if self.at2(".", ".") {
+                break; // range operator, not field access
+            }
+            if self.at(".") {
+                let Some(name_tok) = self.peek(1) else { break };
+                let line = name_tok.line;
+                if name_tok.kind == TokKind::NumLit {
+                    // tuple index `.0`
+                    self.bump();
+                    self.bump();
+                    e = Expr { kind: ExprKind::Field(Box::new(e), name_tok.text.clone()), line };
+                    continue;
+                }
+                if name_tok.kind != TokKind::Ident {
+                    break;
+                }
+                let name = name_tok.text.clone();
+                self.bump();
+                self.bump();
+                // `.await` and field access share the no-call shape.
+                let turbofish = if self.at2(":", ":") && self.peek(2).is_some_and(|t| t.text == "<") {
+                    self.bump();
+                    self.bump();
+                    self.turbofish()
+                } else {
+                    None
+                };
+                if self.at("(") {
+                    let args = self.call_args()?;
+                    e = Expr { kind: ExprKind::Method { recv: Box::new(e), name, turbofish, args }, line };
+                } else {
+                    e = Expr { kind: ExprKind::Field(Box::new(e), name), line };
+                }
+                continue;
+            }
+            if self.at("(") {
+                let line = self.line();
+                let args = self.call_args()?;
+                e = Expr { kind: ExprKind::Call(Box::new(e), args), line };
+                continue;
+            }
+            if self.at("[") {
+                let line = self.line();
+                self.bump();
+                let idx = self.expr(0).unwrap_or(Expr { kind: ExprKind::Unknown, line });
+                // Tolerate whatever is left up to the `]`.
+                let mut depth = 0usize;
+                while let Some(t) = self.peek(0) {
+                    match t.text.as_str() {
+                        "[" | "(" | "{" => depth += 1,
+                        "]" if depth == 0 => {
+                            self.bump();
+                            break;
+                        }
+                        "]" | ")" | "}" => depth = depth.saturating_sub(1),
+                        _ => {}
+                    }
+                    self.bump();
+                }
+                e = Expr { kind: ExprKind::Index(Box::new(e), Box::new(idx)), line };
+                continue;
+            }
+            if self.at("?") {
+                self.bump();
+                continue;
+            }
+            break;
+        }
+        Some(e)
+    }
+
+    /// Parses `( arg, arg, .. )` with per-argument fault isolation.
+    fn call_args(&mut self) -> Option<Vec<Expr>> {
+        if !self.at("(") {
+            return None;
+        }
+        let close = self.matching_close(self.pos)?;
+        self.bump();
+        let mut args = Vec::new();
+        while self.pos < close {
+            let arg_end = self.arg_end(close);
+            let mut sub = Parser { toks: self.toks, pos: self.pos, end: arg_end, no_struct: false };
+            let line = sub.line();
+            let parsed = sub.expr(0);
+            let arg = match parsed {
+                Some(a) if sub.pos == arg_end => a,
+                _ => Expr { kind: ExprKind::Unknown, line },
+            };
+            args.push(arg);
+            self.pos = arg_end;
+            if self.at(",") {
+                self.bump();
+            }
+        }
+        self.pos = close + 1;
+        Some(args)
+    }
+
+    /// Token index just past the current argument (the next top-level `,`
+    /// or the closing paren at `close`).
+    fn arg_end(&self, close: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = self.pos;
+        while i < close {
+            match self.toks[i].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                "," if depth == 0 => return i,
+                "|" if depth == 0 => {
+                    // A closure argument: its body may contain top-level
+                    // commas only inside nesting; skip to the closing `|`
+                    // so `|(&x, &w)| x * w` stays one argument.
+                    i += 1;
+                    let mut d2 = 0usize;
+                    while i < close {
+                        match self.toks[i].text.as_str() {
+                            "(" | "[" | "{" => d2 += 1,
+                            ")" | "]" | "}" => d2 = d2.saturating_sub(1),
+                            "|" if d2 == 0 => break,
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        close
+    }
+
+    /// Index of the token closing the group opened at `open_idx`.
+    fn matching_close(&self, open_idx: usize) -> Option<usize> {
+        let open = self.toks.get(open_idx)?.text.as_str();
+        let close = match open {
+            "(" => ")",
+            "[" => "]",
+            "{" => "}",
+            _ => return None,
+        };
+        let mut depth = 0usize;
+        for i in open_idx..self.end {
+            let t = self.toks[i].text.as_str();
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    /// Turbofish type argument, current position just past `::<`'s `<`…
+    /// actually *at* the `<`. Returns the single integer type if simple.
+    fn turbofish(&mut self) -> Option<IntTy> {
+        if !self.at("<") {
+            return None;
+        }
+        let mut depth = 0usize;
+        let start = self.pos;
+        while let Some(t) = self.peek(0) {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let inner = &self.toks[start + 1..self.pos];
+                        self.bump();
+                        if inner.len() == 1 {
+                            return IntTy::parse(&inner[0].text);
+                        }
+                        return None;
+                    }
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+        None
+    }
+
+    fn primary(&mut self) -> Option<Expr> {
+        let t = self.peek(0)?;
+        let line = t.line;
+        match t.kind {
+            TokKind::NumLit => {
+                let lit = parse_int_lit(&t.text);
+                self.bump();
+                Some(match lit {
+                    Some((v, ty)) => Expr { kind: ExprKind::Int(v, ty), line },
+                    None => Expr { kind: ExprKind::Unknown, line }, // float
+                })
+            }
+            TokKind::StrLit | TokKind::CharLit | TokKind::Lifetime => {
+                self.bump();
+                // A loop label `'x: loop` — swallow the colon too.
+                if self.at(":") {
+                    self.bump();
+                }
+                Some(Expr { kind: ExprKind::Unknown, line })
+            }
+            TokKind::Punct => match t.text.as_str() {
+                "(" => {
+                    let close = self.matching_close(self.pos)?;
+                    self.bump();
+                    let mut elems = Vec::new();
+                    while self.pos < close {
+                        let arg_end = self.arg_end(close);
+                        let mut sub =
+                            Parser { toks: self.toks, pos: self.pos, end: arg_end, no_struct: false };
+                        let sline = sub.line();
+                        let parsed = sub.expr(0);
+                        elems.push(match parsed {
+                            Some(a) if sub.pos == arg_end => a,
+                            _ => Expr { kind: ExprKind::Unknown, line: sline },
+                        });
+                        self.pos = arg_end;
+                        if self.at(",") {
+                            self.bump();
+                        }
+                    }
+                    self.pos = close + 1;
+                    Some(if elems.len() == 1 {
+                        elems.pop().expect("len checked")
+                    } else {
+                        Expr { kind: ExprKind::Seq(elems), line }
+                    })
+                }
+                "[" => {
+                    let close = self.matching_close(self.pos)?;
+                    self.bump();
+                    let mut elems = Vec::new();
+                    while self.pos < close {
+                        let mut arg_end = self.arg_end(close);
+                        // `[v; n]` — the `;` splits like a `,`.
+                        let mut i = self.pos;
+                        let mut depth = 0usize;
+                        while i < arg_end {
+                            match self.toks[i].text.as_str() {
+                                "(" | "[" | "{" => depth += 1,
+                                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                                ";" if depth == 0 => {
+                                    arg_end = i;
+                                    break;
+                                }
+                                _ => {}
+                            }
+                            i += 1;
+                        }
+                        let mut sub =
+                            Parser { toks: self.toks, pos: self.pos, end: arg_end, no_struct: false };
+                        let sline = sub.line();
+                        let parsed = sub.expr(0);
+                        elems.push(match parsed {
+                            Some(a) if sub.pos == arg_end => a,
+                            _ => Expr { kind: ExprKind::Unknown, line: sline },
+                        });
+                        self.pos = arg_end;
+                        if self.at(",") || self.at(";") {
+                            self.bump();
+                        }
+                    }
+                    self.pos = close + 1;
+                    Some(Expr { kind: ExprKind::Seq(elems), line })
+                }
+                "{" => self.block(),
+                "|" => self.closure(),
+                _ => None,
+            },
+            TokKind::Ident => {
+                let word = t.text.as_str();
+                if EXPR_KEYWORDS.contains(&word) {
+                    return self.keyword_expr();
+                }
+                if word == "let" {
+                    return None; // `while let` headers; statement layer owns `let`
+                }
+                if word == "true" || word == "false" {
+                    self.bump();
+                    return Some(Expr { kind: ExprKind::Unknown, line });
+                }
+                // Path: ident (:: ident)*, with optional turbofish.
+                let mut segs = vec![t.text.clone()];
+                self.bump();
+                let mut turbofish = None;
+                while self.at2(":", ":") {
+                    if self.peek(2).is_some_and(|t| t.text == "<") {
+                        self.bump();
+                        self.bump();
+                        turbofish = self.turbofish();
+                        break;
+                    }
+                    match self.peek(2) {
+                        Some(seg) if seg.kind == TokKind::Ident => {
+                            segs.push(seg.text.clone());
+                            self.bump();
+                            self.bump();
+                            self.bump();
+                        }
+                        _ => break,
+                    }
+                }
+                // Macro invocation: `name!(..)` / `name![..]` / `name!{..}`.
+                if self.at("!")
+                    && self
+                        .peek(1)
+                        .is_some_and(|t| matches!(t.text.as_str(), "(" | "[" | "{"))
+                {
+                    self.bump();
+                    self.skip_balanced();
+                    return Some(Expr { kind: ExprKind::Unknown, line });
+                }
+                // Struct literal `Path { .. }` (illegal in headers).
+                if self.at("{") && !self.no_struct {
+                    self.skip_balanced();
+                    return Some(Expr { kind: ExprKind::Unknown, line });
+                }
+                let path = Expr { kind: ExprKind::Path(segs.clone()), line };
+                if self.at("(") {
+                    let args = self.call_args()?;
+                    // `iN::from(x)` is the one call with value semantics.
+                    if segs.len() == 2 && segs[1] == "from" && args.len() == 1 {
+                        if let Some(ty) = IntTy::parse(&segs[0]) {
+                            let arg = args.into_iter().next().expect("len checked");
+                            return Some(Expr { kind: ExprKind::From(ty, Box::new(arg)), line });
+                        }
+                    }
+                    return Some(Expr { kind: ExprKind::Call(Box::new(path), args), line });
+                }
+                let _ = turbofish;
+                Some(path)
+            }
+        }
+    }
+
+    fn closure(&mut self) -> Option<Expr> {
+        let line = self.line();
+        if self.at2("|", "|") {
+            self.bump();
+            self.bump();
+        } else if self.at("|") {
+            self.bump();
+            // Everything to the matching `|` at group depth 0 is the
+            // parameter list; keep the identifier leaves.
+            let mut depth = 0usize;
+            let start = self.pos;
+            while let Some(t) = self.peek(0) {
+                match t.text.as_str() {
+                    "(" | "[" | "<" => depth += 1,
+                    ")" | "]" | ">" => depth = depth.saturating_sub(1),
+                    "|" if depth == 0 => break,
+                    _ => {}
+                }
+                self.bump();
+            }
+            let params_toks = &self.toks[start..self.pos];
+            if !self.at("|") {
+                return None;
+            }
+            self.bump();
+            let params = pattern_leaves(params_toks);
+            let body = self.expr(0)?;
+            return Some(Expr { kind: ExprKind::Closure(params, Box::new(body)), line });
+        } else {
+            return None;
+        }
+        let body = self.expr(0)?;
+        Some(Expr { kind: ExprKind::Closure(Vec::new(), Box::new(body)), line })
+    }
+
+    fn block(&mut self) -> Option<Expr> {
+        let line = self.line();
+        if !self.at("{") {
+            return None;
+        }
+        let close = self.matching_close(self.pos)?;
+        self.bump();
+        let mut stmts = Vec::new();
+        let mut tail: Option<Box<Expr>> = None;
+        while self.pos < close {
+            let before = self.pos;
+            let stmt = self.stmt(close);
+            match stmt {
+                Some((s, is_tail)) => {
+                    if is_tail {
+                        if let StmtKind::Expr(e) = s.kind {
+                            tail = Some(e);
+                        } else {
+                            stmts.push(s);
+                        }
+                    } else {
+                        stmts.push(s);
+                    }
+                }
+                None => self.resync(close),
+            }
+            if self.pos == before {
+                // Defensive: guarantee progress.
+                self.bump();
+            }
+        }
+        self.pos = close + 1;
+        Some(Expr { kind: ExprKind::Block(stmts, tail), line })
+    }
+
+    /// Skips to the end of an unparseable statement: past the next `;` at
+    /// depth 0, or past one balanced `{..}` group (item bodies, match
+    /// arms), or to `limit`.
+    fn resync(&mut self, limit: usize) {
+        let mut depth = 0usize;
+        while self.pos < limit {
+            match self.toks[self.pos].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "{" if depth == 0 => {
+                    self.skip_balanced();
+                    return;
+                }
+                "{" => depth += 1,
+                "}" => depth = depth.saturating_sub(1),
+                ";" if depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// One statement inside a block bounded by `close`. Returns the
+    /// statement and whether it is the block's tail expression.
+    fn stmt(&mut self, close: usize) -> Option<(Stmt, bool)> {
+        // Attributes on statements/items.
+        while self.at("#") {
+            self.bump();
+            if self.at("!") {
+                self.bump();
+            }
+            self.skip_balanced();
+        }
+        if self.pos >= close {
+            return None;
+        }
+        let line = self.line();
+        if self.at("let") {
+            self.bump();
+            let (pat, unwraps) = self.let_pattern()?;
+            let ann = if self.at(":") && self.peek(1).is_none_or(|t| t.text != ":") {
+                self.bump();
+                let ty_start = self.pos;
+                let mut depth = 0usize;
+                while let Some(t) = self.peek(0) {
+                    match t.text.as_str() {
+                        "<" | "(" | "[" => depth += 1,
+                        ">" | ")" | "]" => depth = depth.saturating_sub(1),
+                        "=" | ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                    self.bump();
+                }
+                Some(classify_ty(&self.toks[ty_start..self.pos]))
+            } else {
+                None
+            };
+            let init = if self.at("=") {
+                self.bump();
+                match self.expr(0) {
+                    Some(e) => e,
+                    None => {
+                        self.resync(close);
+                        return Some((
+                            Stmt {
+                                kind: StmtKind::Let {
+                                    pat,
+                                    unwraps,
+                                    ann,
+                                    init: Box::new(Expr { kind: ExprKind::Unknown, line }),
+                                },
+                                line,
+                            },
+                            false,
+                        ));
+                    }
+                }
+            } else {
+                Expr { kind: ExprKind::Unknown, line }
+            };
+            // `let .. else { .. }`.
+            if self.at("else") {
+                self.bump();
+                self.skip_balanced();
+            }
+            if self.at(";") {
+                self.bump();
+            }
+            return Some((
+                Stmt { kind: StmtKind::Let { pat, unwraps, ann, init: Box::new(init) }, line },
+                false,
+            ));
+        }
+        let e = self.expr(0)?;
+        // Assignment / compound assignment.
+        if self.at("=") && self.peek(1).is_none_or(|t| t.text != "=") {
+            self.bump();
+            let v = self.expr(0)?;
+            if self.at(";") {
+                self.bump();
+            }
+            return Some((Stmt { kind: StmtKind::Assign(Box::new(e), Box::new(v)), line }, false));
+        }
+        let compound = match self.peek(0).map(|t| t.text.as_str()) {
+            Some("+") if self.peek(1).is_some_and(|t| t.text == "=") => Some((BinOp::Add, 2)),
+            Some("-") if self.peek(1).is_some_and(|t| t.text == "=") => Some((BinOp::Sub, 2)),
+            Some("*") if self.peek(1).is_some_and(|t| t.text == "=") => Some((BinOp::Mul, 2)),
+            Some("/") if self.peek(1).is_some_and(|t| t.text == "=") => Some((BinOp::Div, 2)),
+            Some("%") if self.peek(1).is_some_and(|t| t.text == "=") => Some((BinOp::Rem, 2)),
+            Some("<")
+                if self.peek(1).is_some_and(|t| t.text == "<")
+                    && self.peek(2).is_some_and(|t| t.text == "=") =>
+            {
+                Some((BinOp::Shl, 3))
+            }
+            Some(">")
+                if self.peek(1).is_some_and(|t| t.text == ">")
+                    && self.peek(2).is_some_and(|t| t.text == "=") =>
+            {
+                Some((BinOp::Shr, 3))
+            }
+            Some("|") if self.peek(1).is_some_and(|t| t.text == "=") => Some((BinOp::BitOr, 2)),
+            Some("&") if self.peek(1).is_some_and(|t| t.text == "=") => Some((BinOp::BitAnd, 2)),
+            Some("^") if self.peek(1).is_some_and(|t| t.text == "=") => Some((BinOp::BitXor, 2)),
+            _ => None,
+        };
+        if let Some((op, n)) = compound {
+            for _ in 0..n {
+                self.bump();
+            }
+            let v = self.expr(0)?;
+            if self.at(";") {
+                self.bump();
+            }
+            return Some((Stmt { kind: StmtKind::Compound(op, Box::new(e), Box::new(v)), line }, false));
+        }
+        let is_tail = self.pos >= close;
+        if self.at(";") {
+            self.bump();
+        }
+        Some((Stmt { kind: StmtKind::Expr(Box::new(e)), line }, is_tail))
+    }
+
+    /// A `let` pattern, returning its leaf identifiers and whether it
+    /// unwraps (`Some(x)` / `Ok(x)`).
+    fn let_pattern(&mut self) -> Option<(Vec<String>, bool)> {
+        while self.at("mut") || self.at("&") || self.at("ref") {
+            self.bump();
+        }
+        let t = self.peek(0)?;
+        if (t.text == "Some" || t.text == "Ok") && self.peek(1).is_some_and(|n| n.text == "(") {
+            self.bump();
+            let close = self.matching_close(self.pos)?;
+            let leaves = pattern_leaves(&self.toks[self.pos + 1..close]);
+            self.pos = close + 1;
+            return Some((leaves, true));
+        }
+        if t.text == "(" {
+            let close = self.matching_close(self.pos)?;
+            let leaves = pattern_leaves(&self.toks[self.pos + 1..close]);
+            self.pos = close + 1;
+            return Some((leaves, false));
+        }
+        if t.kind == TokKind::Ident && t.text != "_" {
+            // Struct patterns (`let Foo { a } = ..`) have a `{` next: skip.
+            if self.peek(1).is_some_and(|n| n.text == "{") {
+                self.bump();
+                self.skip_balanced();
+                return Some((Vec::new(), false));
+            }
+            let name = t.text.clone();
+            self.bump();
+            return Some((vec![name], false));
+        }
+        if t.text == "_" {
+            self.bump();
+            return Some((Vec::new(), false));
+        }
+        None
+    }
+
+    fn keyword_expr(&mut self) -> Option<Expr> {
+        let t = self.peek(0)?;
+        let line = t.line;
+        match t.text.as_str() {
+            "if" => {
+                self.bump();
+                if self.at("let") {
+                    // `if let <pat> = <expr> { .. }` — scan to the body.
+                    let mut depth = 0usize;
+                    while let Some(t) = self.peek(0) {
+                        match t.text.as_str() {
+                            "(" | "[" => depth += 1,
+                            ")" | "]" => depth = depth.saturating_sub(1),
+                            "{" if depth == 0 => break,
+                            _ => {}
+                        }
+                        self.bump();
+                    }
+                    let then = self.block()?;
+                    let els = self.else_tail();
+                    return Some(Expr {
+                        kind: ExprKind::If(
+                            Box::new(Expr { kind: ExprKind::Unknown, line }),
+                            Box::new(then),
+                            els.map(Box::new),
+                        ),
+                        line,
+                    });
+                }
+                let saved = self.no_struct;
+                self.no_struct = true;
+                let cond = self.expr(0);
+                self.no_struct = saved;
+                let cond = cond.unwrap_or(Expr { kind: ExprKind::Unknown, line });
+                if !self.at("{") {
+                    // Header we failed to parse cleanly: scan to the body.
+                    let mut depth = 0usize;
+                    while let Some(t) = self.peek(0) {
+                        match t.text.as_str() {
+                            "(" | "[" => depth += 1,
+                            ")" | "]" => depth = depth.saturating_sub(1),
+                            "{" if depth == 0 => break,
+                            _ => {}
+                        }
+                        self.bump();
+                    }
+                }
+                let then = self.block()?;
+                let els = self.else_tail();
+                Some(Expr { kind: ExprKind::If(Box::new(cond), Box::new(then), els.map(Box::new)), line })
+            }
+            "while" => {
+                self.bump();
+                let mut depth = 0usize;
+                while let Some(t) = self.peek(0) {
+                    match t.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth = depth.saturating_sub(1),
+                        "{" if depth == 0 => break,
+                        _ => {}
+                    }
+                    self.bump();
+                }
+                let body = self.block()?;
+                Some(Expr { kind: ExprKind::Loop(Box::new(body)), line })
+            }
+            "loop" => {
+                self.bump();
+                let body = self.block()?;
+                Some(Expr { kind: ExprKind::Loop(Box::new(body)), line })
+            }
+            "for" => {
+                self.bump();
+                // Pattern up to `in` at depth 0.
+                let pat_start = self.pos;
+                let mut depth = 0usize;
+                while let Some(t) = self.peek(0) {
+                    match t.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth = depth.saturating_sub(1),
+                        "in" if depth == 0 && t.kind == TokKind::Ident => break,
+                        _ => {}
+                    }
+                    self.bump();
+                }
+                let pat = pattern_leaves(&self.toks[pat_start..self.pos]);
+                if !self.at("in") {
+                    return None;
+                }
+                self.bump();
+                let iter_start = self.pos;
+                let saved = self.no_struct;
+                self.no_struct = true;
+                let iter = self.expr(0);
+                self.no_struct = saved;
+                let iter = match iter {
+                    Some(e) if self.at("{") => e,
+                    _ => {
+                        // Re-scan: consume the header to the body brace.
+                        self.pos = iter_start;
+                        let mut depth = 0usize;
+                        while let Some(t) = self.peek(0) {
+                            match t.text.as_str() {
+                                "(" | "[" => depth += 1,
+                                ")" | "]" => depth = depth.saturating_sub(1),
+                                "{" if depth == 0 => break,
+                                _ => {}
+                            }
+                            self.bump();
+                        }
+                        Expr { kind: ExprKind::Unknown, line }
+                    }
+                };
+                let body = self.block()?;
+                Some(Expr { kind: ExprKind::For { pat, iter: Box::new(iter), body: Box::new(body) }, line })
+            }
+            "match" => {
+                self.bump();
+                let saved = self.no_struct;
+                self.no_struct = true;
+                let scrut = self.expr(0);
+                self.no_struct = saved;
+                let _ = scrut;
+                if !self.at("{") {
+                    let mut depth = 0usize;
+                    while let Some(t) = self.peek(0) {
+                        match t.text.as_str() {
+                            "(" | "[" => depth += 1,
+                            ")" | "]" => depth = depth.saturating_sub(1),
+                            "{" if depth == 0 => break,
+                            _ => {}
+                        }
+                        self.bump();
+                    }
+                }
+                self.skip_balanced(); // arms are opaque
+                Some(Expr { kind: ExprKind::Unknown, line })
+            }
+            "unsafe" => {
+                self.bump();
+                self.block()
+            }
+            "move" => {
+                self.bump();
+                self.closure()
+            }
+            "return" | "break" | "continue" => {
+                self.bump();
+                if !self.at(";") && !self.at("}") && self.pos < self.end {
+                    let _ = self.expr(0);
+                }
+                Some(Expr { kind: ExprKind::Unknown, line })
+            }
+            _ => None,
+        }
+    }
+
+    fn else_tail(&mut self) -> Option<Expr> {
+        if !self.at("else") {
+            return None;
+        }
+        self.bump();
+        if self.at("if") {
+            return self.keyword_expr();
+        }
+        self.block()
+    }
+}
+
+/// Identifier leaves of a pattern token slice, in source order, with
+/// grouping/borrow/`mut` noise stripped and type ascriptions skipped.
+pub fn pattern_leaves(toks: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.text == ":" && toks.get(i + 1).is_none_or(|n| n.text != ":") {
+            // Skip an ascription to the next `,` at depth 0.
+            let mut depth = 0usize;
+            i += 1;
+            while i < toks.len() {
+                match toks[i].text.as_str() {
+                    "(" | "[" | "<" => depth += 1,
+                    ")" | "]" | ">" => depth = depth.saturating_sub(1),
+                    "," if depth == 0 => break,
+                    _ => {}
+                }
+                i += 1;
+            }
+            continue;
+        }
+        if t.kind == TokKind::Ident
+            && !matches!(t.text.as_str(), "mut" | "ref" | "_" | "Some" | "Ok")
+        {
+            out.push(t.text.clone());
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses an integer literal token (`"200_000"`, `"0x7fff_ffff"`,
+/// `"1i16"`). Returns `None` for float literals.
+pub fn parse_int_lit(text: &str) -> Option<(i128, Option<IntTy>)> {
+    let clean: String = text.chars().filter(|&c| c != '_').collect();
+    let (body, ty) = split_suffix(&clean);
+    if matches!(ty, Some(s) if s == "f32" || s == "f64") {
+        return None;
+    }
+    let ty = ty.and_then(IntTy::parse);
+    let (digits, radix) = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        (hex, 16)
+    } else if let Some(oct) = body.strip_prefix("0o") {
+        (oct, 8)
+    } else if let Some(bin) = body.strip_prefix("0b") {
+        (bin, 2)
+    } else {
+        (body, 10)
+    };
+    if digits.is_empty() || (radix == 10 && digits.contains(['.', 'e', 'E'])) {
+        return None;
+    }
+    i128::from_str_radix(digits, radix).ok().map(|v| (v, ty))
+}
+
+fn split_suffix(s: &str) -> (&str, Option<&str>) {
+    for suf in [
+        "i128", "u128", "isize", "usize", "i16", "u16", "i32", "u32", "i64", "u64", "i8", "u8",
+        "f32", "f64",
+    ] {
+        if let Some(body) = s.strip_suffix(suf) {
+            if !body.is_empty() && body.as_bytes()[0].is_ascii_digit() {
+                return (body, Some(suf));
+            }
+        }
+    }
+    (s, None)
+}
+
+/// Parses the body of a function (`toks[body_start..=body_end]`, where
+/// `body_start` indexes the opening `{`) into a block expression.
+pub fn parse_fn_body(toks: &[Token], body_start: usize, body_end: usize) -> Option<Expr> {
+    let mut p = Parser { toks, pos: body_start, end: (body_end + 1).min(toks.len()), no_struct: false };
+    p.block()
+}
+
+/// Parses a standalone expression token range `[start, end)`; `None`
+/// unless the grammar consumes the whole range.
+pub fn parse_expr_range(toks: &[Token], start: usize, end: usize) -> Option<Expr> {
+    let mut p = Parser { toks, pos: start, end, no_struct: false };
+    let e = p.expr(0)?;
+    (p.pos == end).then_some(e)
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+/// An abstract value: an interval (or top) plus the inferred integer type
+/// (or unknown). Type and value are independent — `x as usize` has a known
+/// type and an unknown value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Value {
+    /// The value interval; `None` is top.
+    pub iv: Option<Interval>,
+    /// The inferred integer type, when the expression pins one down.
+    pub ty: Option<IntTy>,
+}
+
+impl Value {
+    /// Top: nothing known.
+    pub const UNKNOWN: Value = Value { iv: None, ty: None };
+
+    /// A known interval of a known type.
+    pub fn new(iv: Interval, ty: IntTy) -> Value {
+        Value { iv: Some(iv), ty: Some(ty) }
+    }
+}
+
+/// What a name is bound to in the per-function environment.
+#[derive(Debug, Clone, Copy)]
+pub enum Binding {
+    /// A scalar integer value.
+    Scalar(Value),
+    /// A slice/Vec/iterator yielding elements of an integer type.
+    Slice(IntTy),
+}
+
+/// The evaluation environment: per-function bindings, workspace constants,
+/// and the quantizer-width seed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalEnv<'a> {
+    /// Local bindings (parameters, `let`s, loop/closure patterns).
+    pub locals: Option<&'a BTreeMap<String, Binding>>,
+    /// Workspace constants resolved to exact values.
+    pub consts: Option<&'a BTreeMap<String, i128>>,
+    /// When set, any identifier or field named `bits` that has no tighter
+    /// binding evaluates to this interval (the workspace-wide quantizer
+    /// width range, backed by `QuantSpec::validate`).
+    pub bits_seed: Option<Interval>,
+}
+
+impl<'a> EvalEnv<'a> {
+    fn lookup_local(&self, name: &str) -> Option<Binding> {
+        self.locals.and_then(|m| m.get(name).copied())
+    }
+
+    /// Slice element type of a named binding.
+    pub fn slice_elem(&self, name: &str) -> Option<IntTy> {
+        match self.lookup_local(name)? {
+            Binding::Slice(t) => Some(t),
+            Binding::Scalar(_) => None,
+        }
+    }
+}
+
+/// The full range of a narrow type as a scalar value; wide types stay
+/// value-unknown but keep the type.
+pub fn seed_scalar(ty: IntTy) -> Value {
+    if ty.narrow() {
+        Value::new(ty.range(), ty)
+    } else {
+        Value { iv: None, ty: Some(ty) }
+    }
+}
+
+fn builtin_path(segs: &[String]) -> Option<Value> {
+    if segs.len() == 2 {
+        if let Some(ty) = IntTy::parse(&segs[0]) {
+            match segs[1].as_str() {
+                "MAX" => return Some(Value::new(Interval::point(ty.max()), ty)),
+                "MIN" => return Some(Value::new(Interval::point(ty.min()), ty)),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// The widest value `target::from(_)` can produce when the argument is
+/// unknown: the hull of every lossless `From` source's range.
+fn from_source_range(target: IntTy) -> Interval {
+    match target {
+        IntTy::I8 | IntTy::U8 => target.range(),
+        IntTy::I16 => Interval::new(i8::MIN as i128, u8::MAX as i128),
+        IntTy::U16 => Interval::new(0, u8::MAX as i128),
+        IntTy::I32 => Interval::new(i16::MIN as i128, u16::MAX as i128),
+        IntTy::U32 => Interval::new(0, u16::MAX as i128),
+        IntTy::I64 | IntTy::Isize => Interval::new(i32::MIN as i128, u32::MAX as i128),
+        IntTy::U64 => Interval::new(0, u32::MAX as i128),
+        IntTy::I128 => Interval::new(i64::MIN as i128, u64::MAX as i128),
+        IntTy::U128 => Interval::new(0, u64::MAX as i128),
+        IntTy::Usize => Interval::new(0, u16::MAX as i128),
+    }
+}
+
+/// Unifies two inferred types: equal or one-sided.
+pub fn unify_ty(a: Option<IntTy>, b: Option<IntTy>) -> Option<IntTy> {
+    match (a, b) {
+        (Some(x), Some(y)) if x == y => Some(x),
+        (Some(_), Some(_)) => None,
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    }
+}
+
+fn bitlen(v: i128) -> u32 {
+    128 - v.max(0).leading_zeros()
+}
+
+/// Evaluates an expression to an abstract [`Value`].
+pub fn eval(e: &Expr, env: &EvalEnv<'_>) -> Value {
+    match &e.kind {
+        ExprKind::Int(v, ty) => Value { iv: Some(Interval::point(*v)), ty: *ty },
+        ExprKind::Path(segs) => {
+            if let Some(v) = builtin_path(segs) {
+                return v;
+            }
+            if segs.len() == 1 {
+                let name = segs[0].as_str();
+                if let Some(Binding::Scalar(v)) = env.lookup_local(name) {
+                    return v;
+                }
+                if name == "bits" {
+                    if let Some(seed) = env.bits_seed {
+                        return Value { iv: Some(seed), ty: None };
+                    }
+                }
+                if let Some(c) = env.consts.and_then(|m| m.get(name)) {
+                    return Value { iv: Some(Interval::point(*c)), ty: None };
+                }
+            }
+            // Path constants named through modules (`gemm::MAX_ACC_K`).
+            if let Some(last) = segs.last() {
+                if let Some(c) = env.consts.and_then(|m| m.get(last.as_str())) {
+                    return Value { iv: Some(Interval::point(*c)), ty: None };
+                }
+            }
+            Value::UNKNOWN
+        }
+        ExprKind::Field(_, name) => {
+            if name == "bits" {
+                if let Some(seed) = env.bits_seed {
+                    return Value { iv: Some(seed), ty: None };
+                }
+            }
+            Value::UNKNOWN
+        }
+        ExprKind::Neg(inner) => {
+            let v = eval(inner, env);
+            Value { iv: v.iv.and_then(|iv| iv.neg()), ty: v.ty }
+        }
+        ExprKind::Cast(inner, ty) => {
+            let v = eval(inner, env);
+            let Some(target) = *ty else { return Value::UNKNOWN };
+            let iv = match v.iv {
+                Some(iv) if iv.fits(target) => Some(iv),
+                // Truncating casts land somewhere in the target's range;
+                // keep that only when it is small enough to be useful.
+                _ if target.narrow() => Some(target.range()),
+                _ => None,
+            };
+            Value { iv, ty: Some(target) }
+        }
+        ExprKind::From(target, inner) => {
+            let v = eval(inner, env);
+            let iv = match v.iv {
+                Some(iv) => Some(iv),
+                None => Some(from_source_range(*target)),
+            };
+            Value { iv, ty: Some(*target) }
+        }
+        ExprKind::Bin(op, l, r) => {
+            let a = eval(l, env);
+            let b = eval(r, env);
+            let ty = match op {
+                BinOp::Shl | BinOp::Shr => a.ty,
+                BinOp::Cmp | BinOp::Range => None,
+                _ => unify_ty(a.ty, b.ty),
+            };
+            let iv = match (op, a.iv, b.iv) {
+                (BinOp::Add, Some(x), Some(y)) => x.add(&y),
+                (BinOp::Sub, Some(x), Some(y)) => x.sub(&y),
+                (BinOp::Mul, Some(x), Some(y)) => x.mul(&y),
+                (BinOp::Div, Some(x), Some(y)) => x.div(&y),
+                (BinOp::Rem, x, Some(y)) => {
+                    let nonneg = a.ty.is_some_and(IntTy::unsigned)
+                        || x.is_some_and(|iv| iv.lo >= 0);
+                    if nonneg {
+                        x.unwrap_or(Interval::new(0, i128::MAX)).rem_nonneg(&y)
+                    } else {
+                        None
+                    }
+                }
+                (BinOp::Shl, Some(x), Some(y)) => x.shl(&y),
+                (BinOp::Shr, Some(x), Some(y)) if x.lo >= 0 && y.lo >= 0 && y.hi <= 126 => Some(
+                    Interval::new(x.lo >> y.hi.min(126) as u32, x.hi >> y.lo as u32),
+                ),
+                (BinOp::BitAnd, Some(x), Some(y)) if x.lo >= 0 && y.lo >= 0 => {
+                    Some(Interval::new(0, x.hi.min(y.hi)))
+                }
+                // Masking with one provably nonnegative operand bounds the
+                // result to [0, mask] whatever the other side is — only the
+                // mask's bits can survive the AND (true in two's complement
+                // for signed values too).
+                (BinOp::BitAnd, Some(m), _) | (BinOp::BitAnd, _, Some(m)) if m.lo >= 0 => {
+                    Some(Interval::new(0, m.hi))
+                }
+                (BinOp::BitOr | BinOp::BitXor, Some(x), Some(y)) if x.lo >= 0 && y.lo >= 0 => {
+                    let bl = bitlen(x.hi).max(bitlen(y.hi));
+                    (bl < 127).then(|| Interval::new(0, (1i128 << bl) - 1))
+                }
+                (BinOp::Pow, Some(x), Some(y)) => {
+                    match (x.exact(), y.exact()) {
+                        (Some(base), Some(exp)) if (0..=126).contains(&exp) => base
+                            .checked_pow(exp as u32)
+                            .map(Interval::point),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            Value { iv, ty }
+        }
+        ExprKind::Method { recv, name, turbofish, args } => {
+            let r = eval(recv, env);
+            match name.as_str() {
+                // Arithmetic-safe methods keep the receiver's type; the
+                // value is whatever the method guarantees.
+                "clamp" if args.len() == 2 => {
+                    let lo = eval(&args[0], env);
+                    let hi = eval(&args[1], env);
+                    let iv = match (lo.iv, hi.iv) {
+                        (Some(a), Some(b)) => Some(Interval::new(a.lo, b.hi)),
+                        _ => None,
+                    };
+                    Value { iv, ty: unify_ty(r.ty, unify_ty(lo.ty, hi.ty)) }
+                }
+                "min" if args.len() == 1 => {
+                    let o = eval(&args[0], env);
+                    let iv = match (r.iv, o.iv) {
+                        (Some(a), Some(b)) => Some(Interval::new(a.lo.min(b.lo), a.hi.min(b.hi))),
+                        _ => None,
+                    };
+                    Value { iv, ty: unify_ty(r.ty, o.ty) }
+                }
+                "max" if args.len() == 1 => {
+                    let o = eval(&args[0], env);
+                    let iv = match (r.iv, o.iv) {
+                        (Some(a), Some(b)) => Some(Interval::new(a.lo.max(b.lo), a.hi.max(b.hi))),
+                        _ => None,
+                    };
+                    Value { iv, ty: unify_ty(r.ty, o.ty) }
+                }
+                "abs" => Value {
+                    iv: r.iv.map(|iv| Interval::new(0, iv.magnitude())),
+                    ty: r.ty,
+                },
+                "unsigned_abs" => Value { iv: r.iv.map(|iv| Interval::new(0, iv.magnitude())), ty: None },
+                "len" => Value { iv: None, ty: Some(IntTy::Usize) },
+                "sum" | "product" => Value { iv: None, ty: *turbofish },
+                n if n.starts_with("wrapping_")
+                    || n.starts_with("saturating_")
+                    || n.starts_with("checked_")
+                    || n.starts_with("overflowing_") =>
+                {
+                    // Explicitly-handled arithmetic: in-range by contract.
+                    Value { iv: None, ty: r.ty }
+                }
+                _ => Value { iv: None, ty: *turbofish },
+            }
+        }
+        ExprKind::Index(recv, _) => {
+            if let ExprKind::Path(segs) = &recv.kind {
+                if segs.len() == 1 {
+                    if let Some(elem) = env.slice_elem(&segs[0]) {
+                        return seed_scalar(elem);
+                    }
+                }
+            }
+            Value::UNKNOWN
+        }
+        ExprKind::If(_, then, els) => {
+            let t = eval(then, env);
+            let Some(e2) = els else { return Value { iv: None, ty: t.ty } };
+            let f = eval(e2, env);
+            let iv = match (t.iv, f.iv) {
+                (Some(a), Some(b)) => Some(Interval::new(a.lo.min(b.lo), a.hi.max(b.hi))),
+                _ => None,
+            };
+            Value { iv, ty: unify_ty(t.ty, f.ty) }
+        }
+        ExprKind::Block(_, tail) => match tail {
+            Some(t) => eval(t, env),
+            None => Value::UNKNOWN,
+        },
+        ExprKind::Call(..)
+        | ExprKind::Closure(..)
+        | ExprKind::Loop(..)
+        | ExprKind::For { .. }
+        | ExprKind::Seq(..)
+        | ExprKind::Unknown => Value::UNKNOWN,
+    }
+}
+
+/// Walks every expression node in a tree (pre-order), handing each to
+/// `visit` along with whether the node sits inside a loop body.
+pub fn walk<'e>(e: &'e Expr, in_loop: bool, visit: &mut dyn FnMut(&'e Expr, bool)) {
+    visit(e, in_loop);
+    match &e.kind {
+        ExprKind::Int(..) | ExprKind::Path(..) | ExprKind::Unknown => {}
+        ExprKind::Field(r, _) => walk(r, in_loop, visit),
+        ExprKind::Neg(i) => walk(i, in_loop, visit),
+        ExprKind::Cast(i, _) => walk(i, in_loop, visit),
+        ExprKind::From(_, i) => walk(i, in_loop, visit),
+        ExprKind::Bin(_, l, r) => {
+            walk(l, in_loop, visit);
+            walk(r, in_loop, visit);
+        }
+        ExprKind::Call(c, args) => {
+            walk(c, in_loop, visit);
+            for a in args {
+                walk(a, in_loop, visit);
+            }
+        }
+        ExprKind::Method { recv, args, .. } => {
+            walk(recv, in_loop, visit);
+            for a in args {
+                walk(a, in_loop, visit);
+            }
+        }
+        ExprKind::Closure(_, body) => walk(body, in_loop, visit),
+        ExprKind::Block(stmts, tail) => {
+            for s in stmts {
+                walk_stmt(s, in_loop, visit);
+            }
+            if let Some(t) = tail {
+                walk(t, in_loop, visit);
+            }
+        }
+        ExprKind::If(c, t, f) => {
+            walk(c, in_loop, visit);
+            walk(t, in_loop, visit);
+            if let Some(f) = f {
+                walk(f, in_loop, visit);
+            }
+        }
+        ExprKind::Loop(b) => walk(b, true, visit),
+        ExprKind::For { iter, body, .. } => {
+            walk(iter, in_loop, visit);
+            walk(body, true, visit);
+        }
+        ExprKind::Index(r, i) => {
+            walk(r, in_loop, visit);
+            walk(i, in_loop, visit);
+        }
+        ExprKind::Seq(elems) => {
+            for el in elems {
+                walk(el, in_loop, visit);
+            }
+        }
+    }
+}
+
+/// Statement-level companion of [`walk`].
+pub fn walk_stmt<'e>(s: &'e Stmt, in_loop: bool, visit: &mut dyn FnMut(&'e Expr, bool)) {
+    match &s.kind {
+        StmtKind::Let { init, .. } => walk(init, in_loop, visit),
+        StmtKind::Assign(p, v) | StmtKind::Compound(_, p, v) => {
+            walk(p, in_loop, visit);
+            walk(v, in_loop, visit);
+        }
+        StmtKind::Expr(e) => walk(e, in_loop, visit),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `// bound:` proof-comment expressions
+// ---------------------------------------------------------------------------
+
+/// A parsed `// bound: LHS <op> RHS` claim.
+#[derive(Debug, Clone)]
+pub struct BoundClaim {
+    /// Left side — must mention the free reduction-length variable `K`.
+    pub lhs: Expr,
+    /// `true` for `<`, `false` for `<=`/`≤`.
+    pub strict: bool,
+    /// Right side — a constant expression.
+    pub rhs: Expr,
+}
+
+/// Parses the text after `bound:` in a proof comment. Grammar (lowest to
+/// highest precedence): `cmp := shift ('<'|'<='|'≤') shift`,
+/// `shift := sum ('<<' sum)*`, `sum := term (('+'|'-') term)*`,
+/// `term := pow (('*'|'·'|'/') pow)*`, `pow := atom ('^' pow)?`,
+/// `atom := int | ident | '(' cmp-free expr ')' | '-' atom`, with
+/// identifiers allowing `::` (for `i32::MAX`) and unicode `−` as minus.
+pub fn parse_bound_comment(text: &str) -> Option<BoundClaim> {
+    let toks = comment_tokens(text)?;
+    let mut p = CParser { toks: &toks, pos: 0 };
+    let lhs = p.shift()?;
+    let strict = match p.peek()? {
+        CTok::Le => false,
+        CTok::Lt => true,
+        _ => return None,
+    };
+    p.pos += 1;
+    let rhs = p.shift()?;
+    if p.pos != p.toks.len() {
+        return None;
+    }
+    Some(BoundClaim { lhs, strict, rhs })
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum CTok {
+    Int(i128),
+    Ident(String),
+    Mul,
+    Div,
+    Add,
+    Sub,
+    Pow,
+    Shl,
+    Lt,
+    Le,
+    LParen,
+    RParen,
+}
+
+fn comment_tokens(text: &str) -> Option<Vec<CTok>> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '*' | '·' | '×' => {
+                out.push(CTok::Mul);
+                i += 1;
+            }
+            '/' => {
+                out.push(CTok::Div);
+                i += 1;
+            }
+            '+' => {
+                out.push(CTok::Add);
+                i += 1;
+            }
+            '-' | '−' => {
+                out.push(CTok::Sub);
+                i += 1;
+            }
+            '^' => {
+                out.push(CTok::Pow);
+                i += 1;
+            }
+            '(' => {
+                out.push(CTok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(CTok::RParen);
+                i += 1;
+            }
+            '≤' => {
+                out.push(CTok::Le);
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'<') {
+                    out.push(CTok::Shl);
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'=') {
+                    out.push(CTok::Le);
+                    i += 2;
+                } else {
+                    out.push(CTok::Lt);
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let (v, _) = parse_int_lit(&text)?;
+                out.push(CTok::Int(v));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == ':')
+                {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                out.push(CTok::Ident(word.trim_matches(':').to_string()));
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+struct CParser<'a> {
+    toks: &'a [CTok],
+    pos: usize,
+}
+
+impl<'a> CParser<'a> {
+    fn peek(&self) -> Option<&'a CTok> {
+        self.toks.get(self.pos)
+    }
+
+    fn shift(&mut self) -> Option<Expr> {
+        let mut lhs = self.sum()?;
+        while self.peek() == Some(&CTok::Shl) {
+            self.pos += 1;
+            let rhs = self.sum()?;
+            lhs = Expr { kind: ExprKind::Bin(BinOp::Shl, Box::new(lhs), Box::new(rhs)), line: 0 };
+        }
+        Some(lhs)
+    }
+
+    fn sum(&mut self) -> Option<Expr> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(CTok::Add) => BinOp::Add,
+                Some(CTok::Sub) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.term()?;
+            lhs = Expr { kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)), line: 0 };
+        }
+        Some(lhs)
+    }
+
+    fn term(&mut self) -> Option<Expr> {
+        let mut lhs = self.pow()?;
+        loop {
+            let op = match self.peek() {
+                Some(CTok::Mul) => BinOp::Mul,
+                Some(CTok::Div) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.pow()?;
+            lhs = Expr { kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)), line: 0 };
+        }
+        Some(lhs)
+    }
+
+    fn pow(&mut self) -> Option<Expr> {
+        let base = self.atom()?;
+        if self.peek() == Some(&CTok::Pow) {
+            self.pos += 1;
+            let exp = self.pow()?; // right-associative
+            return Some(Expr { kind: ExprKind::Bin(BinOp::Pow, Box::new(base), Box::new(exp)), line: 0 });
+        }
+        Some(base)
+    }
+
+    fn atom(&mut self) -> Option<Expr> {
+        match self.peek()? {
+            CTok::Int(v) => {
+                let v = *v;
+                self.pos += 1;
+                Some(Expr { kind: ExprKind::Int(v, None), line: 0 })
+            }
+            CTok::Ident(name) => {
+                let segs: Vec<String> = name.split("::").map(str::to_string).collect();
+                self.pos += 1;
+                Some(Expr { kind: ExprKind::Path(segs), line: 0 })
+            }
+            CTok::Sub => {
+                self.pos += 1;
+                let inner = self.atom()?;
+                Some(Expr { kind: ExprKind::Neg(Box::new(inner)), line: 0 })
+            }
+            CTok::LParen => {
+                self.pos += 1;
+                let e = self.shift()?;
+                if self.peek() != Some(&CTok::RParen) {
+                    return None;
+                }
+                self.pos += 1;
+                Some(e)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Exact evaluation of a proof-comment expression against the workspace
+/// constants and the `I32_MAX`-style builtins. `K` (and every other
+/// unresolvable name) makes the result `None`.
+pub fn eval_exact(e: &Expr, consts: &BTreeMap<String, i128>) -> Option<i128> {
+    match &e.kind {
+        ExprKind::Int(v, _) => Some(*v),
+        ExprKind::Path(segs) => {
+            if let Some(v) = builtin_path(segs) {
+                return v.iv.and_then(|iv| iv.exact());
+            }
+            let joined = segs.join("::");
+            match joined.as_str() {
+                "I8_MAX" => return Some(i8::MAX as i128),
+                "I16_MAX" => return Some(i16::MAX as i128),
+                "I32_MAX" => return Some(i32::MAX as i128),
+                "I64_MAX" => return Some(i64::MAX as i128),
+                "U8_MAX" => return Some(u8::MAX as i128),
+                "U16_MAX" => return Some(u16::MAX as i128),
+                "U32_MAX" => return Some(u32::MAX as i128),
+                _ => {}
+            }
+            segs.last().and_then(|last| consts.get(last.as_str()).copied())
+        }
+        ExprKind::Neg(i) => eval_exact(i, consts)?.checked_neg(),
+        ExprKind::Bin(op, l, r) => {
+            let a = eval_exact(l, consts)?;
+            let b = eval_exact(r, consts)?;
+            match op {
+                BinOp::Add => a.checked_add(b),
+                BinOp::Sub => a.checked_sub(b),
+                BinOp::Mul => a.checked_mul(b),
+                BinOp::Div => (b != 0).then(|| a / b),
+                BinOp::Shl => {
+                    if !(0..=126).contains(&b) {
+                        return None;
+                    }
+                    a.checked_shl(b as u32).filter(|_| a.checked_mul(1i128 << b).is_some())
+                }
+                BinOp::Pow => {
+                    if !(0..=126).contains(&b) {
+                        return None;
+                    }
+                    a.checked_pow(b as u32)
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Flattens a multiplication tree into its factors (`K * A * B` →
+/// `[K, A, B]`).
+pub fn product_factors(e: &Expr) -> Vec<&Expr> {
+    match &e.kind {
+        ExprKind::Bin(BinOp::Mul, l, r) => {
+            let mut out = product_factors(l);
+            out.extend(product_factors(r));
+            out
+        }
+        _ => vec![e],
+    }
+}
+
+/// Whether an expression is exactly the free variable `K`.
+pub fn is_k(e: &Expr) -> bool {
+    matches!(&e.kind, ExprKind::Path(segs) if segs.len() == 1 && segs[0] == "K")
+}
+
+/// Renders an expression back to compact text (diagnostics only).
+pub fn render(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::Int(v, _) => v.to_string(),
+        ExprKind::Path(segs) => segs.join("::"),
+        ExprKind::Field(r, n) => format!("{}.{}", render(r), n),
+        ExprKind::Neg(i) => format!("-{}", render(i)),
+        ExprKind::Cast(i, ty) => format!(
+            "{} as {}",
+            render(i),
+            ty.map(IntTy::name).unwrap_or("_")
+        ),
+        ExprKind::From(ty, i) => format!("{}::from({})", ty.name(), render(i)),
+        ExprKind::Bin(op, l, r) => format!("({} {} {})", render(l), op.sym(), render(r)),
+        ExprKind::Method { recv, name, .. } => format!("{}.{}(..)", render(recv), name),
+        ExprKind::Call(c, _) => format!("{}(..)", render(c)),
+        _ => "_".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod bound_grammar_tests {
+    use super::*;
+
+    fn consts() -> BTreeMap<String, i128> {
+        [("MAX_BITS".to_string(), 8i128), ("GROUP".to_string(), 128i128)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn claims_parse_with_both_comparators() {
+        let le = parse_bound_comment("K * 2 ^ 14 <= I32_MAX").expect("parses");
+        assert!(!le.strict);
+        let lt = parse_bound_comment("K * 2 ^ 14 < 2 ^ 31").expect("parses");
+        assert!(lt.strict);
+        let uni = parse_bound_comment("K · 2 ^ 14 ≤ I32_MAX").expect("unicode ops parse");
+        assert!(!uni.strict);
+    }
+
+    #[test]
+    fn k_is_found_exactly_as_a_product_factor() {
+        let c = parse_bound_comment("K * 2 ^ (2 * (MAX_BITS - 1)) < 2 ^ 31").expect("parses");
+        let factors = product_factors(&c.lhs);
+        assert_eq!(factors.iter().filter(|f| is_k(f)).count(), 1);
+        // The non-K factor evaluates exactly: 2^(2*(8-1)) = 2^14.
+        let coeff: i128 = factors
+            .iter()
+            .filter(|f| !is_k(f))
+            .map(|f| eval_exact(f, &consts()).expect("factor evaluates"))
+            .product();
+        assert_eq!(coeff, 1 << 14);
+    }
+
+    #[test]
+    fn limits_evaluate_against_builtins_and_workspace_consts() {
+        let c = parse_bound_comment("K * GROUP <= I32_MAX").expect("parses");
+        assert_eq!(eval_exact(&c.rhs, &consts()), Some(i128::from(i32::MAX)));
+        let c = parse_bound_comment("K * 4 <= 1 << 20").expect("parses");
+        assert_eq!(eval_exact(&c.rhs, &consts()), Some(1 << 20));
+        // `K` itself never evaluates — it is the free variable.
+        assert_eq!(eval_exact(&c.lhs, &consts()), None);
+    }
+
+    #[test]
+    fn malformed_claims_are_rejected() {
+        assert!(parse_bound_comment("prose, not math").is_none());
+        assert!(parse_bound_comment("K * 2 ^ 14").is_none()); // no comparator
+        assert!(parse_bound_comment("K * <= 2 ^ 31").is_none()); // dangling op
+        assert!(parse_bound_comment("K * 2 ^ 14 <= 2 ^ 31 junk").is_none());
+        assert!(parse_bound_comment("K > 5").is_none()); // only upper bounds
+    }
+
+    #[test]
+    fn exact_eval_guards_overflow_and_division() {
+        let c = consts();
+        let shl = parse_bound_comment("K <= 1 << 200").expect("parses");
+        assert_eq!(eval_exact(&shl.rhs, &c), None, "oversized shift is not a value");
+        let div = parse_bound_comment("K <= 8 / 0").expect("parses");
+        assert_eq!(eval_exact(&div.rhs, &c), None, "division by zero is not a value");
+    }
+}

@@ -1,0 +1,314 @@
+//! The interval abstract domain for the value-range analysis.
+//!
+//! Values are closed integer intervals `[lo, hi]` over `i128`, wide enough
+//! to hold every Rust integer type this workspace uses without overflow in
+//! the transfer functions themselves (`u128` is saturated at `i128::MAX`;
+//! nothing in the hot paths is `u128`). "Unknown" is represented by the
+//! *absence* of an interval (`Option<Interval>` = `None`), and every
+//! transfer function returns `None` when the result would be unbounded or
+//! when the operation itself could overflow `i128` — going to top is always
+//! sound, never precise, and that is the right bias for a lint: an unknown
+//! operand can never *prove* an in-range claim, so it can never create a
+//! false "proven" verdict.
+
+/// Integer types the analysis tracks. `usize`/`isize` are assumed 64-bit
+/// (every target this workspace builds for).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IntTy {
+    /// `i8`
+    I8,
+    /// `u8`
+    U8,
+    /// `i16`
+    I16,
+    /// `u16`
+    U16,
+    /// `i32`
+    I32,
+    /// `u32`
+    U32,
+    /// `i64`
+    I64,
+    /// `u64`
+    U64,
+    /// `i128`
+    I128,
+    /// `u128` (range saturated at `i128::MAX`)
+    U128,
+    /// `usize` (assumed 64-bit)
+    Usize,
+    /// `isize` (assumed 64-bit)
+    Isize,
+}
+
+impl IntTy {
+    /// Parses an integer type name (`"i32"`, `"usize"`...).
+    pub fn parse(s: &str) -> Option<IntTy> {
+        Some(match s {
+            "i8" => IntTy::I8,
+            "u8" => IntTy::U8,
+            "i16" => IntTy::I16,
+            "u16" => IntTy::U16,
+            "i32" => IntTy::I32,
+            "u32" => IntTy::U32,
+            "i64" => IntTy::I64,
+            "u64" => IntTy::U64,
+            "i128" => IntTy::I128,
+            "u128" => IntTy::U128,
+            "usize" => IntTy::Usize,
+            "isize" => IntTy::Isize,
+            _ => return None,
+        })
+    }
+
+    /// The type's name as written in source.
+    pub fn name(self) -> &'static str {
+        match self {
+            IntTy::I8 => "i8",
+            IntTy::U8 => "u8",
+            IntTy::I16 => "i16",
+            IntTy::U16 => "u16",
+            IntTy::I32 => "i32",
+            IntTy::U32 => "u32",
+            IntTy::I64 => "i64",
+            IntTy::U64 => "u64",
+            IntTy::I128 => "i128",
+            IntTy::U128 => "u128",
+            IntTy::Usize => "usize",
+            IntTy::Isize => "isize",
+        }
+    }
+
+    /// Bit width of the type (64 for `usize`/`isize`).
+    pub fn bits(self) -> u32 {
+        match self {
+            IntTy::I8 | IntTy::U8 => 8,
+            IntTy::I16 | IntTy::U16 => 16,
+            IntTy::I32 | IntTy::U32 => 32,
+            IntTy::I64 | IntTy::U64 | IntTy::Usize | IntTy::Isize => 64,
+            IntTy::I128 | IntTy::U128 => 128,
+        }
+    }
+
+    /// Whether the type is unsigned.
+    pub fn unsigned(self) -> bool {
+        matches!(
+            self,
+            IntTy::U8 | IntTy::U16 | IntTy::U32 | IntTy::U64 | IntTy::U128 | IntTy::Usize
+        )
+    }
+
+    /// Minimum representable value.
+    pub fn min(self) -> i128 {
+        match self {
+            IntTy::I8 => i8::MIN as i128,
+            IntTy::I16 => i16::MIN as i128,
+            IntTy::I32 => i32::MIN as i128,
+            IntTy::I64 | IntTy::Isize => i64::MIN as i128,
+            IntTy::I128 => i128::MIN,
+            _ => 0,
+        }
+    }
+
+    /// Maximum representable value (`u128` saturated at `i128::MAX`).
+    pub fn max(self) -> i128 {
+        match self {
+            IntTy::I8 => i8::MAX as i128,
+            IntTy::U8 => u8::MAX as i128,
+            IntTy::I16 => i16::MAX as i128,
+            IntTy::U16 => u16::MAX as i128,
+            IntTy::I32 => i32::MAX as i128,
+            IntTy::U32 => u32::MAX as i128,
+            IntTy::I64 | IntTy::Isize => i64::MAX as i128,
+            IntTy::U64 | IntTy::Usize => u64::MAX as i128,
+            IntTy::I128 | IntTy::U128 => i128::MAX,
+        }
+    }
+
+    /// The full range of the type as an interval.
+    pub fn range(self) -> Interval {
+        Interval::new(self.min(), self.max())
+    }
+
+    /// Narrow types (≤ 16 bits) are seeded to their full range when a
+    /// binding's value is otherwise unknown; wider types are left unknown,
+    /// because a "full `u64` range" operand would condemn every index
+    /// computation in the workspace.
+    pub fn narrow(self) -> bool {
+        self.bits() <= 16
+    }
+}
+
+/// A closed interval `[lo, hi]` with `lo <= hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i128,
+    /// Inclusive upper bound.
+    pub hi: i128,
+}
+
+impl Interval {
+    /// `[lo, hi]`, normalizing a reversed pair.
+    pub fn new(lo: i128, hi: i128) -> Interval {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// The singleton interval `[v, v]`.
+    pub fn point(v: i128) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// `Some(v)` iff the interval is the singleton `[v, v]`.
+    pub fn exact(&self) -> Option<i128> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Largest absolute value in the interval.
+    pub fn magnitude(&self) -> i128 {
+        self.lo.saturating_abs().max(self.hi.saturating_abs())
+    }
+
+    /// Whether every value of the interval lies within `ty`'s range.
+    pub fn fits(&self, ty: IntTy) -> bool {
+        self.lo >= ty.min() && self.hi <= ty.max()
+    }
+
+    /// Intersection, `None` when disjoint.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// `-x`. `None` on `i128` overflow.
+    pub fn neg(&self) -> Option<Interval> {
+        Some(Interval::new(self.hi.checked_neg()?, self.lo.checked_neg()?))
+    }
+
+    /// `a + b`. `None` on `i128` overflow (top).
+    pub fn add(&self, rhs: &Interval) -> Option<Interval> {
+        Some(Interval {
+            lo: self.lo.checked_add(rhs.lo)?,
+            hi: self.hi.checked_add(rhs.hi)?,
+        })
+    }
+
+    /// `a - b`.
+    pub fn sub(&self, rhs: &Interval) -> Option<Interval> {
+        Some(Interval {
+            lo: self.lo.checked_sub(rhs.hi)?,
+            hi: self.hi.checked_sub(rhs.lo)?,
+        })
+    }
+
+    /// `a * b`: the hull of the four corner products.
+    pub fn mul(&self, rhs: &Interval) -> Option<Interval> {
+        let cs = [
+            self.lo.checked_mul(rhs.lo)?,
+            self.lo.checked_mul(rhs.hi)?,
+            self.hi.checked_mul(rhs.lo)?,
+            self.hi.checked_mul(rhs.hi)?,
+        ];
+        Some(Interval {
+            lo: *cs.iter().min().expect("non-empty"),
+            hi: *cs.iter().max().expect("non-empty"),
+        })
+    }
+
+    /// `a << amt` as multiplication by `2^amt`. Negative or huge shift
+    /// amounts yield top; the *rules* separately judge whether the shift
+    /// amount is legal for the value's type width.
+    pub fn shl(&self, amt: &Interval) -> Option<Interval> {
+        if amt.lo < 0 || amt.hi > 126 {
+            return None;
+        }
+        let p_lo = 1i128.checked_shl(amt.lo as u32)?;
+        let p_hi = 1i128.checked_shl(amt.hi as u32)?;
+        self.mul(&Interval::new(p_lo, p_hi))
+    }
+
+    /// `a / b` (truncating). `None` when the divisor interval contains 0.
+    pub fn div(&self, rhs: &Interval) -> Option<Interval> {
+        if rhs.lo <= 0 && rhs.hi >= 0 {
+            return None;
+        }
+        let cs = [
+            self.lo.checked_div(rhs.lo)?,
+            self.lo.checked_div(rhs.hi)?,
+            self.hi.checked_div(rhs.lo)?,
+            self.hi.checked_div(rhs.hi)?,
+        ];
+        Some(Interval {
+            lo: *cs.iter().min().expect("non-empty"),
+            hi: *cs.iter().max().expect("non-empty"),
+        })
+    }
+
+    /// `a % b` for a *known-positive* divisor and a non-negative dividend
+    /// type: `[0, max(b) - 1]`. Exact when both are points. Anything else
+    /// is top — remainder sign tracking buys nothing for this workspace.
+    pub fn rem_nonneg(&self, rhs: &Interval) -> Option<Interval> {
+        if rhs.lo <= 0 {
+            return None;
+        }
+        if let (Some(a), Some(b)) = (self.exact(), rhs.exact()) {
+            if a >= 0 {
+                return Some(Interval::point(a % b));
+            }
+        }
+        Some(Interval::new(0, rhs.hi - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_products_cover_sign_mixes() {
+        let a = Interval::new(-128, 127);
+        let p = a.mul(&a).expect("bounded");
+        // (-128)·(-128) = 16384 dominates 127·127.
+        assert_eq!(p, Interval::new(-16256, 16384));
+        assert_eq!(p.magnitude(), 16384);
+    }
+
+    #[test]
+    fn shl_is_pow2_multiplication() {
+        let one = Interval::point(1);
+        assert_eq!(one.shl(&Interval::new(1, 7)), Some(Interval::new(2, 128)));
+        assert_eq!(
+            Interval::point(1).shl(&Interval::point(31)),
+            Some(Interval::point(1 << 31))
+        );
+        assert_eq!(one.shl(&Interval::new(-1, 3)), None);
+    }
+
+    #[test]
+    fn overflow_goes_to_top() {
+        let big = Interval::point(i128::MAX);
+        assert_eq!(big.add(&Interval::point(1)), None);
+        assert_eq!(big.mul(&Interval::point(2)), None);
+    }
+
+    #[test]
+    fn fits_checks_type_ranges() {
+        assert!(Interval::new(0, 255).fits(IntTy::U8));
+        assert!(!Interval::new(-1, 255).fits(IntTy::U8));
+        assert!(Interval::point(i32::MAX as i128).fits(IntTy::I32));
+        assert!(!Interval::point(1 << 31).fits(IntTy::I32));
+    }
+
+    #[test]
+    fn rem_bounds_by_divisor() {
+        let any = Interval::new(0, i128::MAX >> 1);
+        assert_eq!(any.rem_nonneg(&Interval::point(8)), Some(Interval::new(0, 7)));
+        assert_eq!(Interval::point(13).rem_nonneg(&Interval::point(8)), Some(Interval::point(5)));
+        assert_eq!(any.rem_nonneg(&Interval::new(0, 8)), None);
+    }
+}

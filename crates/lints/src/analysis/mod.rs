@@ -1,0 +1,756 @@
+//! The interprocedural value-range analysis backing the
+//! `accumulator-width` and `unchecked-arith` rules.
+//!
+//! Three layers, all zero-dependency and token-based:
+//!
+//! * [`interval`] — the abstract domain: closed `i128` intervals, with
+//!   every transfer function falling to top (`None`) rather than guessing.
+//! * [`expr`] — a tolerant expression/statement parser over the lexer's
+//!   token stream, evaluation into the domain, and the `// bound:`
+//!   proof-comment grammar.
+//! * [`callgraph`] — per-crate name-based call edges, used to attribute
+//!   findings to the public entry points that reach them.
+//!
+//! [`WorkspaceAnalysis`] is built in a pre-pass over every source file
+//! (constants resolved to a fixpoint, call graphs per crate), then handed
+//! to each rule invocation. Constants declared with the same name but
+//! different values in different files are *ambiguous* and deliberately
+//! resolve to nothing: a proof that depends on which file you meant is not
+//! a proof.
+
+pub mod callgraph;
+pub mod expr;
+pub mod interval;
+
+use crate::lexer::{const_defs, fn_spans, lex, FnSpan, Lexed};
+use crate::FileCtx;
+use callgraph::CallGraph;
+use expr::{
+    classify_ty, eval, parse_expr_range, pattern_leaves, seed_scalar, Binding, EvalEnv, Expr,
+    ExprKind, Stmt, StmtKind, TyAnn, Value,
+};
+use interval::{IntTy, Interval};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Crates whose production code is on the serving hot path and therefore
+/// subject to the arithmetic rules (`accumulator-width`, `unchecked-arith`).
+pub const HOT_CRATES: &[&str] = &["atom-kernels", "atom", "atom-nn", "atom-tensor"];
+
+/// Workspace-wide facts shared by every rule invocation.
+#[derive(Debug, Default)]
+pub struct WorkspaceAnalysis {
+    /// Constant name → exact value. Names declared with conflicting
+    /// values across files are excluded (see [`WorkspaceAnalysis::ambiguous`]).
+    pub consts: BTreeMap<String, i128>,
+    /// Constant names with conflicting definitions, reported as such when
+    /// a proof comment references them.
+    pub ambiguous: BTreeSet<String>,
+    /// crate name → call graph.
+    pub graphs: BTreeMap<String, CallGraph>,
+    /// The workspace quantizer-width range `[MIN_BITS, MAX_BITS]`, seeded
+    /// into otherwise-unbound `bits` identifiers/fields. Present only when
+    /// both constants resolve.
+    pub bits_seed: Option<Interval>,
+}
+
+impl WorkspaceAnalysis {
+    /// Builds the analysis from `(context, source)` pairs — the same set
+    /// of files the lint pass will visit.
+    pub fn build(files: &[(FileCtx, String)]) -> WorkspaceAnalysis {
+        let lexed: Vec<(usize, Lexed)> =
+            files.iter().enumerate().map(|(i, (_, src))| (i, lex(src))).collect();
+
+        // Constants: collect raw (name, expr-span) per file, then resolve
+        // to a fixpoint so constants defined in terms of each other
+        // (`MAX_ACC_K = ... >> (2 * (MAX_BITS - 1))`) land.
+        let mut raw: Vec<(String, usize, (usize, usize))> = Vec::new(); // (name, file_idx, span)
+        for (fi, lx) in &lexed {
+            for def in const_defs(lx) {
+                raw.push((def.name, *fi, def.expr));
+            }
+        }
+        let mut consts: BTreeMap<String, i128> = BTreeMap::new();
+        let mut ambiguous: BTreeSet<String> = BTreeSet::new();
+        for _round in 0..4 {
+            let mut changed = false;
+            for (name, fi, span) in &raw {
+                if ambiguous.contains(name) {
+                    continue;
+                }
+                let lx = &lexed[*fi].1;
+                let Some(e) = parse_expr_range(&lx.tokens, span.0, span.1) else { continue };
+                let env = EvalEnv { consts: Some(&consts), ..EvalEnv::default() };
+                let Some(v) = eval(&e, &env).iv.and_then(|iv| iv.exact()) else { continue };
+                match consts.get(name) {
+                    Some(&old) if old == v => {}
+                    Some(_) => {
+                        ambiguous.insert(name.clone());
+                        consts.remove(name);
+                        changed = true;
+                    }
+                    None => {
+                        consts.insert(name.clone(), v);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Call graphs: first every crate's defined fn names, then edges.
+        let mut defined: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+        for ((ctx, _), (_, lx)) in files.iter().zip(&lexed) {
+            let set = defined.entry(ctx.crate_name.as_str()).or_default();
+            for span in fn_spans(lx) {
+                set.insert(span.name);
+            }
+        }
+        let mut graphs: BTreeMap<String, CallGraph> = BTreeMap::new();
+        for ((ctx, _), (_, lx)) in files.iter().zip(&lexed) {
+            let Some(names) = defined.get(ctx.crate_name.as_str()) else { continue };
+            graphs
+                .entry(ctx.crate_name.clone())
+                .or_default()
+                .add_file(lx, names);
+        }
+
+        let bits_seed = match (consts.get("MIN_BITS"), consts.get("MAX_BITS")) {
+            (Some(&lo), Some(&hi)) if 0 < lo && lo <= hi && hi <= 64 => {
+                Some(Interval::new(lo, hi))
+            }
+            _ => None,
+        };
+
+        WorkspaceAnalysis { consts, ambiguous, graphs, bits_seed }
+    }
+
+    /// The evaluation environment for a function body in `crate_name`,
+    /// with `locals` built by [`fn_env`].
+    pub fn env<'a>(&'a self, locals: &'a BTreeMap<String, Binding>) -> EvalEnv<'a> {
+        EvalEnv {
+            locals: Some(locals),
+            consts: Some(&self.consts),
+            bits_seed: self.bits_seed,
+        }
+    }
+
+    /// "reached from `a`, `b`" attribution suffix for a function, or an
+    /// empty string for entry points nothing calls.
+    pub fn reached_from(&self, crate_name: &str, fn_name: &str) -> String {
+        let Some(g) = self.graphs.get(crate_name) else { return String::new() };
+        let callers = g.reached_from(fn_name, 3);
+        if callers.is_empty() {
+            return String::new();
+        }
+        format!(
+            " (reached from {})",
+            callers.iter().map(|c| format!("`{c}`")).collect::<Vec<_>>().join(", ")
+        )
+    }
+}
+
+/// Element type of a slice-valued expression (`&xs[a..b]`, `m.unpack()`,
+/// a `Vec<i8>` binding...).
+fn value_elem(e: &Expr, locals: &BTreeMap<String, Binding>) -> Option<IntTy> {
+    match &e.kind {
+        ExprKind::Path(segs) if segs.len() == 1 => match locals.get(&segs[0]) {
+            Some(Binding::Slice(t)) => Some(*t),
+            _ => None,
+        },
+        ExprKind::Index(recv, idx) => {
+            // Only range indexing yields a slice.
+            matches!(idx.kind, ExprKind::Bin(expr::BinOp::Range, ..) | ExprKind::Unknown)
+                .then(|| value_elem(recv, locals))
+                .flatten()
+        }
+        ExprKind::Method { recv, name, .. } => match name.as_str() {
+            "to_vec" | "clone" | "as_slice" | "as_ref" | "as_mut_slice" | "get" | "get_mut" => {
+                value_elem(recv, locals)
+            }
+            // Workspace-known producers: PackedMatrix unpacking yields i8.
+            "unpack" | "unpack_with" => Some(IntTy::I8),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// What one step of iterating `e` yields.
+enum IterItem {
+    Scalar(IntTy),
+    Slice(IntTy),
+}
+
+fn iter_item(e: &Expr, locals: &BTreeMap<String, Binding>) -> Option<IterItem> {
+    if let Some(t) = value_elem(e, locals) {
+        return Some(IterItem::Scalar(t));
+    }
+    match &e.kind {
+        ExprKind::Method { recv, name, .. } => match name.as_str() {
+            "iter" | "iter_mut" | "into_iter" | "copied" | "cloned" | "rev" | "take" | "skip"
+            | "step_by" | "by_ref" | "filter" => iter_item(recv, locals),
+            "chunks" | "chunks_exact" | "rchunks" | "windows" => {
+                value_elem(recv, locals).map(IterItem::Slice)
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn bind_leaf(env: &mut BTreeMap<String, Binding>, name: &str, item: IterItem) {
+    let b = match item {
+        IterItem::Scalar(t) => Binding::Scalar(seed_scalar(t)),
+        IterItem::Slice(t) => Binding::Slice(t),
+    };
+    env.insert(name.to_string(), b);
+}
+
+/// Transparent iterator adapters: one element in, one element out, same
+/// tuple shape.
+fn is_transparent_adapter(name: &str) -> bool {
+    matches!(
+        name,
+        "iter" | "iter_mut" | "into_iter" | "copied" | "cloned" | "rev" | "take" | "skip"
+            | "step_by" | "by_ref" | "filter" | "inspect"
+    )
+}
+
+/// How many pattern leaves one element of `e` binds: `zip` sums both
+/// sides, `enumerate` adds the index, transparent adapters pass through,
+/// and everything else (resolved or not) is assumed to yield exactly one
+/// leaf. [`bind_iter_pattern`] only walks the structure when this arity
+/// matches the pattern's leaf count, so an unresolved sub-iterator that
+/// actually yields a tuple makes the totals disagree and aborts the whole
+/// binding rather than attaching values to the wrong names.
+fn leaf_arity(e: &Expr) -> usize {
+    if let ExprKind::Method { recv, name, args, .. } = &e.kind {
+        return match name.as_str() {
+            "zip" => leaf_arity(recv) + args.first().map_or(1, leaf_arity),
+            "enumerate" => 1 + leaf_arity(recv),
+            n if is_transparent_adapter(n) => leaf_arity(recv),
+            _ => 1,
+        };
+    }
+    1
+}
+
+/// Recursively binds `leaves` against the zip/enumerate structure of `e`,
+/// returning how many leaves were consumed. Sub-iterators that do not
+/// resolve consume one leaf and bind nothing (unknown stays unknown).
+fn bind_rec(
+    leaves: &[String],
+    e: &Expr,
+    env: &mut BTreeMap<String, Binding>,
+    consts: &BTreeMap<String, i128>,
+    bits_seed: Option<Interval>,
+) -> usize {
+    if leaves.is_empty() {
+        return 0;
+    }
+    // `0..n` yields the index interval.
+    if let ExprKind::Bin(expr::BinOp::Range, lo, hi) = &e.kind {
+        let eenv = EvalEnv { locals: Some(env), consts: Some(consts), bits_seed };
+        let l = eval(lo, &eenv);
+        let h = eval(hi, &eenv);
+        let iv = match (l.iv, h.iv) {
+            (Some(a), Some(b)) => Some(Interval::new(a.lo, b.hi)),
+            _ => None,
+        };
+        env.insert(
+            leaves[0].clone(),
+            Binding::Scalar(Value { iv, ty: Some(IntTy::Usize) }),
+        );
+        return 1;
+    }
+    if let ExprKind::Method { recv, name, args, .. } = &e.kind {
+        match name.as_str() {
+            "zip" => {
+                let n = bind_rec(leaves, recv, env, consts, bits_seed);
+                let m = match args.first() {
+                    Some(arg) => bind_rec(&leaves[n..], arg, env, consts, bits_seed),
+                    None => 1.min(leaves.len() - n),
+                };
+                return n + m;
+            }
+            "enumerate" => {
+                env.insert(
+                    leaves[0].clone(),
+                    Binding::Scalar(Value { iv: None, ty: Some(IntTy::Usize) }),
+                );
+                return 1 + bind_rec(&leaves[1..], recv, env, consts, bits_seed);
+            }
+            _ => {}
+        }
+    }
+    if let Some(item) = iter_item(e, env) {
+        bind_leaf(env, &leaves[0], item);
+    }
+    1
+}
+
+/// Binds an iteration pattern's leaves against the iterated expression:
+/// ranges, plain element iteration, and arbitrarily nested `zip` /
+/// `enumerate` trees (`a.zip(b).zip(c.zip(d))` against
+/// `|((a, b), (c, d))|`). When the chain's structural leaf count disagrees
+/// with the pattern's, nothing is bound — misattributing a value to the
+/// wrong name could manufacture a false proof, while an unbound name only
+/// costs precision.
+pub fn bind_iter_pattern(
+    leaves: &[String],
+    iter: &Expr,
+    env: &mut BTreeMap<String, Binding>,
+    consts: &BTreeMap<String, i128>,
+    bits_seed: Option<Interval>,
+) {
+    if leaf_arity(iter) == leaves.len() {
+        bind_rec(leaves, iter, env, consts, bits_seed);
+    } else if leaves.len() == 1 {
+        if let Some(item) = iter_item(iter, env) {
+            bind_leaf(env, &leaves[0], item);
+        }
+    }
+}
+
+/// Collects names assigned (`=`, `+=`, ...) inside loop bodies — their
+/// intervals widen to the type range (narrow types) or to top, because a
+/// loop-carried value's range cannot be read off its initializer.
+fn loop_mutated(body: &Expr) -> BTreeSet<String> {
+    fn go(e: &Expr, in_loop: bool, out: &mut BTreeSet<String>) {
+        let visit_stmt = |s: &Stmt, in_loop: bool, out: &mut BTreeSet<String>| match &s.kind {
+            StmtKind::Assign(place, _) | StmtKind::Compound(_, place, _) if in_loop => {
+                if let ExprKind::Path(segs) = &place.kind {
+                    if segs.len() == 1 {
+                        out.insert(segs[0].clone());
+                    }
+                }
+            }
+            _ => {}
+        };
+        match &e.kind {
+            ExprKind::Block(stmts, tail) => {
+                for s in stmts {
+                    visit_stmt(s, in_loop, out);
+                    match &s.kind {
+                        StmtKind::Let { init, .. } => go(init, in_loop, out),
+                        StmtKind::Assign(_, v) | StmtKind::Compound(_, _, v) => {
+                            go(v, in_loop, out)
+                        }
+                        StmtKind::Expr(inner) => go(inner, in_loop, out),
+                    }
+                }
+                if let Some(t) = tail {
+                    go(t, in_loop, out);
+                }
+            }
+            ExprKind::Loop(b) => go(b, true, out),
+            ExprKind::For { body, .. } => go(body, true, out),
+            ExprKind::If(_, t, f) => {
+                go(t, in_loop, out);
+                if let Some(f) = f {
+                    go(f, in_loop, out);
+                }
+            }
+            ExprKind::Closure(_, b) => go(b, in_loop, out),
+            ExprKind::Method { recv, args, .. } => {
+                go(recv, in_loop, out);
+                for a in args {
+                    go(a, in_loop, out);
+                }
+            }
+            ExprKind::Call(_, args) => {
+                for a in args {
+                    go(a, in_loop, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = BTreeSet::new();
+    go(body, false, &mut out);
+    out
+}
+
+/// Builds the per-function local environment: parameter ascriptions, `let`
+/// bindings (in statement order, no shadowing), loop patterns, and closure
+/// parameters unified against their receiver chains. Bindings mutated
+/// inside loop bodies are widened.
+pub fn fn_env(
+    lexed: &Lexed,
+    span: &FnSpan,
+    body: &Expr,
+    analysis: &WorkspaceAnalysis,
+) -> BTreeMap<String, Binding> {
+    let mut env: BTreeMap<String, Binding> = BTreeMap::new();
+
+    // Parameters: `name: ty` pairs at paren depth 1 of the signature. The
+    // parameter list is the first `(` between the `fn` keyword's line and
+    // the body brace.
+    let toks = &lexed.tokens;
+    let mut open = None;
+    for (i, t) in toks.iter().enumerate().take(span.body_start) {
+        if t.line >= span.line && t.text == "(" {
+            open = Some(i);
+            break;
+        }
+    }
+    if let Some(open) = open {
+        let mut depth = 0usize;
+        let mut i = open;
+        let mut piece_start = open + 1;
+        while i < span.body_start {
+            match toks[i].text.as_str() {
+                "(" | "[" | "<" | "{" => depth += 1,
+                ")" | "]" | ">" | "}" => {
+                    depth -= usize::from(depth > 0);
+                    if depth == 0 && toks[i].text == ")" {
+                        bind_param(&toks[piece_start..i], &mut env, analysis.bits_seed);
+                        break;
+                    }
+                }
+                "," if depth == 1 => {
+                    bind_param(&toks[piece_start..i], &mut env, analysis.bits_seed);
+                    piece_start = i + 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    let widen = loop_mutated(body);
+    collect_bindings(body, &mut env, analysis);
+
+    for name in &widen {
+        if let Some(Binding::Scalar(v)) = env.get(name) {
+            let widened = match v.ty {
+                Some(t) if t.narrow() => Value { iv: Some(t.range()), ty: Some(t) },
+                ty => Value { iv: None, ty },
+            };
+            env.insert(name.clone(), Binding::Scalar(widened));
+        }
+    }
+    env
+}
+
+/// One `pat: ty` parameter slice → binding. A `u8` parameter named `bits`
+/// tightens its type range by the workspace quantizer-width seed — the
+/// same invariant the [`EvalEnv::bits_seed`] doc ties to
+/// `QuantSpec::validate` (every public entry point asserts it). Only `u8`:
+/// quantizer widths are `u8` throughout the workspace, while wider
+/// integers named `bits` are bit *patterns* (the f16 codec), where the
+/// seed would be flatly wrong.
+fn bind_param(
+    piece: &[crate::lexer::Token],
+    env: &mut BTreeMap<String, Binding>,
+    bits_seed: Option<Interval>,
+) {
+    // Split at the top-level `:` (skipping `::`).
+    let mut depth = 0usize;
+    let mut colon = None;
+    for (i, t) in piece.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth = depth.saturating_sub(1),
+            ":" if depth == 0 => {
+                if piece.get(i + 1).is_some_and(|n| n.text == ":")
+                    || (i > 0 && piece[i - 1].text == ":")
+                {
+                    continue;
+                }
+                colon = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let Some(colon) = colon else { return };
+    let names = pattern_leaves(&piece[..colon]);
+    let [name] = names.as_slice() else { return };
+    match classify_ty(&piece[colon + 1..]) {
+        TyAnn::Int(t) => {
+            let mut v = seed_scalar(t);
+            if name == "bits" && t == IntTy::U8 {
+                if let (Some(iv), Some(seed)) = (v.iv, bits_seed) {
+                    v.iv = iv.intersect(&seed).or(v.iv);
+                }
+            }
+            env.insert(name.clone(), Binding::Scalar(v));
+        }
+        TyAnn::SliceOf(t) => {
+            env.insert(name.clone(), Binding::Slice(t));
+        }
+        TyAnn::Other => {}
+    }
+}
+
+/// Walks the body collecting `let`, `for`, and closure-parameter bindings
+/// in order, evaluating initializers against the environment built so far.
+fn collect_bindings(
+    e: &Expr,
+    env: &mut BTreeMap<String, Binding>,
+    analysis: &WorkspaceAnalysis,
+) {
+    match &e.kind {
+        ExprKind::Block(stmts, tail) => {
+            for s in stmts {
+                if let StmtKind::Let { pat, ann, init, .. } = &s.kind {
+                    collect_bindings(init, env, analysis);
+                    if let [name] = pat.as_slice() {
+                        let binding = match ann {
+                            Some(TyAnn::Int(t)) => {
+                                let eenv = analysis.env(env);
+                                let v = eval(init, &eenv);
+                                let iv = v.iv.or_else(|| t.narrow().then(|| t.range()));
+                                Some(Binding::Scalar(Value { iv, ty: Some(*t) }))
+                            }
+                            Some(TyAnn::SliceOf(t)) => Some(Binding::Slice(*t)),
+                            Some(TyAnn::Other) => None,
+                            None => {
+                                if let Some(t) = value_elem(init, env) {
+                                    Some(Binding::Slice(t))
+                                } else {
+                                    // Unresolvable initializers still bind
+                                    // (to top): a locally-defined name must
+                                    // shadow the free-variable fallbacks in
+                                    // `eval` (notably the `bits` seed — a
+                                    // `let bits = v.to_bits()` is a bit
+                                    // pattern, not a quantizer width).
+                                    let eenv = analysis.env(env);
+                                    Some(Binding::Scalar(eval(init, &eenv)))
+                                }
+                            }
+                        };
+                        if let Some(b) = binding {
+                            env.insert(name.clone(), b);
+                        }
+                    }
+                } else {
+                    match &s.kind {
+                        StmtKind::Assign(_, v) | StmtKind::Compound(_, _, v) => {
+                            collect_bindings(v, env, analysis)
+                        }
+                        StmtKind::Expr(inner) => collect_bindings(inner, env, analysis),
+                        StmtKind::Let { .. } => unreachable!("handled above"),
+                    }
+                }
+            }
+            if let Some(t) = tail {
+                collect_bindings(t, env, analysis);
+            }
+        }
+        ExprKind::For { pat, iter, body } => {
+            collect_bindings(iter, env, analysis);
+            bind_iter_pattern(pat, iter, env, &analysis.consts, analysis.bits_seed);
+            collect_bindings(body, env, analysis);
+        }
+        ExprKind::Method { recv, args, name, .. } => {
+            collect_bindings(recv, env, analysis);
+            let binds_elements = matches!(
+                name.as_str(),
+                "map" | "for_each" | "filter" | "filter_map" | "inspect" | "any" | "all"
+                    | "flat_map" | "position" | "find"
+            );
+            for a in args {
+                if let ExprKind::Closure(params, body) = &a.kind {
+                    if binds_elements {
+                        bind_iter_pattern(
+                            params,
+                            recv,
+                            env,
+                            &analysis.consts,
+                            analysis.bits_seed,
+                        );
+                    }
+                    collect_bindings(body, env, analysis);
+                } else {
+                    collect_bindings(a, env, analysis);
+                }
+            }
+        }
+        ExprKind::Call(_, args) | ExprKind::Seq(args) => {
+            for a in args {
+                collect_bindings(a, env, analysis);
+            }
+        }
+        ExprKind::If(c, t, f) => {
+            collect_bindings(c, env, analysis);
+            collect_bindings(t, env, analysis);
+            if let Some(f) = f {
+                collect_bindings(f, env, analysis);
+            }
+        }
+        ExprKind::Loop(b) | ExprKind::Closure(_, b) | ExprKind::Neg(b) => {
+            collect_bindings(b, env, analysis)
+        }
+        ExprKind::Cast(i, _) | ExprKind::From(_, i) => collect_bindings(i, env, analysis),
+        ExprKind::Bin(_, l, r) | ExprKind::Index(l, r) => {
+            collect_bindings(l, env, analysis);
+            collect_bindings(r, env, analysis);
+        }
+        ExprKind::Field(r, _) => collect_bindings(r, env, analysis),
+        ExprKind::Int(..) | ExprKind::Path(..) | ExprKind::Unknown => {}
+    }
+}
+
+/// One function, parsed and flow-analyzed: its span, mini-AST body, and
+/// the local value environment the rules evaluate against.
+#[derive(Debug)]
+pub struct FnFlow {
+    /// The function's lexer span (name, signature line, body token range).
+    pub span: FnSpan,
+    /// Parsed body.
+    pub body: Expr,
+    /// Locals: parameters, `let`s, loop patterns, unified closure params.
+    pub env: BTreeMap<String, Binding>,
+}
+
+/// Parses and flow-analyzes every function in a lexed file. Functions
+/// whose bodies fail to parse are skipped (the tolerant parser isolates
+/// faults per statement, so this is rare and affects only that function).
+pub fn analyze_fns(lexed: &Lexed, analysis: &WorkspaceAnalysis) -> Vec<FnFlow> {
+    fn_spans(lexed)
+        .into_iter()
+        .filter_map(|span| {
+            let body = expr::parse_fn_body(&lexed.tokens, span.body_start, span.body_end)?;
+            let env = fn_env(lexed, &span, &body, analysis);
+            Some(FnFlow { span, body, env })
+        })
+        .collect()
+}
+
+/// The per-element value of iterating `e` (for `.sum()` receivers that are
+/// not `map` chains): `Some(seeded scalar)` when the chain's element type
+/// resolves, `None` otherwise.
+pub fn iter_scalar_seed(e: &Expr, env: &BTreeMap<String, Binding>) -> Option<Value> {
+    match iter_item(e, env)? {
+        IterItem::Scalar(t) => Some(seed_scalar(t)),
+        IterItem::Slice(_) => None,
+    }
+}
+
+/// Innermost function span containing token-stream line `line`, by taking
+/// the latest-starting span whose body covers it.
+pub fn enclosing_fn<'s>(spans: &'s [FnSpan], lexed: &Lexed, line: usize) -> Option<&'s FnSpan> {
+    let toks = &lexed.tokens;
+    spans
+        .iter()
+        .filter(|s| {
+            let start_line = toks.get(s.body_start).map(|t| t.line).unwrap_or(s.line);
+            let end_line = toks.get(s.body_end).map(|t| t.line).unwrap_or(usize::MAX);
+            line >= start_line && line <= end_line
+        })
+        .max_by_key(|s| s.line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FileKind;
+
+    fn ctx(name: &str, path: &str) -> FileCtx {
+        FileCtx { crate_name: name.into(), path: path.into(), kind: FileKind::Src }
+    }
+
+    #[test]
+    fn consts_resolve_across_files_to_fixpoint() {
+        let files = vec![
+            (
+                ctx("atom-kernels", "crates/kernels/src/a.rs"),
+                "pub const MAX_BITS: u8 = 8;\npub const MIN_BITS: u8 = 2;".to_string(),
+            ),
+            (
+                ctx("atom-kernels", "crates/kernels/src/b.rs"),
+                "pub const MAX_ACC_K: usize = (i32::MAX as usize) >> (2 * (MAX_BITS as usize - 1));"
+                    .to_string(),
+            ),
+        ];
+        let a = WorkspaceAnalysis::build(&files);
+        assert_eq!(a.consts.get("MAX_BITS"), Some(&8));
+        assert_eq!(a.consts.get("MAX_ACC_K"), Some(&131071));
+        assert_eq!(a.bits_seed, Some(Interval::new(2, 8)));
+    }
+
+    #[test]
+    fn conflicting_consts_are_ambiguous() {
+        let files = vec![
+            (ctx("atom", "crates/core/src/a.rs"), "const GROUP: usize = 128;".to_string()),
+            (ctx("atom", "crates/core/src/b.rs"), "const GROUP: usize = 64;".to_string()),
+        ];
+        let a = WorkspaceAnalysis::build(&files);
+        assert!(!a.consts.contains_key("GROUP"));
+        assert!(a.ambiguous.contains("GROUP"));
+    }
+
+    #[test]
+    fn fn_env_binds_params_lets_and_loop_patterns() {
+        let src = "fn f(a: &[i8], n: usize) {\n\
+                       let scale: i16 = 3;\n\
+                       let b = a.to_vec();\n\
+                       for &x in a.iter() { let _ = x; }\n\
+                   }\n";
+        let lexed = lex(src);
+        let spans = fn_spans(&lexed);
+        let body = expr::parse_fn_body(&lexed.tokens, spans[0].body_start, spans[0].body_end)
+            .expect("parses");
+        let analysis = WorkspaceAnalysis::default();
+        let env = fn_env(&lexed, &spans[0], &body, &analysis);
+        assert!(matches!(env.get("a"), Some(Binding::Slice(IntTy::I8))));
+        assert!(matches!(env.get("b"), Some(Binding::Slice(IntTy::I8))));
+        match env.get("x") {
+            Some(Binding::Scalar(v)) => {
+                assert_eq!(v.iv, Some(Interval::new(-128, 127)));
+                assert_eq!(v.ty, Some(IntTy::I8));
+            }
+            other => panic!("x should be a seeded i8 scalar, got {other:?}"),
+        }
+        match env.get("scale") {
+            Some(Binding::Scalar(v)) => assert_eq!(v.iv, Some(Interval::point(3))),
+            other => panic!("scale should be an exact scalar, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_mutated_bindings_widen() {
+        let src = "fn f(xs: &[i16]) {\n\
+                       let mut acc: i16 = 0;\n\
+                       for &x in xs { acc = x; }\n\
+                   }\n";
+        let lexed = lex(src);
+        let spans = fn_spans(&lexed);
+        let body = expr::parse_fn_body(&lexed.tokens, spans[0].body_start, spans[0].body_end)
+            .expect("parses");
+        let analysis = WorkspaceAnalysis::default();
+        let env = fn_env(&lexed, &spans[0], &body, &analysis);
+        match env.get("acc") {
+            Some(Binding::Scalar(v)) => {
+                // Widened from the point 0 to the full i16 range.
+                assert_eq!(v.iv, Some(IntTy::I16.range()));
+            }
+            other => panic!("acc should be widened, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closure_params_unify_against_zip_chains() {
+        let src = "fn dot(a: &[i8], w: &[i8]) -> i32 {\n\
+                       a.iter().zip(w.iter()).map(|(&x, &y)| i32::from(x) * i32::from(y)).sum()\n\
+                   }\n";
+        let lexed = lex(src);
+        let spans = fn_spans(&lexed);
+        let body = expr::parse_fn_body(&lexed.tokens, spans[0].body_start, spans[0].body_end)
+            .expect("parses");
+        let analysis = WorkspaceAnalysis::default();
+        let env = fn_env(&lexed, &spans[0], &body, &analysis);
+        for name in ["x", "y"] {
+            match env.get(name) {
+                Some(Binding::Scalar(v)) => {
+                    assert_eq!(v.iv, Some(Interval::new(-128, 127)), "{name}");
+                }
+                other => panic!("{name} should be a seeded i8 scalar, got {other:?}"),
+            }
+        }
+    }
+}

@@ -23,19 +23,34 @@
 //!    stay inside telemetry and the audited config entry points.
 //! 7. **lock-order** — nested lock acquisitions carry a documented global
 //!    order, and the cross-file acquisition graph stays acyclic.
+//! 8. **accumulator-width** — every `i32`/`i64` reduction over quantized
+//!    products in a hot-path crate carries a machine-checkable `// bound:`
+//!    proof comment, and the comment's inequality is *evaluated* against
+//!    the workspace constants and the interval analysis (see [`analysis`]).
+//!    A comment that does not prove is a finding, same as a missing one.
+//! 9. **unchecked-arith** — bare `+`/`*`/`<<` on signed integers in hot
+//!    paths must be provably in-range by the interval analysis, use an
+//!    explicit `wrapping_*`/`checked_*`/`saturating_*` method, or carry a
+//!    justified allow.
 //!
 //! Escape hatch: a violating line may carry (or be preceded by)
 //! `// lint: allow(<rule>) — <reason>`. The reason is mandatory and the
 //! directive must actually suppress something, or it is itself a finding —
 //! stale allowances are how audit layers rot. The whole-workspace pass
-//! also emits a machine-readable report (`results/lint_report.json`) with
-//! per-rule counts, every finding, and the full allow-directive inventory,
-//! so CI and reviewers can diff the audit surface over time.
+//! also emits a machine-readable report (`results/lint_report.json`,
+//! schema `atom-lint-report/v2`) with per-rule counts, every finding, and
+//! the full allow-directive inventory, plus the same findings as SARIF
+//! 2.1.0 (`results/lint_report.sarif`) for code-scanning upload. A
+//! [`ratchet`] baseline (`results/lint_baseline.json`) lets CI fail on any
+//! *new* finding or allow-suppression while counts may only decrease.
 #![forbid(unsafe_code)]
 
+pub mod analysis;
 pub mod lexer;
+pub mod ratchet;
 pub mod rules;
 
+use analysis::WorkspaceAnalysis;
 use lexer::{cfg_test_ranges, lex, Lexed};
 use rules::lock_order::LockEdge;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -52,6 +67,8 @@ pub const RULE_UNSAFE_CONTAINMENT: &str = "unsafe-containment";
 pub const RULE_UNORDERED_ITERATION: &str = "unordered-iteration";
 pub const RULE_TIME_ENTROPY: &str = "time-entropy";
 pub const RULE_LOCK_ORDER: &str = "lock-order";
+pub const RULE_ACCUMULATOR_WIDTH: &str = "accumulator-width";
+pub const RULE_UNCHECKED_ARITH: &str = "unchecked-arith";
 /// Meta-rule: malformed or stale `lint:` directives.
 pub const RULE_DIRECTIVE: &str = "lint-directive";
 
@@ -64,6 +81,8 @@ pub const ALL_RULES: &[&str] = &[
     RULE_UNORDERED_ITERATION,
     RULE_TIME_ENTROPY,
     RULE_LOCK_ORDER,
+    RULE_ACCUMULATOR_WIDTH,
+    RULE_UNCHECKED_ARITH,
 ];
 
 /// Every rule name that can appear in a report: [`ALL_RULES`] plus the
@@ -76,8 +95,32 @@ pub const REPORTABLE_RULES: &[&str] = &[
     RULE_UNORDERED_ITERATION,
     RULE_TIME_ENTROPY,
     RULE_LOCK_ORDER,
+    RULE_ACCUMULATOR_WIDTH,
+    RULE_UNCHECKED_ARITH,
     RULE_DIRECTIVE,
 ];
+
+/// One-line description per reportable rule (used by the SARIF driver's
+/// rule metadata).
+pub fn rule_description(rule: &str) -> &'static str {
+    match rule {
+        RULE_PANIC_FREEDOM => "no unwrap/expect/panic or unchecked indexing on hot paths",
+        RULE_LOSSY_CAST => "truncating/sign-changing `as` casts stay inside audited modules",
+        RULE_TELEMETRY_NAMES => "telemetry name constants and recording sites stay in bijection",
+        RULE_UNSAFE_CONTAINMENT => "unsafe code is forbidden outside telemetry and documented there",
+        RULE_UNORDERED_ITERATION => "hash-ordered traversal stays out of deterministic outputs",
+        RULE_TIME_ENTROPY => "wall-clock/env/entropy reads stay inside audited entry points",
+        RULE_LOCK_ORDER => "nested lock acquisitions follow a documented acyclic global order",
+        RULE_ACCUMULATOR_WIDTH => {
+            "quantized reductions carry a machine-checked `// bound:` width proof"
+        }
+        RULE_UNCHECKED_ARITH => {
+            "signed hot-path arithmetic is provably in-range or explicitly checked"
+        }
+        RULE_DIRECTIVE => "lint: allow directives are well-formed, justified, and not stale",
+        _ => "unknown rule",
+    }
+}
 
 /// One violation, formatted as `file:line: rule: message`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -232,12 +275,14 @@ fn parse_directives(lexed: &Lexed) -> Vec<AllowDirective> {
 
 /// Runs every rule on one lexed file and applies `lint: allow` directives.
 /// `names` is the parsed constants table (None while collecting it, e.g. in
-/// fixture tests that exercise other rules); `state` accumulates the
+/// fixture tests that exercise other rules); `analysis` is the workspace
+/// pre-pass the arithmetic rules evaluate against; `state` accumulates the
 /// cross-file evidence (telemetry usage, lock edges, allow inventory).
 pub fn lint_file(
     ctx: &FileCtx,
     source: &str,
     names: Option<&NamesTable>,
+    analysis: &WorkspaceAnalysis,
     state: &mut CrossFileState,
 ) -> Vec<Finding> {
     let lexed = lex(source);
@@ -258,6 +303,21 @@ pub fn lint_file(
     rules::unordered_iteration::check(ctx, &lexed, &test_ranges, &mut findings);
     rules::time_entropy::check(ctx, &lexed, &test_ranges, &mut findings);
     rules::lock_order::check(ctx, &lexed, &test_ranges, &mut state.lock_edges, &mut findings);
+
+    // The arithmetic rules share the per-function flow analysis; both scope
+    // themselves to hot-crate production code, so only compute it there.
+    if ctx.kind.is_production() && analysis::HOT_CRATES.contains(&ctx.crate_name.as_str()) {
+        let flows = analysis::analyze_fns(&lexed, analysis);
+        rules::accumulator_width::check(
+            ctx,
+            &lexed,
+            &test_ranges,
+            analysis,
+            &flows,
+            &mut findings,
+        );
+        rules::unchecked_arith::check(ctx, &lexed, &test_ranges, analysis, &flows, &mut findings);
+    }
 
     // This crate's own sources quote the directive syntax in docs and
     // messages, so directives are not honored here: atom-lint must be
@@ -533,13 +593,15 @@ impl WorkspaceReport {
         self.findings.retain(|f| f.rule == rule);
     }
 
-    /// Serializes the report as the `atom-lint-report/v1` JSON document:
+    /// Serializes the report as the `atom-lint-report/v2` JSON document:
     /// schema tag, file count, per-rule counts, findings, and the allow
     /// inventory. Hand-rolled (this crate is zero-dependency), with full
-    /// string escaping.
+    /// string escaping. v2 over v1: the two arithmetic rules
+    /// (`accumulator-width`, `unchecked-arith`) appear in the per-rule
+    /// counts.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
-        out.push_str("{\n  \"schema\": \"atom-lint-report/v1\",\n");
+        out.push_str("{\n  \"schema\": \"atom-lint-report/v2\",\n");
         out.push_str(&format!("  \"files_checked\": {},\n", self.files_checked));
         out.push_str(&format!(
             "  \"total_findings\": {},\n",
@@ -589,11 +651,58 @@ impl WorkspaceReport {
         out.push_str("  ]\n}\n");
         out
     }
+
+    /// Serializes the findings as a SARIF 2.1.0 document
+    /// (`results/lint_report.sarif`), suitable for code-scanning upload.
+    /// Minimal but schema-shaped: one run, the driver's rule metadata for
+    /// every reportable rule, and one `result` per finding with a physical
+    /// location. Hand-rolled like [`WorkspaceReport::to_json`] — this crate
+    /// is zero-dependency.
+    pub fn to_sarif(&self) -> String {
+        let mut out = String::with_capacity(8192);
+        out.push_str("{\n");
+        out.push_str(
+            "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/\
+             master/Schemata/sarif-schema-2.1.0.json\",\n",
+        );
+        out.push_str("  \"version\": \"2.1.0\",\n");
+        out.push_str("  \"runs\": [\n    {\n");
+        out.push_str("      \"tool\": {\n        \"driver\": {\n");
+        out.push_str("          \"name\": \"atom-lint\",\n");
+        out.push_str("          \"informationUri\": \"https://example.invalid/atom-lint\",\n");
+        out.push_str("          \"rules\": [\n");
+        let last_rule = REPORTABLE_RULES.len().saturating_sub(1);
+        for (i, rule) in REPORTABLE_RULES.iter().enumerate() {
+            out.push_str(&format!(
+                "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}{}\n",
+                json_str(rule),
+                json_str(rule_description(rule)),
+                if i == last_rule { "" } else { "," }
+            ));
+        }
+        out.push_str("          ]\n        }\n      },\n");
+        out.push_str("      \"results\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"ruleId\": {}, \"level\": \"error\", \
+                 \"message\": {{\"text\": {}}}, \"locations\": [{{\
+                 \"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+                 \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+                json_str(f.rule),
+                json_str(&f.message),
+                json_str(&f.file),
+                f.line,
+                if i + 1 == self.findings.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("      ]\n    }\n  ]\n}\n");
+        out
+    }
 }
 
 /// JSON string literal with escaping for quotes, backslashes, and control
 /// characters.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -628,10 +737,10 @@ pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceReport> {
         Err(_) => None,
     };
 
-    let mut findings = Vec::new();
-    let mut files_checked = 0usize;
-    let mut state = CrossFileState::default();
-
+    // Pass 1: collect every file, so the workspace analysis (constants to
+    // fixpoint, per-crate call graphs) sees the whole tree before any rule
+    // runs.
+    let mut sources: Vec<(FileCtx, String)> = Vec::new();
     for crate_dir in &crate_dirs {
         let manifest = fs::read_to_string(crate_dir.join("Cargo.toml"))?;
         let crate_name = package_name(&manifest).unwrap_or_else(|| {
@@ -661,14 +770,26 @@ pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceReport> {
                 .to_string_lossy()
                 .replace('\\', "/");
             let source = fs::read_to_string(&file)?;
-            let ctx = FileCtx {
-                crate_name: crate_name.clone(),
-                path: rel,
-                kind,
-            };
-            findings.extend(lint_file(&ctx, &source, names.as_ref(), &mut state));
-            files_checked += 1;
+            sources.push((
+                FileCtx {
+                    crate_name: crate_name.clone(),
+                    path: rel,
+                    kind,
+                },
+                source,
+            ));
         }
+    }
+
+    let analysis = WorkspaceAnalysis::build(&sources);
+
+    // Pass 2: the rules.
+    let mut findings = Vec::new();
+    let mut files_checked = 0usize;
+    let mut state = CrossFileState::default();
+    for (ctx, source) in &sources {
+        findings.extend(lint_file(ctx, source, names.as_ref(), &analysis, &mut state));
+        files_checked += 1;
     }
 
     // Cross-file half of the telemetry bijection: every declared name must

@@ -1,0 +1,223 @@
+//! The finding ratchet: a committed baseline (`results/lint_baseline.json`)
+//! of per-rule finding counts *and* per-rule allow-suppression counts that
+//! may only go down.
+//!
+//! On a clean tree the finding counts are all zero (the normal gate already
+//! fails on any finding), so the ratchet's teeth are the suppression
+//! counts: a PR that quiets a rule with a new `lint: allow(...)` passes the
+//! normal gate but regresses the baseline, forcing the escape hatch to be
+//! visible in review (`--write-baseline` regenerates it deliberately).
+//! Counts that *decrease* auto-shrink the baseline on the next full run,
+//! so the ratchet never blocks an improvement.
+
+use crate::{WorkspaceReport, REPORTABLE_RULES};
+use std::collections::BTreeMap;
+
+/// Per-rule counts as committed to `results/lint_baseline.json`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Baseline {
+    /// rule → open finding count.
+    pub findings: BTreeMap<String, usize>,
+    /// rule → findings suppressed by `lint: allow` directives. A directive
+    /// naming several rules attributes each suppression to every rule it
+    /// names — an over-count that only makes the ratchet stricter.
+    pub suppressed: BTreeMap<String, usize>,
+}
+
+/// One count that went up relative to the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    pub rule: String,
+    /// `"findings"` or `"suppressed"`.
+    pub kind: &'static str,
+    pub baseline: usize,
+    pub current: usize,
+}
+
+/// Outcome of [`Baseline::check`].
+#[derive(Debug, Default)]
+pub struct RatchetOutcome {
+    /// Counts above the baseline — each one fails the gate.
+    pub regressions: Vec<Regression>,
+    /// Whether any count dropped (the baseline should be rewritten).
+    pub improved: bool,
+}
+
+impl Baseline {
+    /// The baseline a report would ratchet to.
+    pub fn from_report(report: &WorkspaceReport) -> Baseline {
+        let mut findings: BTreeMap<String, usize> =
+            REPORTABLE_RULES.iter().map(|r| (r.to_string(), 0)).collect();
+        for f in &report.findings {
+            *findings.entry(f.rule.to_string()).or_insert(0) += 1;
+        }
+        let mut suppressed: BTreeMap<String, usize> =
+            REPORTABLE_RULES.iter().map(|r| (r.to_string(), 0)).collect();
+        for a in &report.allows {
+            if a.suppressed == 0 {
+                continue;
+            }
+            for rule in &a.rules {
+                *suppressed.entry(rule.clone()).or_insert(0) += a.suppressed;
+            }
+        }
+        Baseline { findings, suppressed }
+    }
+
+    /// Compares `current` against `self` (the committed baseline). A rule
+    /// absent from the baseline (added after the baseline was written)
+    /// ratchets from zero.
+    pub fn check(&self, current: &Baseline) -> RatchetOutcome {
+        let mut out = RatchetOutcome::default();
+        let mut diff = |kind: &'static str,
+                        base: &BTreeMap<String, usize>,
+                        cur: &BTreeMap<String, usize>| {
+            let mut rules: Vec<&String> = base.keys().chain(cur.keys()).collect();
+            rules.sort();
+            rules.dedup();
+            for rule in rules {
+                let b = base.get(rule).copied().unwrap_or(0);
+                let c = cur.get(rule).copied().unwrap_or(0);
+                if c > b {
+                    out.regressions.push(Regression {
+                        rule: rule.clone(),
+                        kind,
+                        baseline: b,
+                        current: c,
+                    });
+                } else if c < b {
+                    out.improved = true;
+                }
+            }
+        };
+        diff("findings", &self.findings, &current.findings);
+        diff("suppressed", &self.suppressed, &current.suppressed);
+        out
+    }
+
+    /// Serializes as the `atom-lint-baseline/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        fn section(out: &mut String, map: &BTreeMap<String, usize>) {
+            let last = map.len().saturating_sub(1);
+            for (i, (rule, n)) in map.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {}: {}{}\n",
+                    crate::json_str(rule),
+                    n,
+                    if i == last { "" } else { "," }
+                ));
+            }
+        }
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema\": \"atom-lint-baseline/v1\",\n");
+        out.push_str("  \"findings\": {\n");
+        section(&mut out, &self.findings);
+        out.push_str("  },\n  \"suppressed_allows\": {\n");
+        section(&mut out, &self.suppressed);
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses the document [`Baseline::to_json`] writes. Tolerant of
+    /// whitespace but not a general JSON parser: it scans for the two
+    /// section keys and reads `"rule": count` pairs until the closing
+    /// brace. Returns `None` when either section is missing or malformed —
+    /// a corrupt baseline must fail loudly, not ratchet from garbage.
+    pub fn parse(text: &str) -> Option<Baseline> {
+        let findings = parse_section(text, "\"findings\"")?;
+        let suppressed = parse_section(text, "\"suppressed_allows\"")?;
+        Some(Baseline { findings, suppressed })
+    }
+}
+
+fn parse_section(text: &str, key: &str) -> Option<BTreeMap<String, usize>> {
+    let start = text.find(key)? + key.len();
+    let rest = &text[start..];
+    let open = rest.find('{')?;
+    let body = &rest[open + 1..];
+    let close = body.find('}')?;
+    let body = &body[..close];
+    let mut map = BTreeMap::new();
+    for entry in body.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (rule, count) = entry.split_once(':')?;
+        let rule = rule.trim().trim_matches('"').to_string();
+        let count: usize = count.trim().parse().ok()?;
+        map.insert(rule, count);
+    }
+    Some(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AllowRecord, Finding, WorkspaceReport, RULE_LOSSY_CAST, RULE_PANIC_FREEDOM};
+
+    fn report(findings: Vec<Finding>, allows: Vec<AllowRecord>) -> WorkspaceReport {
+        WorkspaceReport { findings, files_checked: 1, allows }
+    }
+
+    fn finding(rule: &'static str) -> Finding {
+        Finding { file: "crates/x/src/lib.rs".into(), line: 1, rule, message: "m".into() }
+    }
+
+    fn allow(rule: &str, suppressed: usize) -> AllowRecord {
+        AllowRecord {
+            file: "crates/x/src/lib.rs".into(),
+            line: 2,
+            rules: vec![rule.to_string()],
+            reason: "because".into(),
+            suppressed,
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let b = Baseline::from_report(&report(
+            vec![finding(RULE_PANIC_FREEDOM)],
+            vec![allow(RULE_LOSSY_CAST, 3), allow(RULE_LOSSY_CAST, 0)],
+        ));
+        assert_eq!(b.findings.get(RULE_PANIC_FREEDOM), Some(&1));
+        // Stale (zero-suppression) directives do not count.
+        assert_eq!(b.suppressed.get(RULE_LOSSY_CAST), Some(&3));
+        let parsed = Baseline::parse(&b.to_json()).expect("parses");
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn new_finding_regresses_and_removed_finding_improves() {
+        let base = Baseline::from_report(&report(vec![finding(RULE_PANIC_FREEDOM)], vec![]));
+        let worse = Baseline::from_report(&report(
+            vec![finding(RULE_PANIC_FREEDOM), finding(RULE_LOSSY_CAST)],
+            vec![],
+        ));
+        let out = base.check(&worse);
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.regressions[0].rule, RULE_LOSSY_CAST);
+        assert_eq!(out.regressions[0].kind, "findings");
+        assert!(!out.improved);
+
+        let better = Baseline::from_report(&report(vec![], vec![]));
+        let out = base.check(&better);
+        assert!(out.regressions.is_empty());
+        assert!(out.improved);
+    }
+
+    #[test]
+    fn new_suppression_regresses() {
+        let base = Baseline::from_report(&report(vec![], vec![]));
+        let cur = Baseline::from_report(&report(vec![], vec![allow(RULE_LOSSY_CAST, 1)]));
+        let out = base.check(&cur);
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.regressions[0].kind, "suppressed");
+    }
+
+    #[test]
+    fn corrupt_baseline_is_rejected() {
+        assert!(Baseline::parse("{}").is_none());
+        assert!(Baseline::parse("{\"findings\": {\"a\": x}}").is_none());
+    }
+}

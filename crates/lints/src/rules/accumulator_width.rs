@@ -1,0 +1,442 @@
+//! Rule `accumulator-width`: every reduction into `i32`/`i64` over
+//! quantized products in a hot-path crate must carry a machine-checkable
+//! `// bound:` proof comment — and the comment must actually *prove* the
+//! reduction safe against the workspace constants and the interval
+//! analysis. A comment that parses but does not prove is a finding, the
+//! same as a missing one: a wrong proof is worse than no proof.
+//!
+//! The obligation, for a reduction `acc: iN` over summands the interval
+//! analysis bounds by `|summand| ≤ T`:
+//!
+//! * the comment `// bound: K * C <= LIMIT` (or `<`) must mention the free
+//!   reduction-length variable `K` exactly once, as a product factor;
+//! * every other factor and the limit must evaluate exactly against the
+//!   workspace constants (`MAX_BITS`, `MAX_ACC_K`, ...) and the
+//!   `I32_MAX`-style builtins — a name with conflicting definitions across
+//!   files is ambiguous and proves nothing;
+//! * the claimed per-element coefficient `C` must dominate the derived
+//!   summand bound: `C ≥ T` (otherwise the comment understates what one
+//!   term can contribute);
+//! * the claimed total must fit the accumulator: `LIMIT − strict ≤ iN::MAX`;
+//! * the claim must admit at least one element (`⌊(LIMIT − strict)/C⌋ ≥ 1`).
+//!
+//! Two site families are audited: `.sum::<i32>()` / `.sum::<i64>()`
+//! reductions (including `let acc: i32 = ...sum();` ascription-typed ones)
+//! and `acc += ...` compound assignments inside loop bodies where `acc` is
+//! `i32`/`i64` — the loop-head widening of the accumulator's interval is
+//! exactly why only an explicit reduction-length bound can discharge these.
+
+use crate::analysis::expr::{
+    eval, eval_exact, is_k, parse_bound_comment, product_factors, render, walk, BoundClaim,
+    Expr, ExprKind, Stmt, StmtKind, TyAnn,
+};
+use crate::analysis::expr::Binding;
+use crate::analysis::interval::IntTy;
+use crate::analysis::{iter_scalar_seed, FnFlow, WorkspaceAnalysis, HOT_CRATES};
+use crate::lexer::{in_ranges, Lexed};
+use crate::{FileCtx, Finding, RULE_ACCUMULATOR_WIDTH};
+use std::collections::BTreeMap;
+
+/// One audited reduction site.
+struct Site<'e> {
+    /// Line of the reduction expression itself.
+    line: usize,
+    /// Line the enclosing statement starts on (where a leading proof
+    /// comment would sit).
+    stmt_line: usize,
+    /// Accumulator type, when syntactically evident (`sum::<i32>()` or a
+    /// `let acc: i64` ascription). `+=` sites resolve it later through the
+    /// flow environment.
+    acc: Option<IntTy>,
+    /// The assigned place of a `+=` site, for environment typing.
+    place: Option<&'e Expr>,
+    /// The per-element summand expression, when the site exposes one
+    /// (`map` closure body, or the right side of `+=`).
+    summand: Option<&'e Expr>,
+    /// The `.sum()` receiver chain, for element-seed fallback.
+    chain: Option<&'e Expr>,
+    /// Human label for messages.
+    what: &'static str,
+}
+
+pub fn check(
+    ctx: &FileCtx,
+    lexed: &Lexed,
+    test_ranges: &[(usize, usize)],
+    analysis: &WorkspaceAnalysis,
+    flows: &[FnFlow],
+    findings: &mut Vec<Finding>,
+) {
+    if !ctx.kind.is_production() || !HOT_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    let bound_comments = collect_bound_comments(lexed);
+    for flow in flows {
+        let mut sites = Vec::new();
+        collect_sites(&flow.body, false, flow.body.line, &mut sites);
+        for site in sites {
+            if in_ranges(test_ranges, site.stmt_line) || in_ranges(test_ranges, site.line) {
+                continue;
+            }
+            let reached = analysis.reached_from(&ctx.crate_name, &flow.span.name);
+            let env = analysis.env(&flow.env);
+            // `+=` sites: the accumulator type comes from the place's
+            // binding (or the summand's evaluated type); reductions over
+            // types other than `i32`/`i64` are out of scope.
+            let acc = match site.acc {
+                Some(a) => a,
+                None => {
+                    let resolved = site
+                        .place
+                        .and_then(|p| place_ty(p, &flow.env))
+                        .or_else(|| site.summand.map(|s| eval(s, &env)).and_then(|v| v.ty));
+                    match resolved {
+                        Some(t @ (IntTy::I32 | IntTy::I64)) => t,
+                        _ => continue,
+                    }
+                }
+            };
+            // The interval analysis's bound on one summand's magnitude.
+            let term_max = match (site.summand, site.chain) {
+                (Some(s), _) => eval(s, &env).iv.map(|iv| iv.magnitude()),
+                (None, Some(chain)) => {
+                    iter_scalar_seed(chain, &flow.env).and_then(|v| v.iv).map(|iv| iv.magnitude())
+                }
+                (None, None) => None,
+            };
+            let comment = find_bound_comment(lexed, &bound_comments, site.stmt_line, site.line);
+            let verdict = match comment {
+                None => Err(format!(
+                    "`{}` {} without a `// bound:` proof comment — every quantized \
+                     reduction must carry a machine-checkable reduction-length bound, \
+                     e.g. `// bound: K * 2^14 < 2^31`",
+                    acc.name(),
+                    site.what,
+                )),
+                Some(text) => match parse_bound_comment(text) {
+                    None => Err(format!(
+                        "malformed `// bound:` comment on `{}` {}: expected \
+                         `K * <factors> <= <limit>` (grammar: `+ - * / ^ <<`, \
+                         workspace constants, `I32_MAX`-style builtins)",
+                        acc.name(),
+                        site.what,
+                    )),
+                    Some(claim) => judge(&claim, analysis, acc, term_max).map_err(|why| {
+                        format!(
+                            "`// bound:` comment does not prove the `{}` {} safe: {why}",
+                            acc.name(),
+                            site.what,
+                        )
+                    }),
+                },
+            };
+            if let Err(message) = verdict {
+                findings.push(Finding {
+                    file: ctx.path.clone(),
+                    line: site.line,
+                    rule: RULE_ACCUMULATOR_WIDTH,
+                    message: format!("{message}{reached}"),
+                });
+            }
+        }
+    }
+}
+
+/// `(line, text-after-"bound:")` for every proof comment in the file.
+fn collect_bound_comments(lexed: &Lexed) -> BTreeMap<usize, String> {
+    let mut out = BTreeMap::new();
+    for c in &lexed.comments {
+        if let Some(pos) = c.text.find("bound:") {
+            let claim = c.text[pos + "bound:".len()..]
+                .trim()
+                .trim_end_matches("*/")
+                .trim()
+                .to_string();
+            out.insert(c.line, claim);
+        }
+    }
+    out
+}
+
+/// The proof comment governing a site: trailing on any line the statement
+/// spans (`stmt_line..=site_line`), or in the contiguous comment block
+/// immediately above the statement. Closest match wins.
+fn find_bound_comment<'c>(
+    lexed: &Lexed,
+    comments: &'c BTreeMap<usize, String>,
+    stmt_line: usize,
+    site_line: usize,
+) -> Option<&'c str> {
+    let (lo, hi) = if stmt_line <= site_line { (stmt_line, site_line) } else { (site_line, stmt_line) };
+    for l in lo..=hi {
+        if let Some(text) = comments.get(&l) {
+            return Some(text);
+        }
+    }
+    let mut l = lo.checked_sub(1)?;
+    loop {
+        if lexed.has_code_on(l) {
+            return None;
+        }
+        if let Some(text) = comments.get(&l) {
+            return Some(text);
+        }
+        // A blank line (no comment either) ends the block.
+        if !lexed.comments.iter().any(|c| c.line == l) {
+            return None;
+        }
+        l = l.checked_sub(1)?;
+    }
+}
+
+/// Evaluates the proof obligation for one claim.
+fn judge(
+    claim: &BoundClaim,
+    analysis: &WorkspaceAnalysis,
+    acc: IntTy,
+    term_max: Option<i128>,
+) -> Result<(), String> {
+    if let Some(name) = first_ambiguous(&claim.lhs, analysis)
+        .or_else(|| first_ambiguous(&claim.rhs, analysis))
+    {
+        return Err(format!(
+            "it references `{name}`, which has conflicting definitions across the \
+             workspace — an ambiguous constant proves nothing"
+        ));
+    }
+    let factors = product_factors(&claim.lhs);
+    let k_count = factors.iter().filter(|f| is_k(f)).count();
+    if k_count != 1 {
+        return Err(format!(
+            "the left side must mention the free reduction-length variable `K` exactly \
+             once as a product factor (found {k_count} in `{}`)",
+            render(&claim.lhs)
+        ));
+    }
+    let mut coeff: i128 = 1;
+    for f in factors.iter().filter(|f| !is_k(f)) {
+        let Some(v) = eval_exact(f, &analysis.consts) else {
+            return Err(format!(
+                "the per-element factor `{}` does not evaluate against the workspace \
+                 constants",
+                render(f)
+            ));
+        };
+        coeff = coeff
+            .checked_mul(v)
+            .ok_or_else(|| "the per-element coefficient overflows i128".to_string())?;
+    }
+    if coeff <= 0 {
+        return Err(format!(
+            "the per-element coefficient evaluates to {coeff}, which cannot bound a \
+             magnitude"
+        ));
+    }
+    let Some(rhs) = eval_exact(&claim.rhs, &analysis.consts) else {
+        return Err(format!(
+            "the limit `{}` does not evaluate against the workspace constants",
+            render(&claim.rhs)
+        ));
+    };
+    let total = rhs - i128::from(claim.strict);
+    let k_max = total / coeff;
+    if k_max < 1 {
+        return Err(format!(
+            "the claim admits no elements at all (limit {total} / per-element {coeff} \
+             < 1)"
+        ));
+    }
+    if total > acc.max() {
+        return Err(format!(
+            "the claimed total {total} exceeds {}::MAX = {}",
+            acc.name(),
+            acc.max()
+        ));
+    }
+    match term_max {
+        None => Err(
+            "the interval analysis cannot bound the summand, so the claimed \
+             per-element coefficient cannot be checked — tighten the operand types \
+             or justify with `lint: allow(accumulator-width)`"
+                .to_string(),
+        ),
+        Some(t) if t > coeff => Err(format!(
+            "the claimed per-element coefficient {coeff} is smaller than the \
+             analysis-derived summand magnitude {t}"
+        )),
+        Some(_) => Ok(()),
+    }
+}
+
+/// First path in the claim naming an ambiguous workspace constant.
+fn first_ambiguous(e: &Expr, analysis: &WorkspaceAnalysis) -> Option<String> {
+    let mut found = None;
+    walk(e, false, &mut |n, _| {
+        if found.is_some() {
+            return;
+        }
+        if let ExprKind::Path(segs) = &n.kind {
+            if let Some(last) = segs.last() {
+                if analysis.ambiguous.contains(last.as_str()) {
+                    found = Some(last.clone());
+                }
+            }
+        }
+    });
+    found
+}
+
+/// Recursively collects reduction sites, tracking loop context and the
+/// line the enclosing statement starts on.
+fn collect_sites<'e>(e: &'e Expr, in_loop: bool, stmt_line: usize, out: &mut Vec<Site<'e>>) {
+    match &e.kind {
+        ExprKind::Block(stmts, tail) => {
+            for s in stmts {
+                collect_stmt(s, in_loop, out);
+            }
+            if let Some(t) = tail {
+                collect_sites(t, in_loop, t.line, out);
+            }
+        }
+        ExprKind::Method { recv, name, turbofish, args } => {
+            if matches!(name.as_str(), "sum" | "product") {
+                if let Some(acc @ (IntTy::I32 | IntTy::I64)) = turbofish {
+                    push_sum_site(e.line, stmt_line, *acc, recv, name, out);
+                }
+            }
+            collect_sites(recv, in_loop, stmt_line, out);
+            for a in args {
+                collect_sites(a, in_loop, stmt_line, out);
+            }
+        }
+        ExprKind::Loop(b) => collect_sites(b, true, stmt_line, out),
+        ExprKind::For { iter, body, .. } => {
+            collect_sites(iter, in_loop, stmt_line, out);
+            collect_sites(body, true, stmt_line, out);
+        }
+        ExprKind::If(c, t, f) => {
+            collect_sites(c, in_loop, stmt_line, out);
+            collect_sites(t, in_loop, stmt_line, out);
+            if let Some(f) = f {
+                collect_sites(f, in_loop, stmt_line, out);
+            }
+        }
+        ExprKind::Closure(_, b) | ExprKind::Neg(b) => collect_sites(b, in_loop, stmt_line, out),
+        ExprKind::Cast(i, _) | ExprKind::From(_, i) | ExprKind::Field(i, _) => {
+            collect_sites(i, in_loop, stmt_line, out)
+        }
+        ExprKind::Bin(_, l, r) | ExprKind::Index(l, r) => {
+            collect_sites(l, in_loop, stmt_line, out);
+            collect_sites(r, in_loop, stmt_line, out);
+        }
+        ExprKind::Call(c, args) => {
+            collect_sites(c, in_loop, stmt_line, out);
+            for a in args {
+                collect_sites(a, in_loop, stmt_line, out);
+            }
+        }
+        ExprKind::Seq(elems) => {
+            for el in elems {
+                collect_sites(el, in_loop, stmt_line, out);
+            }
+        }
+        ExprKind::Int(..) | ExprKind::Path(..) | ExprKind::Unknown => {}
+    }
+}
+
+fn collect_stmt<'e>(s: &'e Stmt, in_loop: bool, out: &mut Vec<Site<'e>>) {
+    match &s.kind {
+        StmtKind::Let { ann, init, .. } => {
+            // `let acc: i32 = ...sum();` — the ascription types an
+            // un-turbofished reduction.
+            if let Some(TyAnn::Int(acc @ (IntTy::I32 | IntTy::I64))) = ann {
+                if let ExprKind::Method { recv, name, turbofish: None, .. } = &init.kind {
+                    if matches!(name.as_str(), "sum" | "product") {
+                        push_sum_site(init.line, s.line, *acc, recv, name, out);
+                    }
+                }
+            }
+            collect_sites(init, in_loop, s.line, out);
+        }
+        StmtKind::Compound(op, place, value) => {
+            if in_loop && matches!(op, crate::analysis::expr::BinOp::Add) {
+                out.push(Site {
+                    line: s.line,
+                    stmt_line: s.line,
+                    acc: None,
+                    place: Some(place),
+                    summand: Some(value),
+                    chain: None,
+                    what: "loop accumulation (`+=`)",
+                });
+            }
+            collect_sites(place, in_loop, s.line, out);
+            collect_sites(value, in_loop, s.line, out);
+        }
+        StmtKind::Assign(place, value) => {
+            collect_sites(place, in_loop, s.line, out);
+            collect_sites(value, in_loop, s.line, out);
+        }
+        StmtKind::Expr(e) => collect_sites(e, in_loop, s.line, out),
+    }
+}
+
+/// Type of an assigned place, through the flow environment: a scalar
+/// binding's type, or the element type of an indexed slice binding.
+fn place_ty(place: &Expr, env: &std::collections::BTreeMap<String, Binding>) -> Option<IntTy> {
+    match &place.kind {
+        ExprKind::Path(segs) if segs.len() == 1 => match env.get(&segs[0])? {
+            Binding::Scalar(v) => v.ty,
+            Binding::Slice(_) => None,
+        },
+        ExprKind::Index(recv, _) => match &recv.kind {
+            ExprKind::Path(segs) if segs.len() == 1 => match env.get(&segs[0])? {
+                Binding::Slice(t) => Some(*t),
+                Binding::Scalar(_) => None,
+            },
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn push_sum_site<'e>(
+    line: usize,
+    stmt_line: usize,
+    acc: IntTy,
+    recv: &'e Expr,
+    name: &str,
+    out: &mut Vec<Site<'e>>,
+) {
+    // Strip adapters between the `map` and the reduction.
+    let mut chain = recv;
+    loop {
+        match &chain.kind {
+            ExprKind::Method { recv, name, .. }
+                if matches!(
+                    name.as_str(),
+                    "copied" | "cloned" | "inspect" | "rev" | "take" | "skip" | "filter"
+                ) =>
+            {
+                chain = recv;
+            }
+            _ => break,
+        }
+    }
+    let summand = match &chain.kind {
+        ExprKind::Method { name, args, .. } if name == "map" => match args.first() {
+            Some(Expr { kind: ExprKind::Closure(_, body), .. }) => Some(&**body),
+            _ => None,
+        },
+        _ => None,
+    };
+    out.push(Site {
+        line,
+        stmt_line,
+        acc: Some(acc),
+        place: None,
+        summand,
+        chain: summand.is_none().then_some(chain),
+        what: if name == "sum" { "reduction (`.sum()`)" } else { "reduction (`.product()`)" },
+    });
+}

@@ -13,7 +13,10 @@
 //! Detection is textual (token `as` followed by a banned target type), so
 //! float→`usize`/`i64` casts are out of reach — the banned list covers the
 //! narrow targets where truncation bites in this codebase. Test code is
-//! exempt: fabricating fixtures with `(i % 96) as u16` is fine.
+//! exempt in ordinary crates: fabricating fixtures with `(i % 96) as u16`
+//! is fine. In `atom-kernels` the exemption is dropped — its tests encode
+//! the bit-exactness contract, so a wrapping cast in a fixture generator
+//! silently weakens the very property the test exists to pin down.
 
 use crate::lexer::{in_ranges, Lexed, TokKind};
 use crate::{FileCtx, Finding, RULE_LOSSY_CAST};
@@ -21,8 +24,10 @@ use crate::{FileCtx, Finding, RULE_LOSSY_CAST};
 /// Cast targets that can truncate or change signedness.
 const BANNED_TARGETS: &[&str] = &["i8", "u8", "i16", "u16", "i32", "f32"];
 
-/// Audited quantizer modules where low-bit casts are the point. Every entry
-/// here was reviewed for clamp-before-cast discipline:
+/// Audited quantizer modules where low-bit casts are the point. The audit
+/// covers *production* ranges only: test modules in `atom-kernels` entries
+/// are still linted (see module docs). Every entry here was reviewed for
+/// clamp-before-cast discipline:
 ///
 /// * `kernels/*` — pack/unpack, group/asym quantize, fused GEMM, quantized
 ///   KV attention: all casts sit after explicit `clamp`/`round` or inside
@@ -53,13 +58,22 @@ pub fn check(
     test_ranges: &[(usize, usize)],
     findings: &mut Vec<Finding>,
 ) {
-    if !ctx.kind.is_production() || ALLOWLIST.contains(&ctx.path.as_str()) {
+    if !ctx.kind.is_production() {
         return;
     }
+    let allowlisted = ALLOWLIST.contains(&ctx.path.as_str());
+    // In the audited kernels modules the production code is exempt (the
+    // audit) but test code is not; everywhere else it is the reverse.
+    let audit_tests = allowlisted && ctx.crate_name == "atom-kernels";
     let toks = &lexed.tokens;
     for i in 0..toks.len() {
         let t = &toks[i];
-        if t.kind != TokKind::Ident || t.text != "as" || in_ranges(test_ranges, t.line) {
+        if t.kind != TokKind::Ident || t.text != "as" {
+            continue;
+        }
+        let in_test = in_ranges(test_ranges, t.line);
+        let exempt = if allowlisted { !(in_test && audit_tests) } else { in_test };
+        if exempt {
             continue;
         }
         let Some(target) = toks.get(i + 1) else {
@@ -69,13 +83,18 @@ pub fn check(
         // path/generic (e.g. `as u8 ::MAX` never parses that way in Rust,
         // but `as f32` followed by `.` is still the cast we want).
         if target.kind == TokKind::Ident && BANNED_TARGETS.contains(&target.text.as_str()) {
+            let context = if in_test {
+                "in kernels test code (fixture generators pin the bit-exactness contract)"
+            } else {
+                "outside the audited quantizer modules"
+            };
             findings.push(Finding {
                 file: ctx.path.clone(),
                 line: t.line,
                 rule: RULE_LOSSY_CAST,
                 message: format!(
-                    "`as {}` can truncate or change signedness outside the audited \
-                     quantizer modules; use the checked helpers in `atom_tensor::cast`",
+                    "`as {}` can truncate or change signedness {context}; \
+                     use the checked helpers in `atom_tensor::cast`",
                     target.text
                 ),
             });

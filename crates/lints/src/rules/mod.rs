@@ -2,11 +2,13 @@
 //! token stream; scoping (which crates, which file kinds, test exemptions)
 //! lives inside the rule so the orchestrator stays trivial.
 
+pub mod accumulator_width;
 pub mod lock_order;
 pub mod lossy_cast;
 pub mod panic_freedom;
 pub mod telemetry_names;
 pub mod time_entropy;
+pub mod unchecked_arith;
 pub mod unordered_iteration;
 pub mod unsafe_containment;
 

@@ -1,0 +1,110 @@
+//! Rule `unchecked-arith`: bare `+`/`*`/`<<` on *signed* integer values in
+//! hot-path production code must be provably in-range by the interval
+//! analysis, or be explicitly `wrapping_*`/`checked_*`/`saturating_*`, or
+//! carry a justified `lint: allow(unchecked-arith)`.
+//!
+//! Scope, deliberately: operations whose unified operand type resolves to a
+//! signed integer (`i8`/`i16`/`i32`/`i64`/`i128`/`isize`). That is exactly
+//! the value domain of the quantized pipeline — packed codes, products,
+//! accumulators, zero-point arithmetic — where a silent two's-complement
+//! wrap corrupts a result without any test failing. Unsigned and `usize`
+//! arithmetic is the index/bit-packing domain: every such value feeds a
+//! slice access that is bounds-checked (and panics loudly in debug builds
+//! on overflow), and the packing layer is covered by exhaustive roundtrip
+//! tests. Auditing it here would bury the value-domain findings under
+//! index-expression noise. Operations whose type cannot be inferred at all
+//! are skipped — an under-approximation the module documents rather than
+//! hides (float arithmetic falls out the same way: no integer type, no
+//! finding).
+//!
+//! A site discharges its obligation in one of three ways:
+//!
+//! 1. the interval analysis *proves* the result in-range for the inferred
+//!    type (both operand intervals known, result fits);
+//! 2. the code says what it wants on overflow (`wrapping_add`,
+//!    `checked_mul`, `saturating_sub`, ... — the eval layer already treats
+//!    these as in-range by contract);
+//! 3. a `lint: allow(unchecked-arith) — <reason>` directive.
+//!
+//! When the interval is known and provably *exceeds* the type, the message
+//! says so with the computed range — that is a latent overflow, not merely
+//! an unproven one.
+
+use crate::analysis::expr::{eval, walk, BinOp, ExprKind};
+use crate::analysis::{FnFlow, WorkspaceAnalysis, HOT_CRATES};
+use crate::lexer::{in_ranges, Lexed};
+use crate::{FileCtx, Finding, RULE_UNCHECKED_ARITH};
+use std::collections::BTreeSet;
+
+pub fn check(
+    ctx: &FileCtx,
+    _lexed: &Lexed,
+    test_ranges: &[(usize, usize)],
+    analysis: &WorkspaceAnalysis,
+    flows: &[FnFlow],
+    findings: &mut Vec<Finding>,
+) {
+    if !ctx.kind.is_production() || !HOT_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    // One finding per line: nested expressions (`a + b + c`) would
+    // otherwise report every unprovable sub-node of the same tree.
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    for flow in flows {
+        let env = analysis.env(&flow.env);
+        let reached = analysis.reached_from(&ctx.crate_name, &flow.span.name);
+        walk(&flow.body, false, &mut |e, _| {
+            let ExprKind::Bin(op @ (BinOp::Add | BinOp::Mul | BinOp::Shl), lhs, rhs) = &e.kind
+            else {
+                return;
+            };
+            let v = eval(e, &env);
+            let Some(ty) = v.ty else { return };
+            if ty.unsigned() {
+                return;
+            }
+            if in_ranges(test_ranges, e.line) || flagged.contains(&e.line) {
+                return;
+            }
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Mul => "*",
+                _ => "<<",
+            };
+            let message = match v.iv {
+                Some(iv) if iv.fits(ty) => return, // proven in-range
+                Some(iv) => format!(
+                    "`{sym}` on `{}` can overflow: the interval analysis bounds the \
+                     result to [{}, {}], which exceeds `{}`'s range — use \
+                     `checked_*`/`saturating_*` or tighten the operands",
+                    ty.name(),
+                    iv.lo,
+                    iv.hi,
+                    ty.name()
+                ),
+                None => {
+                    let (a, b) = (eval(lhs, &env), eval(rhs, &env));
+                    let culprit = match (a.iv, b.iv) {
+                        (None, Some(_)) => " (left operand unbounded)",
+                        (Some(_), None) => " (right operand unbounded)",
+                        (None, None) => " (both operands unbounded)",
+                        (Some(_), Some(_)) => " (result exceeds the analysis domain)",
+                    };
+                    format!(
+                        "`{sym}` on `{}` is not provably in-range{culprit} — make the \
+                         operand ranges inferable, use `wrapping_*`/`checked_*`/\
+                         `saturating_*`, or justify with `lint: allow(unchecked-arith)`",
+                        ty.name()
+                    )
+                }
+            };
+            flagged.insert(e.line);
+            findings.push(Finding {
+                file: ctx.path.clone(),
+                line: e.line,
+                rule: RULE_UNCHECKED_ARITH,
+                message: format!("{message}{reached}"),
+            });
+        });
+    }
+}

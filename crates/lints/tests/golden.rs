@@ -5,12 +5,15 @@
 //! tree). The binary's exit-code contract is checked end to end against a
 //! synthesized bad workspace.
 
+use atom_lint::analysis::WorkspaceAnalysis;
+use atom_lint::ratchet::Baseline;
+use atom_lint::rules::lock_order::LockEdge;
 use atom_lint::{
     lint_file, lint_workspace, lock_cycle_findings, CrossFileState, FileCtx, FileKind, NamesTable,
-    RULE_DIRECTIVE, RULE_LOCK_ORDER, RULE_LOSSY_CAST, RULE_PANIC_FREEDOM, RULE_TELEMETRY_NAMES,
-    RULE_TIME_ENTROPY, RULE_UNORDERED_ITERATION, RULE_UNSAFE_CONTAINMENT,
+    RULE_ACCUMULATOR_WIDTH, RULE_DIRECTIVE, RULE_LOCK_ORDER, RULE_LOSSY_CAST, RULE_PANIC_FREEDOM,
+    RULE_TELEMETRY_NAMES, RULE_TIME_ENTROPY, RULE_UNCHECKED_ARITH, RULE_UNORDERED_ITERATION,
+    RULE_UNSAFE_CONTAINMENT,
 };
-use atom_lint::rules::lock_order::LockEdge;
 use std::path::{Path, PathBuf};
 
 fn fixture(name: &str) -> String {
@@ -40,8 +43,12 @@ fn run_state(
     ctx: &FileCtx,
     names: Option<&NamesTable>,
 ) -> (Vec<(&'static str, usize)>, CrossFileState) {
+    // The workspace analysis the arithmetic rules evaluate against is
+    // built from the fixture alone — its own `const` declarations are the
+    // whole constant universe, which is exactly what the fixtures assume.
+    let analysis = WorkspaceAnalysis::build(&[(ctx.clone(), source.to_string())]);
     let mut state = CrossFileState::default();
-    let findings = lint_file(ctx, source, names, &mut state)
+    let findings = lint_file(ctx, source, names, &analysis, &mut state)
         .into_iter()
         .map(|f| (f.rule, f.line))
         .collect();
@@ -343,6 +350,150 @@ fn allow_inventory_records_reason_and_suppression_count() {
     assert_eq!(a.suppressed, 1, "directive must suppress exactly one finding");
 }
 
+#[test]
+fn accumulator_width_fixture() {
+    // Proving comments (the `proven`, `loop_acc_proven`, and `turbofish`
+    // functions) must discharge their sites; every other reduction is a
+    // finding with its own failure mode — missing comment, understated
+    // coefficient, no `K` factor, claimed total wider than the
+    // accumulator, and a bare loop accumulation.
+    let src = fixture("accumulator_width_bad.rs");
+    let ctx = ctx("atom-kernels", "crates/kernels/src/fixture.rs", FileKind::Src);
+    let got = run(&src, &ctx, None);
+    let want = vec![
+        (RULE_ACCUMULATOR_WIDTH, 15), // missing: no bound comment
+        (RULE_ACCUMULATOR_WIDTH, 23), // understated: 2^7 < derived 2^14
+        (RULE_ACCUMULATOR_WIDTH, 30), // no_k: claim lacks the K factor
+        (RULE_ACCUMULATOR_WIDTH, 37), // too_wide: 2^40 exceeds i32::MAX
+        (RULE_ACCUMULATOR_WIDTH, 45), // loop accumulation, no comment
+    ];
+    assert_eq!(got, want, "findings: {got:?}");
+}
+
+#[test]
+fn accumulator_width_is_scoped_to_hot_crates() {
+    let src = fixture("accumulator_width_bad.rs");
+    let ctx = ctx("atom-serve", "crates/serve/src/fixture.rs", FileKind::Src);
+    let got = run(&src, &ctx, None);
+    assert!(
+        got.iter().all(|(r, _)| *r != RULE_ACCUMULATOR_WIDTH),
+        "out-of-scope crate flagged: {got:?}"
+    );
+}
+
+#[test]
+fn unchecked_arith_fixture() {
+    // The provable sum, the wrapping call, the unsigned multiply, the
+    // justified allow, and the #[cfg(test)] body must all stay clean;
+    // the three bare signed sites are findings.
+    let src = fixture("unchecked_arith_bad.rs");
+    let ctx = ctx("atom-kernels", "crates/kernels/src/fixture.rs", FileKind::Src);
+    let got = run(&src, &ctx, None);
+    let want = vec![
+        (RULE_UNCHECKED_ARITH, 14), // x * y with full-range operands
+        (RULE_UNCHECKED_ARITH, 19), // x + 1 at the top of the range
+        (RULE_UNCHECKED_ARITH, 24), // shift amount unbounded
+    ];
+    assert_eq!(got, want, "findings: {got:?}");
+}
+
+#[test]
+fn unchecked_arith_cross_file_consts_resolve() {
+    // The per-file fixture defines `FIX_LIMIT` itself; here the constant
+    // lives in a *different* file of the analysis universe, and the site
+    // file still proves against it — the workspace constant table is
+    // global, not per-file.
+    let consts = "pub const ELSEWHERE: i32 = 1 << 10;\n";
+    let site = "pub fn f(x: u8) -> i32 {\n    i32::from(x) + ELSEWHERE\n}\n";
+    let const_ctx = ctx("atom-kernels", "crates/kernels/src/consts.rs", FileKind::Src);
+    let site_ctx = ctx("atom-kernels", "crates/kernels/src/site.rs", FileKind::Src);
+    let analysis = WorkspaceAnalysis::build(&[
+        (const_ctx, consts.to_string()),
+        (site_ctx.clone(), site.to_string()),
+    ]);
+    let mut state = CrossFileState::default();
+    let findings = lint_file(&site_ctx, site, None, &analysis, &mut state);
+    assert!(
+        findings.is_empty(),
+        "cross-file constant should prove the sum: {findings:?}"
+    );
+}
+
+#[test]
+fn sarif_export_has_schema_rules_and_results() {
+    let report = lint_workspace(&workspace_root()).expect("workspace lints");
+    let sarif = report.to_sarif();
+    assert!(sarif.contains("\"version\": \"2.1.0\""));
+    assert!(sarif.contains("sarif-schema-2.1.0.json"));
+    assert!(sarif.contains("\"name\": \"atom-lint\""));
+    // Every reportable rule is declared in the driver with a description.
+    for rule in atom_lint::REPORTABLE_RULES {
+        assert!(
+            sarif.contains(&format!("\"id\": \"{rule}\"")),
+            "missing SARIF rule {rule}"
+        );
+    }
+    assert!(sarif.contains("\"shortDescription\""));
+    // Clean tree: the results array is present and empty.
+    assert!(sarif.contains("\"results\": ["));
+    assert!(!sarif.contains("\"ruleId\""));
+}
+
+#[test]
+fn sarif_results_carry_location_and_level() {
+    // A synthetic one-finding report must serialize the full result shape
+    // GitHub code scanning needs: ruleId, level, message, and a physical
+    // location with uri + startLine.
+    let report = atom_lint::WorkspaceReport {
+        findings: vec![atom_lint::Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: RULE_UNCHECKED_ARITH,
+            message: "demo \"quoted\" message".into(),
+        }],
+        files_checked: 1,
+        allows: vec![],
+    };
+    let sarif = report.to_sarif();
+    assert!(sarif.contains(&format!("\"ruleId\": \"{RULE_UNCHECKED_ARITH}\"")));
+    assert!(sarif.contains("\"level\": \"error\""));
+    assert!(sarif.contains("\"uri\": \"crates/x/src/lib.rs\""));
+    assert!(sarif.contains("\"startLine\": 7"));
+    // Quotes in messages must be escaped, not break the document.
+    assert!(sarif.contains("demo \\\"quoted\\\" message"));
+}
+
+#[test]
+fn ratchet_baseline_matches_live_tree_and_detects_drift() {
+    // The committed baseline must describe the current tree exactly: a
+    // stale baseline would either block the build (regression) or silently
+    // under-ratchet (improvement never shrunk).
+    let report = lint_workspace(&workspace_root()).expect("workspace lints");
+    let current = Baseline::from_report(&report);
+    let committed = std::fs::read_to_string(workspace_root().join("results/lint_baseline.json"))
+        .expect("committed baseline readable");
+    let committed = Baseline::parse(&committed).expect("committed baseline parses");
+    let out = committed.check(&current);
+    assert!(
+        out.regressions.is_empty() && !out.improved,
+        "committed baseline out of date: regressions {:?}, improved {}",
+        out.regressions,
+        out.improved
+    );
+
+    // A new finding anywhere regresses against that same baseline.
+    let mut worse = report;
+    worse.findings.push(atom_lint::Finding {
+        file: "crates/x/src/lib.rs".into(),
+        line: 1,
+        rule: RULE_ACCUMULATOR_WIDTH,
+        message: "synthetic".into(),
+    });
+    let out = committed.check(&Baseline::from_report(&worse));
+    assert_eq!(out.regressions.len(), 1, "regressions: {:?}", out.regressions);
+    assert_eq!(out.regressions[0].rule, RULE_ACCUMULATOR_WIDTH);
+}
+
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -354,7 +505,7 @@ fn workspace_root() -> PathBuf {
 fn report_json_has_schema_rule_counts_and_allow_inventory() {
     let report = lint_workspace(&workspace_root()).expect("workspace lints");
     let json = report.to_json();
-    assert!(json.contains("\"schema\": \"atom-lint-report/v1\""));
+    assert!(json.contains("\"schema\": \"atom-lint-report/v2\""));
     // Every reportable rule appears in the counts object even at zero.
     for rule in atom_lint::REPORTABLE_RULES {
         assert!(json.contains(&format!("\"{rule}\":")), "missing count for {rule}");

@@ -58,6 +58,21 @@ pub fn usize_to_i32_saturating(n: usize) -> i32 {
     i32::try_from(n).unwrap_or(i32::MAX)
 }
 
+/// Narrow an `i32` to `i8`, saturating at the `i8` range.
+///
+/// For values the caller has already bounded (e.g. a quantized code
+/// computed modulo the grid span) the conversion is exact; the debug
+/// assertion flags any call site whose bound reasoning broke, while
+/// release builds clamp instead of wrapping.
+#[inline]
+pub fn i32_to_i8_saturating(v: i32) -> i8 {
+    debug_assert!(
+        (i32::from(i8::MIN)..=i32::from(i8::MAX)).contains(&v),
+        "i32_to_i8_saturating: {v} does not fit an i8"
+    );
+    i8::try_from(v).unwrap_or(if v < 0 { i8::MIN } else { i8::MAX })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +98,12 @@ mod tests {
         assert_eq!(usize_to_u16_saturating(usize::from(u16::MAX)), u16::MAX);
         assert_eq!(usize_to_i32_saturating(7), 7);
         assert_eq!(usize_to_i32_saturating(usize::MAX), i32::MAX);
+    }
+
+    #[test]
+    fn i8_narrowing_is_exact_in_range() {
+        assert_eq!(i32_to_i8_saturating(-128), i8::MIN);
+        assert_eq!(i32_to_i8_saturating(0), 0);
+        assert_eq!(i32_to_i8_saturating(127), i8::MAX);
     }
 }
