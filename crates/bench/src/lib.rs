@@ -11,15 +11,21 @@
 //! | `fig05_outliers` | Fig. 5 — activation outliers before/after reorder |
 //! | `fig09_vcache` | Fig. 9 — V-cache value distribution |
 //! | `fig10_end_to_end` | Fig. 10 — serving throughput/latency/fixed-memory |
-//! | `fig11_kernels` | Fig. 11 — GEMM and attention kernel sweeps |
+//! | `fig11_kernels` | Fig. 11 — GEMM/attention sweeps + measured scalar-vs-SWAR gate |
 //! | `table1_zeroshot` | Table 1 — zero-shot accuracy |
 //! | `table2_perplexity` | Table 2 — perplexity on three corpora |
 //! | `table3_ablation` | Table 3 — accuracy ablation ladder |
 //! | `table4_generality` | Table 4 — Llama-2-like / MoE / FP4 |
 //! | `table5_kernel_ablation` | §5.4.2 — fused-kernel TOPS and reorder fusion |
+//! | `ablation_dynamic_vs_static` | §4.3 counterfactual — dynamic vs static scales |
+//! | `ablation_mx` | §6 outlook — MX/microscaling block formats |
+//! | `ablation_w4a8` | QServe-style W4A8 operating point |
+//! | `ext_tensor_parallel` | multi-GPU tensor-parallel simulator extension |
 //! | `chaos_serve` | robustness — engine under seeded faults + KV pressure |
 //! | `slo_gate` | robustness — gateway SLO attainment under chaos, 1/2/8 threads |
 //! | `prefix_gate` | prefix cache — hit TTFT collapse + KV sharing, bit-identical |
+//! | `scaling_threads` | pool thread-scaling sweep, bit-identity across widths and kernel paths |
+//! | `telemetry_report` | measured Fig. 3 breakdown vs roofline, instrumentation overhead |
 //!
 //! Each binary prints an aligned text table and writes the same content to
 //! `results/<name>.txt`. Criterion benches (`cargo bench -p atom-bench`)

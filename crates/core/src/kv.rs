@@ -7,6 +7,7 @@
 //! final row), and its byte accounting feeds the serving-memory model.
 
 use atom_kernels::attention::QuantizedKvHead;
+use atom_kernels::KernelPath;
 use atom_nn::KvStore;
 use atom_parallel::Pool;
 use atom_tensor::Matrix;
@@ -67,11 +68,16 @@ impl QuantizedKvCache {
         // own `len x head_dim` block (bit-identical to the sequential
         // per-head loop), and the caller stitches the column blocks in head
         // order afterwards — no worker ever shares an output.
+        // Each head's sweep reuses one code scratch buffer across all its
+        // rows (`dequantize_row_scratch`), decoding on the process-wide
+        // kernel path; scratch reuse and path choice change no bytes.
+        let path = KernelPath::current();
         let decode_head = |block: &QuantizedKvHead| {
             let src = if keys { &block.keys } else { &block.values };
             let mut m = Matrix::zeros(len, hd);
+            let mut scratch = Vec::new();
             for t in 0..len {
-                src.dequantize_row_into(t, m.row_mut(t));
+                src.dequantize_row_scratch(t, m.row_mut(t), &mut scratch, path);
             }
             m
         };

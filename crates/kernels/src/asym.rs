@@ -8,6 +8,7 @@
 //! rows, so each row is exactly one `(token, head)` quantization group.
 
 use crate::packed::PackedMatrix;
+use crate::path::KernelPath;
 use atom_tensor::f16::round_f16;
 use atom_tensor::Matrix;
 use serde::{Deserialize, Serialize};
@@ -135,6 +136,18 @@ impl AsymQuantized {
     /// caller bug: it trips a debug assertion under test and writes zeros in
     /// release builds.
     pub fn dequantize_row_into(&self, r: usize, out: &mut [f32]) {
+        self.dequantize_row_into_with(r, out, KernelPath::current());
+    }
+
+    /// [`dequantize_row_into`](Self::dequantize_row_into) with an explicit
+    /// [`KernelPath`] for the code unpack. The affine decode itself is the
+    /// same FP arithmetic either way, so both paths produce bit-identical
+    /// rows.
+    ///
+    /// # Panics
+    ///
+    /// As [`dequantize_row_into`](Self::dequantize_row_into).
+    pub fn dequantize_row_into_with(&self, r: usize, out: &mut [f32], path: KernelPath) {
         assert_eq!(out.len(), self.cols(), "buffer size mismatch");
         let (Some(&s), Some(&lo)) = (self.scales.get(r), self.mins.get(r)) else {
             debug_assert!(false, "row {r} out of range");
@@ -142,9 +155,57 @@ impl AsymQuantized {
             return;
         };
         let mut buf = vec![0i8; self.cols()];
-        self.codes.unpack_row(r, &mut buf);
+        self.codes.unpack_row_with(r, &mut buf, path);
         let bias = (1i16 << (self.bits - 1)) as f32;
         for (d, &q) in out.iter_mut().zip(buf.iter()) {
+            *d = lo + s * (f32::from(q) + bias);
+        }
+    }
+
+    /// [`dequantize_row_into_with`](Self::dequantize_row_into_with) reusing
+    /// a caller-owned code scratch buffer, so a loop over many rows (the
+    /// attention score/value sweeps, KV materialization) performs no per-row
+    /// allocation. `codes` is resized to `self.cols()` on every call; its
+    /// prior contents are irrelevant. Output bytes are identical to the
+    /// allocating variant.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use atom_kernels::{AsymQuantized, KernelPath};
+    /// use atom_tensor::Matrix;
+    ///
+    /// let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0], &[-1.0, 0.5, 2.0, 8.0]]);
+    /// let q = AsymQuantized::quantize(&x, 4);
+    /// let mut scratch = Vec::new();
+    /// let mut a = vec![0.0f32; 4];
+    /// let mut b = vec![0.0f32; 4];
+    /// q.dequantize_row_scratch(1, &mut a, &mut scratch, KernelPath::Swar);
+    /// q.dequantize_row_into(1, &mut b);
+    /// assert_eq!(a, b);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// As [`dequantize_row_into`](Self::dequantize_row_into).
+    pub fn dequantize_row_scratch(
+        &self,
+        r: usize,
+        out: &mut [f32],
+        codes: &mut Vec<i8>,
+        path: KernelPath,
+    ) {
+        assert_eq!(out.len(), self.cols(), "buffer size mismatch");
+        let (Some(&s), Some(&lo)) = (self.scales.get(r), self.mins.get(r)) else {
+            debug_assert!(false, "row {r} out of range");
+            out.fill(0.0);
+            return;
+        };
+        codes.clear();
+        codes.resize(self.cols(), 0);
+        self.codes.unpack_row_with(r, codes, path);
+        let bias = (1i16 << (self.bits - 1)) as f32;
+        for (d, &q) in out.iter_mut().zip(codes.iter()) {
             *d = lo + s * (f32::from(q) + bias);
         }
     }

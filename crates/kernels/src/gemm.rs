@@ -13,8 +13,9 @@
 //! results sum.
 
 use crate::group::{GroupQuantized, MAX_BITS};
+use crate::path::KernelPath;
 use crate::KernelError;
-use atom_parallel::Pool;
+use atom_parallel::{Pool, KERNEL_ROW_BLOCK};
 use atom_telemetry::{names, span, Telemetry};
 use atom_tensor::Matrix;
 
@@ -117,6 +118,49 @@ pub fn fused_group_gemm_with(
     a: &GroupQuantized,
     w: &GroupQuantized,
 ) -> Result<Matrix, KernelError> {
+    fused_group_gemm_with_path(pool, a, w, KernelPath::current())
+}
+
+/// [`fused_group_gemm_with`] with an explicit [`KernelPath`].
+///
+/// `Scalar` runs the reference loop nest: unpack both operands, then one
+/// iterator dot per output element with the fused group-dequant epilogue.
+/// `Swar` runs the weight-block-outer kernel: weights stay packed until the
+/// inner loop, each weight row decodes once per GEMM via the 16-lane SWAR
+/// unpack into an L1-resident buffer and is then MAC-ed against every
+/// activation row, accumulating into a transposed `n x m` tile (transposed
+/// back at the end). Groups are visited in the same ascending order with the
+/// same `0.0`-seeded FP32 fold and the same exact i32 group sums, so the two
+/// paths return bit-identical matrices — the property suite asserts `==`,
+/// not approximate equality.
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] when inner dimensions or group
+/// sizes disagree, and [`KernelError::WorkerPanic`] if a parallel worker
+/// panicked (the panic is contained, not propagated).
+///
+/// # Example
+///
+/// ```
+/// use atom_kernels::{fused_group_gemm_with_path, GroupQuantized, KernelPath, QuantSpec};
+/// use atom_parallel::Pool;
+/// use atom_tensor::Matrix;
+///
+/// let spec = QuantSpec::new(4, 16);
+/// let a = GroupQuantized::quantize(&Matrix::full(2, 32, 0.5), spec);
+/// let w = GroupQuantized::quantize(&Matrix::full(3, 32, 0.25), spec);
+/// let pool = Pool::sequential();
+/// let scalar = fused_group_gemm_with_path(&pool, &a, &w, KernelPath::Scalar).unwrap();
+/// let swar = fused_group_gemm_with_path(&pool, &a, &w, KernelPath::Swar).unwrap();
+/// assert_eq!(scalar.as_slice(), swar.as_slice()); // bit-identical, not approximate
+/// ```
+pub fn fused_group_gemm_with_path(
+    pool: &Pool,
+    a: &GroupQuantized,
+    w: &GroupQuantized,
+    path: KernelPath,
+) -> Result<Matrix, KernelError> {
     if a.cols() != w.cols() {
         return Err(KernelError::ShapeMismatch(format!(
             "inner dimension: activations k={} vs weights k={}",
@@ -131,8 +175,13 @@ pub fn fused_group_gemm_with(
             "group size: activations {group_a} vs weights {group_w}"
         )));
     }
-    let (m, n, k) = (a.rows(), w.rows(), a.cols());
-    let group = group_a;
+    let (m, _n, _k) = (a.rows(), w.rows(), a.cols());
+    let group = group_a.max(1);
+    debug_assert!(
+        group <= MAX_ACC_K,
+        "group {group} exceeds MAX_ACC_K = {MAX_ACC_K}: per-group i32 accumulation \
+         could overflow"
+    );
 
     let bytes = (a.packed_bytes() + w.packed_bytes()) as u64;
     let t = Telemetry::global();
@@ -141,11 +190,31 @@ pub fn fused_group_gemm_with(
     t.counter_add(names::OP_GEMM_BYTES, bytes);
     t.counter_add(names::OP_GEMM_ROWS, m as u64);
     t.counter_add(names::OP_GEMM_CALLS, 1);
+    match path {
+        KernelPath::Scalar => t.counter_add(names::OP_GEMM_SCALAR_CALLS, 1),
+        KernelPath::Swar => t.counter_add(names::OP_GEMM_SWAR_CALLS, 1),
+    }
 
+    match path {
+        KernelPath::Scalar => gemm_scalar(pool, a, w, group),
+        KernelPath::Swar => gemm_swar_wblock(pool, a, w, group),
+    }
+}
+
+/// The scalar reference GEMM: both operands fully unpacked, one iterator
+/// dot per output element. This loop nest is the oracle — the SWAR kernel
+/// must reproduce its output bit-for-bit.
+fn gemm_scalar(
+    pool: &Pool,
+    a: &GroupQuantized,
+    w: &GroupQuantized,
+    group: usize,
+) -> Result<Matrix, KernelError> {
+    let (m, n, k) = (a.rows(), w.rows(), a.cols());
     // Unpack both operands once (the GPU kernel streams packed data through
     // shared memory; on CPU a one-shot unpack plays the same role).
-    let av = a.values().unpack_with(pool);
-    let wv = w.values().unpack_with(pool);
+    let av = a.values().unpack_with_path(pool, KernelPath::Scalar);
+    let wv = w.values().unpack_with_path(pool, KernelPath::Scalar);
     let a_scales = a.scales();
     let w_scales = w.scales();
 
@@ -155,12 +224,6 @@ pub fn fused_group_gemm_with(
     // the group walk is bounded exactly as before). Rows parallelize as
     // one-row chunks: chunk i owns out[i*n .. (i+1)*n] exclusively and is
     // computed by the same sequential code at any pool width.
-    let group = group.max(1);
-    debug_assert!(
-        group <= MAX_ACC_K,
-        "group {group} exceeds MAX_ACC_K = {MAX_ACC_K}: per-group i32 accumulation \
-         could overflow"
-    );
     let mut out = Matrix::zeros(m, n);
     pool.par_chunks_mut(out.as_mut_slice(), n.max(1), |i, out_row| {
         let Some(ar) = av.get(i * k..(i + 1) * k) else {
@@ -192,6 +255,89 @@ pub fn fused_group_gemm_with(
                 .sum();
         }
     })?;
+    Ok(out)
+}
+
+/// The SWAR weight-block-outer GEMM.
+///
+/// The scalar path streams the fully-unpacked weight matrix (`n*k` bytes)
+/// through the cache once per *activation row*; this kernel inverts the
+/// loop order so the packed weights (`n*k/2` bytes at INT4) stream exactly
+/// once per GEMM. Work parallelizes over blocks of [`KERNEL_ROW_BLOCK`]
+/// weight rows: block `b` owns weight rows `b*RB ..` and writes the
+/// exclusive span `out_t[b*RB*m ..]` of a transposed `n x m` accumulator,
+/// so any thread count produces the same bytes. Per weight row, the row
+/// decodes once via the 16-lane SWAR unpack into a `k`-byte L1-resident
+/// buffer and is MAC-ed against all `m` activation rows with the fused
+/// group-dequant epilogue kept in the same pass.
+///
+/// Bit-identity with the scalar path holds because (a) each per-group i32
+/// sum is exact — no overflow by the [`MAX_ACC_K`] cap — so its value is
+/// independent of evaluation order, and (b) the FP32 epilogue folds the
+/// per-group terms in the same ascending-group order from the same `0.0`
+/// seed for every output element.
+fn gemm_swar_wblock(
+    pool: &Pool,
+    a: &GroupQuantized,
+    w: &GroupQuantized,
+    group: usize,
+) -> Result<Matrix, KernelError> {
+    let (m, n, k) = (a.rows(), w.rows(), a.cols());
+    // Activations are small (m rows); unpack them once via the SWAR decode.
+    let av = a.values().unpack_with_path(pool, KernelPath::Swar);
+    let a_scales = a.scales();
+    let w_scales = w.scales();
+    let wq = w.values();
+
+    // Transposed accumulator: column-major from `out`'s perspective, so a
+    // weight-row block is a contiguous exclusive chunk. `n*m` splits into
+    // `m`-sized columns, and chunks of `m*RB` always cover whole columns,
+    // so `j = block*RB + jj` below never reaches `n`.
+    let mut out_t = vec![0f32; n * m];
+    pool.par_chunks_mut(&mut out_t, m.max(1) * KERNEL_ROW_BLOCK, |b, chunk| {
+        let mut wbuf: Vec<i8> = vec![0i8; k];
+        for (jj, col) in chunk.chunks_mut(m.max(1)).enumerate() {
+            let j = b * KERNEL_ROW_BLOCK + jj;
+            // One SWAR decode of weight row j serves all m activation rows.
+            wq.unpack_row_with(j, &mut wbuf, KernelPath::Swar);
+            let sw_row = w_scales.row(j);
+            for (i, o) in col.iter_mut().enumerate() {
+                let Some(ar) = av.get(i * k..(i + 1) * k) else {
+                    continue;
+                };
+                let sa = a_scales.row(i);
+                for ((ga, gw), (&scale_a, &scale_w)) in ar
+                    .chunks(group)
+                    .zip(wbuf.chunks(group))
+                    .zip(sa.iter().zip(sw_row))
+                {
+                    // Same exact group sum as the scalar path; the group
+                    // length is capped at MAX_ACC_K by the caller, so:
+                    // bound: K * 2 ^ (2 * (MAX_BITS - 1)) < 2 ^ 31
+                    let iacc: i32 = ga
+                        .iter()
+                        .zip(gw)
+                        .map(|(&x, &w)| i32::from(x) * i32::from(w))
+                        .sum();
+                    // Fused dequant epilogue: ascending-group FP32 fold from
+                    // the 0.0 the accumulator was initialized with — the
+                    // same fold `sum::<f32>()` performs in the scalar path.
+                    *o += iacc as f32 * scale_a * scale_w;
+                }
+            }
+        }
+    })?;
+
+    // Transpose the n x m accumulator back to m x n on the caller thread.
+    let mut out = Matrix::zeros(m, n);
+    let flat = out.as_mut_slice();
+    for (j, col) in out_t.chunks_exact(m.max(1)).enumerate() {
+        for (i, &v) in col.iter().enumerate() {
+            if let Some(o) = flat.get_mut(i * n + j) {
+                *o = v;
+            }
+        }
+    }
     Ok(out)
 }
 
@@ -227,14 +373,49 @@ pub fn mixed_gemm_with(
     w_normal: &GroupQuantized,
     outliers: Option<(&GroupQuantized, &GroupQuantized)>,
 ) -> Result<Matrix, KernelError> {
-    let mut out = fused_group_gemm_with(pool, a_normal, w_normal)?;
+    mixed_gemm_with_path(pool, a_normal, w_normal, outliers, KernelPath::current())
+}
+
+/// [`mixed_gemm_with`] with an explicit [`KernelPath`]: both the INT4
+/// normal-region GEMM and the INT8 outlier-region GEMM run on the selected
+/// path, so a pinned benchmark never mixes implementations. The FP32 region
+/// sum happens on the caller thread in both cases — path choice changes
+/// nothing about the result bytes.
+///
+/// # Errors
+///
+/// Propagates shape mismatches from the underlying fused GEMMs, and rejects
+/// row-count mismatches between the regions.
+///
+/// # Example
+///
+/// ```
+/// use atom_kernels::{mixed_gemm_with_path, GroupQuantized, KernelPath, QuantSpec};
+/// use atom_parallel::Pool;
+/// use atom_tensor::Matrix;
+///
+/// let a = GroupQuantized::quantize(&Matrix::full(2, 32, 1.0), QuantSpec::new(4, 16));
+/// let w = GroupQuantized::quantize(&Matrix::full(3, 32, 1.0), QuantSpec::new(4, 16));
+/// let pool = Pool::sequential();
+/// let scalar = mixed_gemm_with_path(&pool, &a, &w, None, KernelPath::Scalar).unwrap();
+/// let swar = mixed_gemm_with_path(&pool, &a, &w, None, KernelPath::Swar).unwrap();
+/// assert_eq!(scalar.as_slice(), swar.as_slice());
+/// ```
+pub fn mixed_gemm_with_path(
+    pool: &Pool,
+    a_normal: &GroupQuantized,
+    w_normal: &GroupQuantized,
+    outliers: Option<(&GroupQuantized, &GroupQuantized)>,
+    path: KernelPath,
+) -> Result<Matrix, KernelError> {
+    let mut out = fused_group_gemm_with_path(pool, a_normal, w_normal, path)?;
     if let Some((a_out, w_out)) = outliers {
         if a_out.rows() != a_normal.rows() || w_out.rows() != w_normal.rows() {
             return Err(KernelError::ShapeMismatch(
                 "outlier region row counts disagree with normal region".into(),
             ));
         }
-        let o = fused_group_gemm_with(pool, a_out, w_out)?;
+        let o = fused_group_gemm_with_path(pool, a_out, w_out, path)?;
         out.add_scaled_in_place(&o, 1.0);
     }
     Ok(out)

@@ -16,6 +16,11 @@
 //!   KV-cache (paper §4.4).
 //! - [`attention`] — self-attention with dequantize-on-load quantized KV,
 //!   mirroring the fused FlashInfer kernel.
+//! - [`swar`] — `u64` SWAR primitives that decode 16 INT4 (or 8 INT8) lanes
+//!   per word; the hot GEMM/attention inner loops are built on these.
+//! - [`path`] — [`KernelPath`] selection between the SWAR fast path and the
+//!   scalar reference (`ATOM_KERNEL_PATH`, default `swar`); the two are
+//!   proven bit-identical by the property suite.
 //!
 //! Every kernel has a reference implementation and is tested against it;
 //! the quantization *algorithms* (outlier selection, reordering, GPTQ,
@@ -28,14 +33,21 @@ pub mod attention;
 pub mod gemm;
 pub mod group;
 pub mod packed;
+pub mod path;
+pub mod swar;
 
 pub use asym::AsymQuantized;
 pub use attention::{
-    attention_quant_kv, attention_quant_kv_heads, attention_quant_kv_heads_with, QuantizedKvHead,
+    attention_quant_kv, attention_quant_kv_heads, attention_quant_kv_heads_with,
+    attention_quant_kv_heads_with_path, attention_quant_kv_path, QuantizedKvHead,
 };
-pub use gemm::{fused_group_gemm, fused_group_gemm_with, mixed_gemm, mixed_gemm_with};
+pub use gemm::{
+    fused_group_gemm, fused_group_gemm_with, fused_group_gemm_with_path, mixed_gemm,
+    mixed_gemm_with, mixed_gemm_with_path,
+};
 pub use group::{GroupQuantized, QuantSpec, MAX_BITS, MIN_BITS};
 pub use packed::PackedMatrix;
+pub use path::KernelPath;
 
 /// Error type for kernel-level shape and parameter validation.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -6,6 +6,8 @@
 //! values per byte). It is the storage substrate for both the symmetric
 //! group-quantized GEMM operands and the asymmetric KV-cache.
 
+use crate::path::KernelPath;
+use crate::swar;
 use atom_parallel::Pool;
 use serde::{Deserialize, Serialize};
 
@@ -172,10 +174,38 @@ impl PackedMatrix {
     /// caller bug: it trips a debug assertion under test and writes zeros in
     /// release builds.
     pub fn unpack_row(&self, r: usize, out: &mut [i8]) {
+        self.unpack_row_with(r, out, KernelPath::current());
+    }
+
+    /// [`unpack_row`](Self::unpack_row) with an explicit [`KernelPath`]:
+    /// `Swar` decodes INT4/INT8 rows 16/8 lanes per `u64` word via
+    /// [`crate::swar`], every other width (and `Scalar`) runs the portable
+    /// per-element loop. Both paths produce byte-identical buffers — the
+    /// round-trip below packs values, unpacks through each path, and
+    /// compares exactly.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use atom_kernels::{KernelPath, PackedMatrix};
+    ///
+    /// let vals: Vec<i8> = (0..37).map(|c| (c % 16) - 8).collect();
+    /// let m = PackedMatrix::from_values(1, vals.len(), 4, &vals);
+    /// let mut scalar = vec![0i8; vals.len()];
+    /// let mut swar = vec![0i8; vals.len()];
+    /// m.unpack_row_with(0, &mut scalar, KernelPath::Scalar);
+    /// m.unpack_row_with(0, &mut swar, KernelPath::Swar);
+    /// assert_eq!(scalar, vals);
+    /// assert_eq!(swar, vals);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.cols()`. A row index out of range is a
+    /// caller bug: it trips a debug assertion under test and writes zeros in
+    /// release builds.
+    pub fn unpack_row_with(&self, r: usize, out: &mut [i8], path: KernelPath) {
         assert_eq!(out.len(), self.cols, "unpack buffer size mismatch");
-        let bits = self.bits as usize;
-        let bias = 1i16 << (bits - 1);
-        let mask = (1u16 << bits) - 1;
         let Some(row) = self
             .data
             .get(r * self.row_stride..(r + 1) * self.row_stride)
@@ -184,6 +214,20 @@ impl PackedMatrix {
             out.fill(0);
             return;
         };
+        match (path, self.bits) {
+            (KernelPath::Swar, 4) => swar::unpack_row_i4(row, out),
+            (KernelPath::Swar, 8) => swar::unpack_row_i8(row, out),
+            _ => self.unpack_row_scalar(row, out),
+        }
+    }
+
+    /// The scalar reference decode: one shift/mask/debias chain per element
+    /// (with byte-level fast paths for the 8- and 4-bit layouts). This is
+    /// the oracle the SWAR path is proven bit-identical to.
+    fn unpack_row_scalar(&self, row: &[u8], out: &mut [i8]) {
+        let bits = self.bits as usize;
+        let bias = 1i16 << (bits - 1);
+        let mask = (1u16 << bits) - 1;
         match bits {
             8 => {
                 // One byte per value; a straight zip compiles to a
@@ -239,13 +283,36 @@ impl PackedMatrix {
     /// [`unpack_row`](Self::unpack_row) code, so the buffer is byte-identical
     /// to the sequential unpack for any thread count.
     pub fn unpack_with(&self, pool: &Pool) -> Vec<i8> {
+        self.unpack_with_path(pool, KernelPath::current())
+    }
+
+    /// [`unpack_with`](Self::unpack_with) with an explicit [`KernelPath`],
+    /// so a benchmark or test pinned to the scalar reference never decodes
+    /// through the SWAR primitives behind its back. Identical bytes either
+    /// way, for any thread count.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use atom_kernels::{KernelPath, PackedMatrix};
+    /// use atom_parallel::Pool;
+    ///
+    /// let vals: Vec<i8> = (0..96).map(|c| (c % 16) - 8).collect();
+    /// let m = PackedMatrix::from_values(4, 24, 4, &vals);
+    /// let pool = Pool::sequential();
+    /// let scalar = m.unpack_with_path(&pool, KernelPath::Scalar);
+    /// let swar = m.unpack_with_path(&pool, KernelPath::Swar);
+    /// assert_eq!(scalar, swar);
+    /// assert_eq!(scalar, vals);
+    /// ```
+    pub fn unpack_with_path(&self, pool: &Pool, path: KernelPath) -> Vec<i8> {
         let mut out = vec![0i8; self.rows * self.cols];
         // `rows * cols` divides evenly into `cols`-element chunks, so every
         // chunk is a full row and `unpack_row`'s length assert always holds;
         // the error arm is an unreachable backstop, served sequentially.
         let ok = pool
             .par_chunks_mut(&mut out, self.cols.max(1), |r, chunk| {
-                self.unpack_row(r, chunk);
+                self.unpack_row_with(r, chunk, path);
             })
             .is_ok();
         if ok {

@@ -1,0 +1,232 @@
+//! SWAR (SIMD-within-a-register) unpack primitives for packed low-bit rows.
+//!
+//! One `u64` word holds 8 packed bytes — 16 INT4 codes or 8 INT8 codes —
+//! and every lane decodes in parallel with three word-wide ops, instead of
+//! one shift/mask/subtract chain per element. [`PackedMatrix`] stores the
+//! *biased* code `raw = v + 2^(bits-1)`, which composes with the classic
+//! two's-complement sign-extension identity `(x ^ 0b1000) - 0b1000` into a
+//! plain per-lane subtract (see [`debias_nibble_lanes`]); the borrow-safe
+//! form of that subtract is what these functions compute. The decoded
+//! values are bit-identical to the scalar unpack in
+//! [`PackedMatrix::unpack_row_with`] — the proptest oracle and a doc-test
+//! below pin that down. DESIGN.md §"Kernel internals" derives the layout
+//! and the identity in full.
+//!
+//! [`PackedMatrix`]: crate::PackedMatrix
+//! [`PackedMatrix::unpack_row_with`]: crate::PackedMatrix::unpack_row_with
+
+/// INT4 codes decoded per SWAR word (two per packed byte).
+pub const INT4_LANES: usize = 16;
+/// INT8 codes decoded per SWAR word (one per packed byte).
+pub const INT8_LANES: usize = 8;
+/// Packed payload bytes per SWAR word.
+pub const WORD_BYTES: usize = 8;
+
+/// Low nibble of every byte lane.
+const LO_NIBBLES: u64 = 0x0F0F_0F0F_0F0F_0F0F;
+/// Bit 7 of every byte lane — the INT8 bias and the borrow sentinel.
+const SIGN_BITS: u64 = 0x8080_8080_8080_8080;
+/// The INT4 bias `8` replicated into every byte lane.
+const NIBBLE_BIAS: u64 = 0x0808_0808_0808_0808;
+
+/// Subtracts the INT4 bias `8` from each of the 8 byte lanes of `v` in
+/// parallel, producing the two's-complement value of each lane.
+///
+/// Every lane must hold a biased nibble `raw = v + 8` in `0..=15` (bits
+/// 4..=7 clear). The storage bias makes `raw = t ^ 8` where `t` is the
+/// code's 4-bit two's-complement pattern, so the textbook sign-extension
+/// `(t ^ 0x08) - 0x08` collapses to `raw - 8`. The per-lane subtract is
+/// made borrow-safe by setting bit 7 of every lane first (`raw <= 15 < 2^7`
+/// means the borrow never reaches bit 7, so lanes cannot contaminate each
+/// other) and then XOR-ing the same bit pattern out again, which also
+/// repairs the sign bit: lanes with `raw < 8` come out with bit 7 set —
+/// exactly the two's-complement encoding of `raw - 8 < 0`.
+///
+/// # Example
+///
+/// ```
+/// use atom_kernels::swar::debias_nibble_lanes;
+///
+/// // Lanes 0..8 hold biased codes 0, 8, 15, 7, 1, 9, 14, 6.
+/// let v = u64::from_le_bytes([0, 8, 15, 7, 1, 9, 14, 6]);
+/// let out = debias_nibble_lanes(v).to_le_bytes();
+/// let decoded: Vec<i8> = out.iter().map(|&b| i8::from_le_bytes([b])).collect();
+/// assert_eq!(decoded, [-8, 0, 7, -1, -7, 1, 6, -2]);
+/// ```
+#[inline]
+#[must_use]
+pub fn debias_nibble_lanes(v: u64) -> u64 {
+    debug_assert_eq!(v & !LO_NIBBLES, 0, "lanes must hold masked nibbles");
+    ((v | SIGN_BITS).wrapping_sub(NIBBLE_BIAS)) ^ SIGN_BITS
+}
+
+/// Subtracts the INT8 bias `128` from each of the 8 byte lanes of `v` in
+/// parallel. Subtracting `2^7` modulo `2^8` is exactly flipping bit 7, so
+/// the whole 8-lane debias is one XOR.
+///
+/// # Example
+///
+/// ```
+/// use atom_kernels::swar::debias_byte_lanes;
+///
+/// let v = u64::from_le_bytes([0, 128, 255, 127, 1, 129, 254, 126]);
+/// let out = debias_byte_lanes(v).to_le_bytes();
+/// let decoded: Vec<i8> = out.iter().map(|&b| i8::from_le_bytes([b])).collect();
+/// assert_eq!(decoded, [-128, 0, 127, -1, -127, 1, 126, -2]);
+/// ```
+#[inline]
+#[must_use]
+pub fn debias_byte_lanes(v: u64) -> u64 {
+    v ^ SIGN_BITS
+}
+
+/// Decodes one SWAR word of packed INT4 payload — 8 bytes, 16 biased
+/// nibble codes, low nibble first within each byte — into 16 sign-extended
+/// `i8` values in column order.
+#[inline]
+#[must_use]
+pub fn unpack_word_i4(bytes: [u8; WORD_BYTES]) -> [i8; INT4_LANES] {
+    let word = u64::from_le_bytes(bytes);
+    let lo = debias_nibble_lanes(word & LO_NIBBLES).to_le_bytes();
+    let hi = debias_nibble_lanes((word >> 4) & LO_NIBBLES).to_le_bytes();
+    let mut out = [0i8; INT4_LANES];
+    // Byte b of the word contributes columns 2b (low nibble) and 2b+1
+    // (high nibble): interleave the two debiased words back together.
+    let interleaved = lo.iter().zip(&hi).flat_map(|(&l, &h)| [l, h]);
+    for (o, b) in out.iter_mut().zip(interleaved) {
+        *o = i8::from_le_bytes([b]);
+    }
+    out
+}
+
+/// Decodes one SWAR word of packed INT8 payload — 8 biased byte codes —
+/// into 8 sign-extended `i8` values in column order.
+#[inline]
+#[must_use]
+pub fn unpack_word_i8(bytes: [u8; WORD_BYTES]) -> [i8; INT8_LANES] {
+    let lanes = debias_byte_lanes(u64::from_le_bytes(bytes)).to_le_bytes();
+    let mut out = [0i8; INT8_LANES];
+    for (o, &b) in out.iter_mut().zip(&lanes) {
+        *o = i8::from_le_bytes([b]);
+    }
+    out
+}
+
+/// Decodes a packed INT4 row (two biased codes per byte, low nibble first)
+/// into `out.len()` sign-extended values: full 16-lane SWAR words first,
+/// then a scalar tail for the final partial word — the tail decode is the
+/// same arithmetic, so the whole row is bit-identical to the scalar path.
+///
+/// `row` must carry at least `out.len().div_ceil(2)` payload bytes;
+/// missing bytes decode as zeros (an unreachable backstop, kept total so
+/// the kernel hot path stays panic-free).
+pub fn unpack_row_i4(row: &[u8], out: &mut [i8]) {
+    debug_assert!(row.len() >= out.len().div_ceil(2), "payload too short");
+    let words = out.len() / INT4_LANES;
+    let (head, tail) = out.split_at_mut(words * INT4_LANES);
+    let head_bytes = row.get(..words * WORD_BYTES).unwrap_or(&[]);
+    for (blk, dst) in head_bytes
+        .chunks_exact(WORD_BYTES)
+        .zip(head.chunks_exact_mut(INT4_LANES))
+    {
+        let word = blk.try_into().unwrap_or([0u8; WORD_BYTES]);
+        dst.copy_from_slice(&unpack_word_i4(word));
+    }
+    // Tail: fewer than 16 columns left; decode byte pairs scalar-style.
+    let tail_bytes = row.get(words * WORD_BYTES..).unwrap_or(&[]);
+    for (pair, &b) in tail.chunks_mut(2).zip(tail_bytes) {
+        for (k, o) in pair.iter_mut().enumerate() {
+            let raw = if k == 0 { b & 0x0F } else { b >> 4 };
+            // raw <= 15, so the subtract never wraps; `wrapping_sub` states
+            // the (unreachable) overflow contract without a checked branch.
+            *o = i8::from_le_bytes([raw]).wrapping_sub(8);
+        }
+    }
+}
+
+/// Decodes a packed INT8 row (one biased code per byte) into `out.len()`
+/// sign-extended values: full 8-lane SWAR words, then a scalar tail.
+///
+/// `row` must carry at least `out.len()` payload bytes; missing bytes
+/// decode as zeros (unreachable backstop, kept total).
+pub fn unpack_row_i8(row: &[u8], out: &mut [i8]) {
+    debug_assert!(row.len() >= out.len(), "payload too short");
+    let words = out.len() / INT8_LANES;
+    let (head, tail) = out.split_at_mut(words * INT8_LANES);
+    let head_bytes = row.get(..words * WORD_BYTES).unwrap_or(&[]);
+    for (blk, dst) in head_bytes
+        .chunks_exact(WORD_BYTES)
+        .zip(head.chunks_exact_mut(INT8_LANES))
+    {
+        let word = blk.try_into().unwrap_or([0u8; WORD_BYTES]);
+        dst.copy_from_slice(&unpack_word_i8(word));
+    }
+    let tail_bytes = row.get(words * WORD_BYTES..).unwrap_or(&[]);
+    for (o, &b) in tail.iter_mut().zip(tail_bytes) {
+        // Single-lane [`debias_byte_lanes`]: flipping bit 7 is the
+        // carry-free form of subtracting the +128 storage bias.
+        *o = i8::from_le_bytes([b ^ 0x80]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nibble_debias_covers_all_codes() {
+        for raw in 0u8..16 {
+            let word = u64::from(raw) * 0x0101_0101_0101_0101; // every lane
+            let out = debias_nibble_lanes(word).to_le_bytes();
+            for b in out {
+                assert_eq!(i8::from_le_bytes([b]), i8::from_le_bytes([raw]).wrapping_sub(8));
+            }
+        }
+    }
+
+    #[test]
+    fn byte_debias_covers_all_codes() {
+        for raw in 0u16..256 {
+            let b = (raw & 0xFF) as u8;
+            let out = debias_byte_lanes(u64::from(b)).to_le_bytes();
+            let expect = (i16::from(b) - 128) as i8;
+            assert_eq!(i8::from_le_bytes([out[0]]), expect, "raw {b}");
+        }
+    }
+
+    #[test]
+    fn word_unpack_interleaves_nibbles_low_first() {
+        // Byte 0xA3 holds code 3 (low nibble, column 0) then 0xA (column 1).
+        let out = unpack_word_i4([0xA3; 8]);
+        for pair in out.chunks(2) {
+            assert_eq!(pair, [3 - 8, 0xA - 8]);
+        }
+    }
+
+    #[test]
+    fn row_unpack_handles_ragged_tails() {
+        // 37 columns: 2 full SWAR words + 5-column tail (2.5 bytes).
+        let cols = 37usize;
+        let codes: Vec<u8> = (0..cols).map(|c| (c % 16) as u8).collect();
+        let mut packed = vec![0u8; cols.div_ceil(2)];
+        for (c, &q) in codes.iter().enumerate() {
+            packed[c / 2] |= q << (4 * (c % 2));
+        }
+        let mut out = vec![0i8; cols];
+        unpack_row_i4(&packed, &mut out);
+        let expect: Vec<i8> = codes
+            .iter()
+            .map(|&q| i8::from_le_bytes([q]).wrapping_sub(8))
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn row_unpack_i8_matches_scalar() {
+        let codes: Vec<u8> = (0..21u8).map(|c| c.wrapping_mul(37)).collect();
+        let mut out = vec![0i8; codes.len()];
+        unpack_row_i8(&codes, &mut out);
+        let expect: Vec<i8> = codes.iter().map(|&b| ((i16::from(b)) - 128) as i8).collect();
+        assert_eq!(out, expect);
+    }
+}

@@ -1,9 +1,12 @@
 //! Property-based tests of the kernel crate's quantization invariants.
 
-use atom_kernels::gemm::{fused_group_gemm, fused_group_gemm_with, reference_gemm};
+use atom_kernels::gemm::{
+    fused_group_gemm, fused_group_gemm_with, fused_group_gemm_with_path, mixed_gemm_with_path,
+    reference_gemm,
+};
 use atom_kernels::{
-    attention_quant_kv_heads_with, AsymQuantized, GroupQuantized, PackedMatrix, QuantSpec,
-    QuantizedKvHead,
+    attention_quant_kv_heads_with, attention_quant_kv_path, AsymQuantized, GroupQuantized,
+    KernelPath, PackedMatrix, QuantSpec, QuantizedKvHead,
 };
 use atom_parallel::Pool;
 use atom_tensor::Matrix;
@@ -191,6 +194,118 @@ proptest! {
                 prop_assert_eq!(s.as_slice(), p.as_slice());
             }
         }
+    }
+
+    #[test]
+    fn swar_unpack_bit_identical_to_scalar(
+        bits in 2u8..=8,
+        rows in 1usize..5,
+        cols in 1usize..48,
+        seed in 0u64..500,
+    ) {
+        // The SWAR row decode must reproduce the scalar reference decode
+        // byte-for-byte at every bit width, including the non-multiple-of-
+        // 16 (INT4) and non-multiple-of-8 (INT8) column tails.
+        let mut rng = atom_tensor::SeededRng::new(seed);
+        let lo = -(1i16 << (bits - 1)) as i32;
+        let hi = (1i16 << (bits - 1)) as i32 - 1;
+        let values: Vec<i8> = (0..rows * cols)
+            .map(|_| (lo + rng.below((hi - lo + 1) as usize) as i32) as i8)
+            .collect();
+        let m = PackedMatrix::from_values(rows, cols, bits, &values);
+        let mut scalar = vec![0i8; cols];
+        let mut swar = vec![0i8; cols];
+        for r in 0..rows {
+            m.unpack_row_with(r, &mut scalar, KernelPath::Scalar);
+            m.unpack_row_with(r, &mut swar, KernelPath::Swar);
+            prop_assert_eq!(&scalar, &swar, "row {}", r);
+        }
+    }
+
+    #[test]
+    fn swar_gemm_bit_identical_to_scalar(
+        seed in 0u64..300,
+        m in 1usize..8,
+        n in 1usize..10,
+        k in 1usize..70,
+        group in 1usize..80,
+        bits in 2u8..=8,
+    ) {
+        // The tentpole contract: the SWAR weight-block kernel returns the
+        // same bits as the scalar reference for random shapes, bit widths,
+        // and group sizes (including ragged tail groups and group > k),
+        // at thread widths 1, 2, and 8.
+        let mut rng = atom_tensor::SeededRng::new(seed);
+        let a = rng.normal_matrix(m, k, 0.0, 1.0);
+        let w = rng.normal_matrix(n, k, 0.0, 1.0);
+        let qa = GroupQuantized::quantize(&a, QuantSpec::new(bits, group));
+        let qw = GroupQuantized::quantize(&w, QuantSpec::new(bits, group));
+        let scalar =
+            fused_group_gemm_with_path(&Pool::sequential(), &qa, &qw, KernelPath::Scalar).unwrap();
+        for threads in [1usize, 2, 8] {
+            let swar =
+                fused_group_gemm_with_path(&Pool::new(threads), &qa, &qw, KernelPath::Swar)
+                    .unwrap();
+            prop_assert_eq!(scalar.as_slice(), swar.as_slice(), "threads {}", threads);
+        }
+    }
+
+    #[test]
+    fn swar_mixed_gemm_bit_identical_to_scalar(
+        seed in 0u64..200,
+        m in 1usize..5,
+        n in 1usize..6,
+        groups in 1usize..3,
+        outlier_cols in 1usize..24,
+    ) {
+        // The mixed-precision path: INT4 normal region + INT8 outlier
+        // region, both regions on the selected path, FP32 region sum on the
+        // caller thread — identical bytes scalar vs SWAR at widths 1/2/8.
+        let k = groups * 16;
+        let mut rng = atom_tensor::SeededRng::new(seed);
+        let qa_n = GroupQuantized::quantize(&rng.normal_matrix(m, k, 0.0, 1.0), QuantSpec::new(4, 16));
+        let qw_n = GroupQuantized::quantize(&rng.normal_matrix(n, k, 0.0, 0.5), QuantSpec::new(4, 16));
+        let qa_o = GroupQuantized::quantize(
+            &rng.normal_matrix(m, outlier_cols, 0.0, 20.0),
+            QuantSpec::new(8, 16),
+        );
+        let qw_o = GroupQuantized::quantize(
+            &rng.normal_matrix(n, outlier_cols, 0.0, 0.5),
+            QuantSpec::new(8, 16),
+        );
+        let scalar = mixed_gemm_with_path(
+            &Pool::sequential(), &qa_n, &qw_n, Some((&qa_o, &qw_o)), KernelPath::Scalar,
+        ).unwrap();
+        for threads in [1usize, 2, 8] {
+            let swar = mixed_gemm_with_path(
+                &Pool::new(threads), &qa_n, &qw_n, Some((&qa_o, &qw_o)), KernelPath::Swar,
+            ).unwrap();
+            prop_assert_eq!(scalar.as_slice(), swar.as_slice(), "threads {}", threads);
+        }
+    }
+
+    #[test]
+    fn swar_attention_bit_identical_to_scalar(
+        seed in 0u64..300,
+        len in 1usize..14,
+        q_rows in 1usize..5,
+        hd in 1usize..40,
+        bits in 2u8..=8,
+    ) {
+        // Quantized-KV attention: the SWAR dequantize-on-load (with scratch
+        // reuse) must match the scalar allocate-per-row decode exactly.
+        let q_rows = q_rows.min(len);
+        let mut rng = atom_tensor::SeededRng::new(seed);
+        let mut kv = QuantizedKvHead::new(hd, bits);
+        kv.append(
+            &rng.normal_matrix(len, hd, 0.0, 1.0),
+            &rng.normal_matrix(len, hd, 0.0, 1.0),
+        );
+        let q = rng.normal_matrix(q_rows, hd, 0.0, 1.0);
+        let scale = 1.0 / (hd as f32).sqrt();
+        let scalar = attention_quant_kv_path(&q, &kv, scale, KernelPath::Scalar);
+        let swar = attention_quant_kv_path(&q, &kv, scale, KernelPath::Swar);
+        prop_assert_eq!(scalar.as_slice(), swar.as_slice());
     }
 
     #[test]

@@ -169,8 +169,10 @@ fn value_elem(e: &Expr, locals: &BTreeMap<String, Binding>) -> Option<IntTy> {
             "to_vec" | "clone" | "as_slice" | "as_ref" | "as_mut_slice" | "get" | "get_mut" => {
                 value_elem(recv, locals)
             }
-            // Workspace-known producers: PackedMatrix unpacking yields i8.
-            "unpack" | "unpack_with" => Some(IntTy::I8),
+            // Workspace-known producers: PackedMatrix unpacking yields i8
+            // (both the env-selected entry points and the explicit
+            // `KernelPath` variants added with the SWAR kernels).
+            "unpack" | "unpack_with" | "unpack_with_path" => Some(IntTy::I8),
             _ => None,
         },
         _ => None,

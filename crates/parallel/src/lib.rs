@@ -140,6 +140,16 @@ impl Drop for RegionGuard {
     }
 }
 
+/// Weight rows per chunk when a kernel partitions row-blocked work over
+/// [`Pool::par_chunks_mut`]. The SWAR GEMM hands each worker chunk
+/// [`KERNEL_ROW_BLOCK`] weight rows of a transposed accumulator: big enough
+/// that one chunk amortizes its unpack-buffer setup, small enough that a
+/// 2048-row projection still splits into 256 chunks — plenty of slack for
+/// any realistic thread width. Because `par_chunks_mut` assigns chunk `i`
+/// the same span at every width, this constant also fixes the
+/// decomposition, keeping results bit-identical across thread counts.
+pub const KERNEL_ROW_BLOCK: usize = 8;
+
 /// What one worker reports back to the region join: busy wall time (0 when
 /// telemetry is disabled) and the chunks whose closure panicked.
 type WorkerReport = (u64, Vec<(usize, String)>);
